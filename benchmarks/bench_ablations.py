@@ -1,0 +1,122 @@
+"""Ablation benchmarks for the generator's load-bearing design choices.
+
+DESIGN.md calls out three mechanisms the headline reproductions rest on;
+each ablation disables one and shows the corresponding paper shape collapse:
+
+1. **WiFi uplift + binge bursts** drive the WiFi volume dominance (§3.1,
+   Table 3). Without them WiFi no longer out-carries cellular.
+2. **Policy conditioning on home-AP ownership** drives the home-AP inference
+   rate (§3.4.1). With unconditioned policies far fewer owners ever
+   associate at night.
+3. **The soft cap's throttle + demand response** create the Figure 19 gap.
+   Without them capped device-days look like everyone else (regression to
+   the mean only).
+
+Ablations run small dedicated simulations, so these benches are heavier than
+the per-figure ones.
+"""
+
+import dataclasses
+
+import numpy as np
+
+import repro.analysis as analysis
+from repro.population.profiles import WifiPolicy
+from repro.population.recruitment import default_policy_mix
+from repro.reporting.tables import Table
+from repro.simulation.campaign import run_campaign
+from repro.simulation.cap import SoftCapPolicy
+from repro.simulation.study import default_campaign_config
+from repro.traces.cleaning import clean_for_main_analysis
+
+from .conftest import bench_scale, save_output
+
+_SCALE = min(bench_scale(), 0.08)
+
+
+def _run(config):
+    return clean_for_main_analysis(run_campaign(config).dataset)
+
+
+def test_ablate_wifi_uplift(output_dir, benchmark):
+    """No uplift/binges -> WiFi stops dominating total volume."""
+    base_config = default_campaign_config(2015, scale=_SCALE, seed=41)
+    ablated_params = dataclasses.replace(
+        base_config.params, wifi_uplift=1.0, binge_burst_p=0.0, sync_burst_p=0.0
+    )
+    ablated_config = dataclasses.replace(base_config, params=ablated_params)
+
+    baseline = analysis.aggregate_traffic(_run(base_config))
+    ablated = analysis.aggregate_traffic(benchmark(_run, ablated_config))
+
+    table = Table(
+        "Ablation: WiFi uplift + binge bursts (2015)",
+        ["variant", "wifi share of volume"],
+    )
+    table.add_row("full model", f"{baseline.wifi_share:.2f}")
+    table.add_row("uplift/binges off", f"{ablated.wifi_share:.2f}")
+    save_output(output_dir, "ablation_uplift", table)
+    assert ablated.wifi_share < baseline.wifi_share - 0.05
+
+
+def test_ablate_policy_conditioning(output_dir, benchmark):
+    """Ownership-independent WiFi policies -> home inference collapses."""
+    base_config = default_campaign_config(2015, scale=_SCALE, seed=43)
+    # Same aggregate mix for owners and non-owners.
+    flat = {
+        WifiPolicy.ALWAYS_ON: 0.40, WifiPolicy.DAYTIME_OFF: 0.28,
+        WifiPolicy.ALWAYS_OFF: 0.07, WifiPolicy.NO_CONFIG: 0.25,
+    }
+    mix = default_policy_mix(2015)
+    for os_name in mix:
+        mix[os_name] = {"owner": dict(flat), "nonowner": dict(flat)}
+    recruitment = dataclasses.replace(base_config.recruitment, policy_mix=mix)
+    ablated_config = dataclasses.replace(base_config, recruitment=recruitment)
+
+    base_ds = _run(base_config)
+    ablated_ds = benchmark(_run, ablated_config)
+    base_frac = analysis.classify_aps(base_ds).fraction_devices_with_home_ap(
+        base_ds.n_devices
+    )
+    ablated_frac = analysis.classify_aps(ablated_ds).fraction_devices_with_home_ap(
+        ablated_ds.n_devices
+    )
+    table = Table(
+        "Ablation: policy conditioning on home-AP ownership (2015)",
+        ["variant", "devices with inferred home AP"],
+    )
+    table.add_row("conditioned (full model)", f"{base_frac:.2f}")
+    table.add_row("unconditioned", f"{ablated_frac:.2f}")
+    save_output(output_dir, "ablation_policy", table)
+    assert ablated_frac < base_frac
+
+
+def test_ablate_soft_cap(output_dir, benchmark):
+    """No throttle/response -> the capped-vs-others gap narrows."""
+    base_config = default_campaign_config(2014, scale=_SCALE, seed=47)
+    uncapped_params = dataclasses.replace(
+        base_config.params,
+        cap_demand_response=1.0,
+        cap_policy=SoftCapPolicy(limit_bps=1e9, penalty_days=0),
+    )
+    ablated_config = dataclasses.replace(base_config, params=uncapped_params)
+
+    base_effect = analysis.cap_effect(_run(base_config))
+    ablated_effect = analysis.cap_effect(benchmark(_run, ablated_config))
+
+    table = Table(
+        "Ablation: soft bandwidth cap (2014)",
+        ["variant", "capped median ratio", "others median ratio", "gap"],
+    )
+    table.add_row(
+        "cap enforced", f"{base_effect.capped_ratio_cdf.median():.2f}",
+        f"{base_effect.others_ratio_cdf.median():.2f}",
+        f"{base_effect.median_gap():.2f}",
+    )
+    table.add_row(
+        "cap disabled", f"{ablated_effect.capped_ratio_cdf.median():.2f}",
+        f"{ablated_effect.others_ratio_cdf.median():.2f}",
+        f"{ablated_effect.median_gap():.2f}",
+    )
+    save_output(output_dir, "ablation_cap", table)
+    assert ablated_effect.median_gap() < base_effect.median_gap()

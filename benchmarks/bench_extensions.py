@@ -1,0 +1,106 @@
+"""Benchmarks for the §4.3 extension analyses.
+
+Not paper tables/figures, but analyses the discussion section calls for:
+multi-provider shared APs (found "by checking similar BSSIDs assigned to
+different providers") and neighbourhood channel interference.
+"""
+
+from repro.analysis import channel_interference, shared_infrastructure
+from repro.reporting.tables import Table
+
+from .conftest import save_output
+
+
+def test_shared_infrastructure(bench_cache, output_dir, benchmark):
+    dataset = bench_cache.clean(2015)
+    result = benchmark(shared_infrastructure, dataset)
+    table = Table(
+        "Section 4.3: multi-provider shared APs (2015)",
+        ["shared boxes", "APs on shared hw", "public APs", "shared fraction"],
+    )
+    table.add_row(
+        result.n_shared_groups, result.n_shared_aps, result.n_public_aps,
+        f"{result.shared_fraction:.0%}",
+    )
+    save_output(output_dir, "sec43_shared_infra", table)
+    assert result.n_shared_groups > 0
+
+
+def test_channel_interference(bench_cache, output_dir, benchmark):
+    dataset = bench_cache.clean(2015)
+    classification = bench_cache.classification(2015)
+    result = benchmark(channel_interference, dataset, classification)
+    table = Table(
+        "Section 3.4.5/4.3: cross-channel interference by class",
+        ["year", "class", "mean interfering-pair fraction", "on 1/6/11",
+         "evaluable cells"],
+    )
+    for year in bench_cache.years:
+        summary = channel_interference(
+            bench_cache.clean(year), bench_cache.classification(year)
+        )
+        for cls in ("home", "public"):
+            table.add_row(
+                year, cls, summary.mean_fraction[cls], summary.trio_share[cls],
+                summary.evaluable_cells[cls],
+            )
+    save_output(output_dir, "sec43_interference", table)
+    # Planned public deployments avoid cross-channel overlap entirely.
+    assert result.mean_fraction["public"] <= result.mean_fraction["home"]
+
+
+def test_battery_drain(bench_cache, output_dir, benchmark):
+    from repro.analysis import battery_drain
+
+    dataset = bench_cache.raw(2015)
+    result = benchmark(battery_drain, dataset)
+    table = Table(
+        "Extension: battery discharge by WiFi state (2015)",
+        ["state", "drain %/hour", "samples"],
+    )
+    for state, rate in sorted(result.drain_pct_per_hour.items()):
+        table.add_row(state, f"{rate:.2f}", result.n_samples[state])
+    table.add_row("extra cost of WiFi", f"{result.extra_cost_of_wifi():.2f}", "-")
+    save_output(output_dir, "ext_battery", table)
+    # §4.2(4): battery was not a significant factor.
+    assert result.extra_cost_of_wifi() < 2.0
+
+
+def test_survey_gap(bench_cache, output_dir, benchmark):
+    from repro.analysis import survey_gap
+
+    dataset = bench_cache.clean(2015)
+    responses = bench_cache.study.surveys[2015]
+    classification = bench_cache.classification(2015)
+    result = benchmark(survey_gap, dataset, responses, classification)
+    table = Table(
+        "Section 4.2: survey claims vs measured association (2015)",
+        ["location", "claimed %", "measured %", "gap (pp)"],
+    )
+    for loc in ("home", "office", "public"):
+        table.add_row(
+            loc, f"{result.claimed_pct[loc]:.1f}",
+            f"{result.measured_pct[loc]:.1f}", f"{result.gap(loc):+.1f}",
+        )
+    save_output(output_dir, "sec42_survey_gap", table)
+    # §4.2: public connectivity is over-reported.
+    assert result.gap("public") > 0.0
+
+
+def test_mobility_stats(bench_cache, output_dir, benchmark):
+    from repro.analysis import mobility_stats
+
+    dataset = bench_cache.clean(2015)
+    classes = bench_cache.user_classes(2015)
+    result = benchmark(mobility_stats, dataset, classes)
+    table = Table(
+        "Section 3.4.2: mobility vs traffic volume (2015)",
+        ["metric", "value"],
+    )
+    table.add_row("corr(distinct cells, log volume)", result.corr_cells_vs_volume)
+    table.add_row("corr(distinct APs, log volume)", result.corr_aps_vs_volume)
+    table.add_row("mean cells/day, heavy hitters", result.mean_cells_heavy)
+    table.add_row("mean cells/day, light users", result.mean_cells_light)
+    save_output(output_dir, "sec342_mobility", table)
+    # §3.4.2: traffic volume does not correlate with mobility.
+    assert result.uncorrelated()

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 1 — national residential-broadband vs cellular traffic growth.
+
+Runs the ``fig01`` experiment end to end over the shared benchmark study
+and saves the rendered artifact to ``benchmarks/output/fig01.txt``.
+"""
+
+from repro import run_experiment
+
+from .conftest import save_output
+
+
+def test_fig01(bench_cache, output_dir, benchmark):
+    result = benchmark(run_experiment, "fig01", bench_cache)
+    save_output(output_dir, "fig01", result)

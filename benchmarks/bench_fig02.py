@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 2 — aggregated weekly cellular/WiFi traffic in Mbps.
+
+Runs the ``fig02`` experiment end to end over the shared benchmark study
+and saves the rendered artifact to ``benchmarks/output/fig02.txt``.
+"""
+
+from repro import run_experiment
+
+from .conftest import save_output
+
+
+def test_fig02(bench_cache, output_dir, benchmark):
+    result = benchmark(run_experiment, "fig02", bench_cache)
+    save_output(output_dir, "fig02", result)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 3 — CDFs of daily total traffic per user across three years.
+
+Runs the ``fig03`` experiment end to end over the shared benchmark study
+and saves the rendered artifact to ``benchmarks/output/fig03.txt``.
+"""
+
+from repro import run_experiment
+
+from .conftest import save_output
+
+
+def test_fig03(bench_cache, output_dir, benchmark):
+    result = benchmark(run_experiment, "fig03", bench_cache)
+    save_output(output_dir, "fig03", result)

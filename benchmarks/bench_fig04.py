@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 4 — CDFs of daily traffic per interface type (2015).
+
+Runs the ``fig04`` experiment end to end over the shared benchmark study
+and saves the rendered artifact to ``benchmarks/output/fig04.txt``.
+"""
+
+from repro import run_experiment
+
+from .conftest import save_output
+
+
+def test_fig04(bench_cache, output_dir, benchmark):
+    result = benchmark(run_experiment, "fig04", bench_cache)
+    save_output(output_dir, "fig04", result)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 5 — cellular-vs-WiFi per-user-day heat map and user types.
+
+Runs the ``fig05`` experiment end to end over the shared benchmark study
+and saves the rendered artifact to ``benchmarks/output/fig05.txt``.
+"""
+
+from repro import run_experiment
+
+from .conftest import save_output
+
+
+def test_fig05(bench_cache, output_dir, benchmark):
+    result = benchmark(run_experiment, "fig05", bench_cache)
+    save_output(output_dir, "fig05", result)

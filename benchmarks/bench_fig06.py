@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 6 — WiFi-traffic ratio and WiFi-user ratio over the week.
+
+Runs the ``fig06`` experiment end to end over the shared benchmark study
+and saves the rendered artifact to ``benchmarks/output/fig06.txt``.
+"""
+
+from repro import run_experiment
+
+from .conftest import save_output
+
+
+def test_fig06(bench_cache, output_dir, benchmark):
+    result = benchmark(run_experiment, "fig06", bench_cache)
+    save_output(output_dir, "fig06", result)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 7 — WiFi-traffic ratio of heavy hitters vs light users.
+
+Runs the ``fig07`` experiment end to end over the shared benchmark study
+and saves the rendered artifact to ``benchmarks/output/fig07.txt``.
+"""
+
+from repro import run_experiment
+
+from .conftest import save_output
+
+
+def test_fig07(bench_cache, output_dir, benchmark):
+    result = benchmark(run_experiment, "fig07", bench_cache)
+    save_output(output_dir, "fig07", result)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 8 — WiFi-user ratio of heavy hitters vs light users.
+
+Runs the ``fig08`` experiment end to end over the shared benchmark study
+and saves the rendered artifact to ``benchmarks/output/fig08.txt``.
+"""
+
+from repro import run_experiment
+
+from .conftest import save_output
+
+
+def test_fig08(bench_cache, output_dir, benchmark):
+    result = benchmark(run_experiment, "fig08", bench_cache)
+    save_output(output_dir, "fig08", result)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 10 — associated unique APs per 5km cell (home vs public).
+
+Runs the ``fig10`` experiment end to end over the shared benchmark study
+and saves the rendered artifact to ``benchmarks/output/fig10.txt``.
+"""
+
+from repro import run_experiment
+
+from .conftest import save_output
+
+
+def test_fig10(bench_cache, output_dir, benchmark):
+    result = benchmark(run_experiment, "fig10", bench_cache)
+    save_output(output_dir, "fig10", result)

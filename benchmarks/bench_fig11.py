@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 11 — WiFi traffic volume by location class over the week.
+
+Runs the ``fig11`` experiment end to end over the shared benchmark study
+and saves the rendered artifact to ``benchmarks/output/fig11.txt``.
+"""
+
+from repro import run_experiment
+
+from .conftest import save_output
+
+
+def test_fig11(bench_cache, output_dir, benchmark):
+    result = benchmark(run_experiment, "fig11", bench_cache)
+    save_output(output_dir, "fig11", result)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 12 — number of associated APs per device-day (all/heavy/light).
+
+Runs the ``fig12`` experiment end to end over the shared benchmark study
+and saves the rendered artifact to ``benchmarks/output/fig12.txt``.
+"""
+
+from repro import run_experiment
+
+from .conftest import save_output
+
+
+def test_fig12(bench_cache, output_dir, benchmark):
+    result = benchmark(run_experiment, "fig12", bench_cache)
+    save_output(output_dir, "fig12", result)

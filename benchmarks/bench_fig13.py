@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 13 — CCDFs of consecutive WiFi association duration.
+
+Runs the ``fig13`` experiment end to end over the shared benchmark study
+and saves the rendered artifact to ``benchmarks/output/fig13.txt``.
+"""
+
+from repro import run_experiment
+
+from .conftest import save_output
+
+
+def test_fig13(bench_cache, output_dir, benchmark):
+    result = benchmark(run_experiment, "fig13", bench_cache)
+    save_output(output_dir, "fig13", result)

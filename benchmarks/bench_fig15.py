@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 15 — PDFs of per-AP max RSSI, home vs public.
+
+Runs the ``fig15`` experiment end to end over the shared benchmark study
+and saves the rendered artifact to ``benchmarks/output/fig15.txt``.
+"""
+
+from repro import run_experiment
+
+from .conftest import save_output
+
+
+def test_fig15(bench_cache, output_dir, benchmark):
+    result = benchmark(run_experiment, "fig15", bench_cache)
+    save_output(output_dir, "fig15", result)

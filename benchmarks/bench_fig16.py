@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 16 — PDF of associated 2.4GHz channels, 2013 vs 2015.
+
+Runs the ``fig16`` experiment end to end over the shared benchmark study
+and saves the rendered artifact to ``benchmarks/output/fig16.txt``.
+"""
+
+from repro import run_experiment
+
+from .conftest import save_output
+
+
+def test_fig16(bench_cache, output_dir, benchmark):
+    result = benchmark(run_experiment, "fig16", bench_cache)
+    save_output(output_dir, "fig16", result)

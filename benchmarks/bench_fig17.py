@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 17 — CCDFs of detected public networks per available device per 10 min.
+
+Runs the ``fig17`` experiment end to end over the shared benchmark study
+and saves the rendered artifact to ``benchmarks/output/fig17.txt``.
+"""
+
+from repro import run_experiment
+
+from .conftest import save_output
+
+
+def test_fig17(bench_cache, output_dir, benchmark):
+    result = benchmark(run_experiment, "fig17", bench_cache)
+    save_output(output_dir, "fig17", result)

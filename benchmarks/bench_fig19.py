@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 19 — soft-bandwidth-cap effect: capped vs other device-days.
+
+Runs the ``fig19`` experiment end to end over the shared benchmark study
+and saves the rendered artifact to ``benchmarks/output/fig19.txt``.
+"""
+
+from repro import run_experiment
+
+from .conftest import save_output
+
+
+def test_fig19(bench_cache, output_dir, benchmark):
+    result = benchmark(run_experiment, "fig19", bench_cache)
+    save_output(output_dir, "fig19", result)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Section 3.5 — offloadable cellular traffic for WiFi-available users.
+
+Runs the ``sec35`` experiment end to end over the shared benchmark study
+and saves the rendered artifact to ``benchmarks/output/sec35.txt``.
+"""
+
+from repro import run_experiment
+
+from .conftest import save_output
+
+
+def test_sec35(bench_cache, output_dir, benchmark):
+    result = benchmark(run_experiment, "sec35", bench_cache)
+    save_output(output_dir, "sec35", result)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Section 4.1 — offload impact on residential broadband volume.
+
+Runs the ``sec41`` experiment end to end over the shared benchmark study
+and saves the rendered artifact to ``benchmarks/output/sec41.txt``.
+"""
+
+from repro import run_experiment
+
+from .conftest import save_output
+
+
+def test_sec41(bench_cache, output_dir, benchmark):
+    result = benchmark(run_experiment, "sec41", bench_cache)
+    save_output(output_dir, "sec41", result)

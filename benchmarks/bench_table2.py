@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 2 — user demographics from the post-campaign survey.
+
+Runs the ``table2`` experiment end to end over the shared benchmark study
+and saves the rendered artifact to ``benchmarks/output/table2.txt``.
+"""
+
+from repro import run_experiment
+
+from .conftest import save_output
+
+
+def test_table2(bench_cache, output_dir, benchmark):
+    result = benchmark(run_experiment, "table2", bench_cache)
+    save_output(output_dir, "table2", result)

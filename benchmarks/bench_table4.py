@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 4 — number of estimated APs by inferred class and year.
+
+Runs the ``table4`` experiment end to end over the shared benchmark study
+and saves the rendered artifact to ``benchmarks/output/table4.txt``.
+"""
+
+from repro import run_experiment
+
+from .conftest import save_output
+
+
+def test_table4(bench_cache, output_dir, benchmark):
+    result = benchmark(run_experiment, "table4", bench_cache)
+    save_output(output_dir, "table4", result)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 5 — breakdown of home/public/other AP combinations per device-day.
+
+Runs the ``table5`` experiment end to end over the shared benchmark study
+and saves the rendered artifact to ``benchmarks/output/table5.txt``.
+"""
+
+from repro import run_experiment
+
+from .conftest import save_output
+
+
+def test_table5(bench_cache, output_dir, benchmark):
+    result = benchmark(run_experiment, "table5", bench_cache)
+    save_output(output_dir, "table5", result)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 7 — top application categories by TX volume per network context.
+
+Runs the ``table7`` experiment end to end over the shared benchmark study
+and saves the rendered artifact to ``benchmarks/output/table7.txt``.
+"""
+
+from repro import run_experiment
+
+from .conftest import save_output
+
+
+def test_table7(bench_cache, output_dir, benchmark):
+    result = benchmark(run_experiment, "table7", bench_cache)
+    save_output(output_dir, "table7", result)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 9 — survey: reasons for WiFi unavailability.
+
+Runs the ``table9`` experiment end to end over the shared benchmark study
+and saves the rendered artifact to ``benchmarks/output/table9.txt``.
+"""
+
+from repro import run_experiment
+
+from .conftest import save_output
+
+
+def test_table9(bench_cache, output_dir, benchmark):
+    result = benchmark(run_experiment, "table9", bench_cache)
+    save_output(output_dir, "table9", result)

@@ -1,0 +1,16 @@
+"""Benchmark the counterfactual engine on the §4 policy levers."""
+
+from repro.whatif import Scenario, compare, give_everyone_home_wifi
+
+from .conftest import bench_scale, save_output
+
+
+def test_whatif_home_wifi_for_all(output_dir, benchmark):
+    scale = min(bench_scale(), 0.06)
+    result = benchmark(
+        compare, 2013,
+        Scenario("free home routers for all", give_everyone_home_wifi()),
+        scale, 19,
+    )
+    save_output(output_dir, "whatif_home_wifi", result)
+    assert result.delta("wifi_share") > 0.0

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Drive the measurement-collection substrate directly (§2).
+
+Shows the agent -> flaky uploader -> server path the real measurement
+software used: records sampled every 10 minutes, uploads that fail are
+cached on-device and retried, the server deduplicates retries and assembles
+a dataset. Ends by validating the dataset and printing its row counts.
+
+Usage::
+
+    python examples/collection_pipeline.py
+"""
+
+from datetime import date
+
+import numpy as np
+
+from repro.collection.agent import AgentSnapshot, MeasurementAgent
+from repro.collection.server import CollectionServer
+from repro.collection.uploader import FlakyTransport, Uploader, drain_all
+from repro.geo.coords import Coordinate
+from repro.net.cellular import CellularTechnology
+from repro.timeutil import TimeAxis
+from repro.traces.records import DeviceInfo, DeviceOS, ScanSummary, WifiStateCode
+from repro.traces.validate import validate_dataset
+
+TOKYO = Coordinate(35.681, 139.767)
+SUBURB = Coordinate(35.86, 139.64)
+
+
+def main() -> None:
+    axis = TimeAxis(date(2015, 3, 2), n_days=1)
+    server = CollectionServer(2015, axis)
+
+    devices = [
+        DeviceInfo(0, DeviceOS.ANDROID, "docomo", CellularTechnology.LTE),
+        DeviceInfo(1, DeviceOS.IOS, "softbank", CellularTechnology.LTE),
+        DeviceInfo(2, DeviceOS.ANDROID, "au", CellularTechnology.THREE_G),
+    ]
+    rng = np.random.default_rng(5)
+    pipeline = []
+    for info in devices:
+        server.register_device(info)
+        transport = FlakyTransport(
+            server.receive, failure_rate=0.35,
+            rng=np.random.default_rng(100 + info.device_id),
+        )
+        pipeline.append((MeasurementAgent(info), Uploader(info.device_id, transport)))
+
+    print("Sampling one day at 10-minute ticks with a 35% upload-failure rate...")
+    for t in range(axis.n_slots):
+        hour = (t % 144) // 6
+        at_home = hour < 8 or hour >= 19
+        for agent, uploader in pipeline:
+            scan = None
+            if agent.info.os is DeviceOS.ANDROID and not at_home:
+                n24 = int(rng.poisson(3.0))
+                scan = ScanSummary(
+                    agent.info.device_id, t, n24, min(n24, int(rng.poisson(1.0))),
+                    int(rng.poisson(1.0)), 0,
+                )
+            records = agent.sample(
+                AgentSnapshot(
+                    t=t,
+                    location=SUBURB if at_home else TOKYO,
+                    wifi_state=(
+                        WifiStateCode.AVAILABLE if not at_home
+                        else WifiStateCode.OFF
+                    ),
+                    rx_cell=float(rng.exponential(2e5)),
+                    tx_cell=float(rng.exponential(4e4)),
+                    scan=scan,
+                )
+            )
+            uploader.upload(records)
+
+    caches = [uploader.cached_batches for _, uploader in pipeline]
+    print(f"End of day: cached batches awaiting retry per device: {caches}")
+    drain_all([uploader for _, uploader in pipeline])
+    print("Caches drained; assembling the dataset server-side...")
+
+    dataset = server.build_dataset()
+    summary = validate_dataset(dataset)
+    print(summary)
+    print(f"Server stats: {server.batches_received} batches received, "
+          f"{server.duplicates_dropped} duplicates dropped.")
+    lost = axis.n_slots * len(devices) - summary.rows["geo"]
+    print(f"Data loss after retries: {lost} samples (expected 0).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Public-WiFi planning view: coverage, quality, and untapped offload.
+
+An operator/planner reading of §3.4-§3.5 and §4.3: where public APs are
+(density cells), how good they are (RSSI, 5 GHz rollout, channel planning),
+and how much cellular traffic WiFi-available users could offload if led to
+those networks.
+
+Usage::
+
+    python examples/public_wifi_planning.py [scale]
+"""
+
+import sys
+
+import repro.analysis as analysis
+from repro import AnalysisCache, run_study
+from repro.reporting.tables import Table
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.08
+    study = run_study(scale=scale, seed=23)
+    cache = AnalysisCache(study)
+
+    coverage = Table(
+        "Public-AP coverage (Figure 10 / §3.5 style cell counts)",
+        ["year", "public APs seen", "cells with >=1", "cells with >=10",
+         "densest cell"],
+    )
+    for year in cache.years:
+        maps = analysis.association_density_maps(
+            cache.clean(year), cache.classification(year)
+        )
+        grid = maps.grid("public")
+        counts = cache.classification(year).counts()
+        coverage.add_row(
+            year, counts["public"], grid.n_cells_with_at_least(1),
+            grid.n_cells_with_at_least(10), grid.max_count(),
+        )
+    print(coverage.render())
+    print()
+
+    quality = Table(
+        "Public network quality (Figures 14-16)",
+        ["year", "5GHz fraction", "mean RSSI (dBm)", "weak (<-70dBm)",
+         "channels on 1/6/11"],
+    )
+    from repro.errors import AnalysisError
+
+    for year in cache.years:
+        classification = cache.classification(year)
+        clean = cache.clean(year)
+        bands = analysis.band_fractions(clean, classification)
+        rssi = analysis.rssi_distributions(clean, classification)
+        try:
+            channels = analysis.channel_distributions(clean, classification)
+            trio = (
+                f"{channels.trio_share('public'):.0%}"
+                if "public" in channels.pdf else "n/a"
+            )
+        except (AnalysisError, KeyError):
+            trio = "n/a"  # tiny panels may see no 2.4 GHz public APs
+        quality.add_row(
+            year, f"{bands.fraction('public'):.0%}",
+            f"{rssi.mean.get('public', float('nan')):.1f}",
+            f"{rssi.weak_fraction.get('public', float('nan')):.0%}",
+            trio,
+        )
+    print(quality.render())
+    print()
+
+    offload = Table(
+        "Untapped offload among WiFi-available users (Figure 17 / §3.5)",
+        ["year", "available devices", "see >=1 strong public",
+         "offloadable cellular share"],
+    )
+    for year in cache.years:
+        estimate = analysis.offload_estimate(cache.clean(year))
+        availability = analysis.public_availability(cache.clean(year))
+        offload.add_row(
+            year, estimate.n_available_devices,
+            f"{estimate.devices_with_opportunity:.0%}",
+            f"{estimate.offloadable_fraction:.0%}",
+        )
+        del availability  # Figure 17 CCDFs available via run_experiment("fig17")
+    print(offload.render())
+    print()
+    print("Planner takeaways (mirroring §4.3):")
+    print("  - Public 5 GHz rollout outpaces home/office; quality tail"
+          " (<-70 dBm) persists on 2.4 GHz.")
+    print("  - Channel planning is already near-optimal (1/6/11);"
+          " interference risk comes from home APs on overlapping channels.")
+    print("  - 15-20% of available users' cellular volume is offloadable"
+          " with zero new hardware: lead users to existing strong APs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Counterfactual policy analysis: the §4 levers, quantified.
+
+Re-runs the 2013 and 2015 campaigns under three interventions the paper
+discusses — free home routers for everyone, universal SIM-auth enrollment in
+public WiFi, and doubling the public deployment — and reports how the
+offloading picture moves.
+
+Usage::
+
+    python examples/whatif_policy.py [scale]
+"""
+
+import sys
+
+from repro.whatif import (
+    Scenario,
+    compare,
+    enroll_everyone,
+    give_everyone_home_wifi,
+    scale_public_deployment,
+)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
+    runs = (
+        (2013, Scenario("free home routers for all", give_everyone_home_wifi())),
+        (2015, Scenario("universal public-WiFi enrollment", enroll_everyone())),
+        (2015, Scenario("2x public AP rollout", scale_public_deployment(2.0))),
+    )
+    for year, scenario in runs:
+        result = compare(year, scenario, scale=scale, seed=17)
+        print(result.render())
+        print()
+    print("Reading: home WiFi is the big lever (it moves the total WiFi")
+    print("share), while enrollment and rollout move the public slice the")
+    print("paper says is still only ~2% of WiFi volume (§3.4.1).")
+
+
+if __name__ == "__main__":
+    main()

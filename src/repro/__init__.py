@@ -1,0 +1,81 @@
+"""repro — reproduction of "Tracking the Evolution and Diversity in Network
+Usage of Smartphones" (Fukuda, Asai, Nagami; ACM IMC 2015).
+
+The public API has three layers:
+
+1. **Simulation** — :func:`run_study` / :class:`Study` generate the three
+   synthetic measurement campaigns (the proprietary panel substitute).
+2. **Analysis** — :mod:`repro.analysis` implements every §3/§4 analysis over
+   a :class:`CampaignDataset`.
+3. **Reporting** — :data:`EXPERIMENTS` regenerates each paper table/figure.
+
+Quickstart::
+
+    from repro import run_study, AnalysisCache, run_experiment
+    study = run_study(scale=0.1)
+    cache = AnalysisCache(study)
+    print(run_experiment("table3", cache))
+"""
+
+from repro.errors import (
+    ReproError,
+    ConfigurationError,
+    SchemaError,
+    DatasetError,
+    AnalysisError,
+    CollectionError,
+    UploadError,
+)
+from repro.simulation.study import (
+    Study,
+    StudyConfig,
+    run_study,
+    default_campaign_config,
+)
+from repro.simulation.campaign import CampaignConfig, CampaignResult, run_campaign
+from repro.traces.dataset import CampaignDataset, DatasetBuilder
+from repro.traces.io import save_dataset, load_dataset
+from repro.traces.cleaning import clean_for_main_analysis
+from repro.traces.validate import validate_dataset
+from repro.whatif import Scenario, WhatIfResult, compare as whatif_compare
+from repro.reporting.experiments import (
+    AnalysisCache,
+    EXPERIMENTS,
+    Experiment,
+    list_experiments,
+    run_experiment,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SchemaError",
+    "DatasetError",
+    "AnalysisError",
+    "CollectionError",
+    "UploadError",
+    "Study",
+    "StudyConfig",
+    "run_study",
+    "default_campaign_config",
+    "CampaignConfig",
+    "CampaignResult",
+    "run_campaign",
+    "CampaignDataset",
+    "DatasetBuilder",
+    "save_dataset",
+    "load_dataset",
+    "clean_for_main_analysis",
+    "validate_dataset",
+    "AnalysisCache",
+    "EXPERIMENTS",
+    "Experiment",
+    "list_experiments",
+    "run_experiment",
+    "Scenario",
+    "WhatIfResult",
+    "whatif_compare",
+    "__version__",
+]

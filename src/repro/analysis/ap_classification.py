@@ -1,0 +1,250 @@
+"""AP classification: home / public / office / mobile / other (§3.4.1).
+
+The analysis identifies each AP a device associates with by its
+(BSSID, ESSID) pair and classifies:
+
+- **Home**: the most common pair a device connects to during at least 70% of
+  its associated time between 22:00 and 06:00 of a day. FON community APs a
+  user stays on around the clock are reclassified from public to home.
+- **Public**: well-known provider ESSIDs (0000docomo, 0001softbank,
+  eduroam, 7SPOT, ...).
+- **Mobile**: an AP that travels with its user (observed from many distinct
+  5 km cells).
+- **Office**: mainly connected 11:00-17:00 on weekdays, and not classified
+  home/public/mobile.
+- **Other**: the rest (shops, hotels, friends' homes).
+
+All classification reads only observable data (the wifi table, geolocation,
+the AP directory); ground truth never enters.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Set, Tuple
+
+import numpy as np
+
+from repro.constants import (
+    HOME_NIGHT_END_HOUR,
+    HOME_NIGHT_FRACTION,
+    HOME_NIGHT_START_HOUR,
+    OFFICE_END_HOUR,
+    OFFICE_START_HOUR,
+    SAMPLES_PER_DAY,
+    SAMPLES_PER_HOUR,
+)
+from repro.errors import AnalysisError
+from repro.net.identifiers import is_fon_public_essid, is_public_essid
+from repro.traces.dataset import CampaignDataset
+from repro.traces.records import WifiStateCode
+
+#: Minimum associated night slots for a home-AP call (1 hour of evidence).
+MIN_NIGHT_SLOTS = 6
+
+#: An AP seen from this many distinct cells (by one device) is mobile.
+MOBILE_CELL_THRESHOLD = 3
+
+#: Office call: at least this fraction of an AP's association time must sit
+#: inside the weekday 11:00-17:00 window.
+OFFICE_WINDOW_FRACTION = 0.5
+
+
+@dataclass
+class APClassification:
+    """Result of classifying every associated AP in a campaign."""
+
+    ap_class: Dict[int, str] = field(default_factory=dict)
+    home_ap_of_device: Dict[int, int] = field(default_factory=dict)
+    #: Devices that had at least one WiFi association.
+    wifi_devices: Set[int] = field(default_factory=set)
+
+    def aps_of_class(self, name: str) -> Set[int]:
+        return {ap for ap, cls in self.ap_class.items() if cls == name}
+
+    def counts(self) -> Dict[str, int]:
+        """Table 4 rows: home/public/other (office broken out) and total.
+
+        The paper's "other" bucket contains offices and mobile APs; we report
+        office separately like the parenthesized Table 4 row.
+        """
+        by_class = Counter(self.ap_class.values())
+        other = by_class["other"] + by_class["office"] + by_class["mobile"]
+        return {
+            "home": by_class["home"],
+            "public": by_class["public"],
+            "other": other,
+            "office": by_class["office"],
+            "total": len(self.ap_class),
+        }
+
+    def fraction_devices_with_home_ap(self, n_devices: int) -> float:
+        if n_devices <= 0:
+            raise AnalysisError("n_devices must be positive")
+        return len(self.home_ap_of_device) / n_devices
+
+    def wifi_class_of(self, ap_id: int) -> str:
+        """Class for an AP, collapsing mobile into 'other' (paper buckets)."""
+        cls = self.ap_class.get(ap_id, "other")
+        return "other" if cls == "mobile" else cls
+
+
+def classify_aps(dataset: CampaignDataset) -> APClassification:
+    """Run the full §3.4.1 classification for one campaign."""
+    result = APClassification()
+    wifi = dataset.wifi
+    assoc_mask = wifi.state == int(WifiStateCode.ASSOCIATED)
+    if not assoc_mask.any():
+        return result
+    device = wifi.device[assoc_mask].astype(np.int64)
+    t = wifi.t[assoc_mask].astype(np.int64)
+    ap_id = wifi.ap_id[assoc_mask].astype(np.int64)
+    result.wifi_devices = {int(d) for d in np.unique(device)}
+
+    hour = (t % SAMPLES_PER_DAY) // SAMPLES_PER_HOUR
+    day = t // SAMPLES_PER_DAY
+    weekday = dataset.axis.weekday_of(t)
+
+    home_of_device = _infer_home_aps(device, day, hour, ap_id)
+    home_aps = set(home_of_device.values())
+    fon_home_aps = _fon_reclassification(dataset, device, ap_id)
+    home_aps |= fon_home_aps
+    mobile_aps = _infer_mobile_aps(dataset, device, t, ap_id)
+
+    in_window = (
+        (hour >= OFFICE_START_HOUR) & (hour < OFFICE_END_HOUR) & (weekday < 5)
+    )
+    unique_aps, inverse = np.unique(ap_id, return_inverse=True)
+    totals = np.bincount(inverse, minlength=len(unique_aps))
+    window_counts = np.bincount(
+        inverse, weights=in_window.astype(np.float64), minlength=len(unique_aps)
+    )
+    total_per_ap: Dict[int, int] = {
+        int(a): int(n) for a, n in zip(unique_aps, totals)
+    }
+    office_window_per_ap: Dict[int, int] = defaultdict(int)
+    office_window_per_ap.update(
+        {int(a): int(n) for a, n in zip(unique_aps, window_counts)}
+    )
+
+    for a in total_per_ap:
+        essid = dataset.ap_directory[a].essid
+        if a in home_aps:
+            result.ap_class[a] = "home"
+        elif a in mobile_aps:
+            result.ap_class[a] = "mobile"
+        elif is_public_essid(essid) or (
+            is_fon_public_essid(essid) and a not in fon_home_aps
+        ):
+            result.ap_class[a] = "public"
+        elif (
+            office_window_per_ap[a] / total_per_ap[a] >= OFFICE_WINDOW_FRACTION
+            and total_per_ap[a] >= MIN_NIGHT_SLOTS
+        ):
+            result.ap_class[a] = "office"
+        else:
+            result.ap_class[a] = "other"
+
+    result.home_ap_of_device = home_of_device
+    # FON home APs belong to whoever used them at night; attribute them to
+    # their heaviest nighttime user if that device has no home AP yet.
+    for a in fon_home_aps:
+        users = device[ap_id == a]
+        if len(users) == 0:
+            continue
+        top_user = int(Counter(users.tolist()).most_common(1)[0][0])
+        result.home_ap_of_device.setdefault(top_user, a)
+    return result
+
+
+def _infer_home_aps(
+    device: np.ndarray, day: np.ndarray, hour: np.ndarray, ap_id: np.ndarray
+) -> Dict[int, int]:
+    """Per-device home AP from nightly top-pair voting (vectorized)."""
+    night = (hour >= HOME_NIGHT_START_HOUR) | (hour < HOME_NIGHT_END_HOUR)
+    if not night.any():
+        return {}
+    d = device[night]
+    dy = day[night]
+    a = ap_id[night]
+    # Group rows by (device, day, ap) and count slots per group.
+    triples = np.stack([d, dy, a], axis=1)
+    groups, counts = np.unique(triples, axis=0, return_counts=True)
+    # Per (device, day): total night slots and the dominant AP.
+    night_totals: Dict[Tuple[int, int], int] = defaultdict(int)
+    best: Dict[Tuple[int, int], Tuple[int, int]] = {}
+    for (dev, day_idx, ap), count in zip(groups, counts):
+        key = (int(dev), int(day_idx))
+        night_totals[key] += int(count)
+        if key not in best or count > best[key][0]:
+            best[key] = (int(count), int(ap))
+    votes: Dict[int, Counter] = defaultdict(Counter)
+    for key, total in night_totals.items():
+        if total < MIN_NIGHT_SLOTS:
+            continue
+        top_count, top_ap = best[key]
+        if top_count / total >= HOME_NIGHT_FRACTION:
+            votes[key[0]][top_ap] += 1
+    return {d: int(counter.most_common(1)[0][0]) for d, counter in votes.items()}
+
+
+def _fon_reclassification(
+    dataset: CampaignDataset, device: np.ndarray, ap_id: np.ndarray
+) -> Set[int]:
+    """FON public ESSIDs used for >24 cumulative hours by one device are
+    actually home routers (§3.4.1)."""
+    fon_aps = {
+        a for a, entry in dataset.ap_directory.items()
+        if is_fon_public_essid(entry.essid)
+    }
+    if not fon_aps:
+        return set()
+    threshold_slots = 24 * SAMPLES_PER_HOUR
+    fon_mask = np.isin(ap_id, list(fon_aps))
+    if not fon_mask.any():
+        return set()
+    pairs = np.stack([device[fon_mask], ap_id[fon_mask]], axis=1)
+    groups, counts = np.unique(pairs, axis=0, return_counts=True)
+    return {
+        int(ap) for (_d, ap), slots in zip(groups, counts)
+        if slots >= threshold_slots
+    }
+
+
+def _infer_mobile_aps(
+    dataset: CampaignDataset, device: np.ndarray, t: np.ndarray, ap_id: np.ndarray
+) -> Set[int]:
+    """APs observed (by one device) from many distinct 5 km cells."""
+    geo = dataset.geo
+    if len(geo) == 0:
+        return set()
+    # Fast (device, t) -> cell lookup via a sorted composite key.
+    n_slots = dataset.n_slots
+    geo_key = geo.device.astype(np.int64) * n_slots + geo.t.astype(np.int64)
+    order = np.argsort(geo_key)
+    geo_key_sorted = geo_key[order]
+    cols = geo.col[order]
+    rows = geo.row[order]
+    want = device * n_slots + t
+    pos = np.searchsorted(geo_key_sorted, want)
+    pos = np.clip(pos, 0, len(geo_key_sorted) - 1)
+    found = geo_key_sorted[pos] == want
+
+    idx = np.flatnonzero(found)
+    if idx.size == 0:
+        return set()
+    quads = np.stack(
+        [
+            device[idx], ap_id[idx],
+            cols[pos[idx]].astype(np.int64), rows[pos[idx]].astype(np.int64),
+        ],
+        axis=1,
+    )
+    distinct = np.unique(quads, axis=0)
+    # Count distinct cells per (device, ap) pair.
+    pairs, cell_counts = np.unique(distinct[:, :2], axis=0, return_counts=True)
+    return {
+        int(ap) for (_d, ap), n_cells in zip(pairs, cell_counts)
+        if n_cells >= MOBILE_CELL_THRESHOLD
+    }

@@ -1,0 +1,129 @@
+"""AP density maps (Figure 10) and detected-network coverage (§3.5).
+
+Figure 10 counts *associated* unique APs per 5 km cell, split home vs
+public. The §3.5 coverage statistics count *detected* (scanned) public
+networks per cell, split all vs strong and 2.4 vs 5 GHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.ap_classification import APClassification, classify_aps
+from repro.constants import STRONG_RSSI_DBM
+from repro.errors import AnalysisError
+from repro.geo.coords import cell_center
+from repro.geo.grid import DensityGrid
+from repro.radio.bands import Band
+from repro.traces.dataset import CampaignDataset
+from repro.traces.records import WifiStateCode
+
+
+@dataclass(frozen=True)
+class DensityMaps:
+    """Per-class association density grids for one campaign."""
+
+    year: int
+    grids: Dict[str, DensityGrid]
+
+    def grid(self, ap_class: str) -> DensityGrid:
+        try:
+            return self.grids[ap_class]
+        except KeyError:
+            raise AnalysisError(f"no grid for class {ap_class!r}") from None
+
+    def cells_with_at_least(self, ap_class: str, threshold: int) -> int:
+        return self.grid(ap_class).n_cells_with_at_least(threshold)
+
+
+def association_density_maps(
+    dataset: CampaignDataset,
+    classification: Optional[APClassification] = None,
+) -> DensityMaps:
+    """Figure 10: unique associated APs per 5 km cell, home vs public."""
+    if classification is None:
+        classification = classify_aps(dataset)
+    wifi = dataset.wifi
+    assoc = wifi.state == int(WifiStateCode.ASSOCIATED)
+    if not assoc.any():
+        raise AnalysisError("no associations in dataset")
+    device = wifi.device[assoc].astype(np.int64)
+    t = wifi.t[assoc].astype(np.int64)
+    ap_id = wifi.ap_id[assoc].astype(np.int64)
+
+    cols, rows, found = _lookup_cells(dataset, device, t)
+    grids = {name: DensityGrid() for name in ("home", "public", "office", "other")}
+    seen = set()
+    for i in np.flatnonzero(found):
+        a = int(ap_id[i])
+        cell = (int(cols[i]), int(rows[i]))
+        key = (a, cell)
+        if key in seen:
+            continue
+        seen.add(key)
+        cls = classification.wifi_class_of(a)
+        if cls == "office":
+            grid = grids["office"]
+        elif cls in grids:
+            grid = grids[cls]
+        else:
+            grid = grids["other"]
+        grid.add(cell_center(cell), a)
+    return DensityMaps(year=dataset.year, grids=grids)
+
+
+@dataclass(frozen=True)
+class DetectedCoverage:
+    """§3.5: detected public networks per cell (all vs strong, per band)."""
+
+    year: int
+    grids: Dict[str, DensityGrid]
+
+    def cells_with_at_least(self, key: str, threshold: int) -> int:
+        try:
+            return self.grids[key].n_cells_with_at_least(threshold)
+        except KeyError:
+            raise AnalysisError(f"unknown coverage key {key!r}") from None
+
+
+def detected_coverage(dataset: CampaignDataset) -> DetectedCoverage:
+    """Count detected public networks per cell from scan sightings."""
+    sightings = dataset.sightings
+    if len(sightings) == 0:
+        raise AnalysisError("dataset has no scan sightings")
+    device = sightings.device.astype(np.int64)
+    t = sightings.t.astype(np.int64)
+    cols, rows, found = _lookup_cells(dataset, device, t)
+
+    grids = {
+        "24_all": DensityGrid(), "24_strong": DensityGrid(),
+        "5_all": DensityGrid(), "5_strong": DensityGrid(),
+    }
+    directory = dataset.ap_directory
+    for i in np.flatnonzero(found):
+        ap_id = int(sightings.ap_id[i])
+        entry = directory.get(ap_id)
+        if entry is None:
+            continue
+        center = cell_center((int(cols[i]), int(rows[i])))
+        band_key = "24" if entry.band is Band.GHZ_2_4 else "5"
+        grids[f"{band_key}_all"].add(center, ap_id)
+        if sightings.rssi[i] >= STRONG_RSSI_DBM:
+            grids[f"{band_key}_strong"].add(center, ap_id)
+    return DetectedCoverage(year=dataset.year, grids=grids)
+
+
+def _lookup_cells(dataset: CampaignDataset, device: np.ndarray, t: np.ndarray):
+    """(device, t) -> geo cell join via the shared slot index."""
+    from repro.traces.query import geo_cell_index
+
+    index = geo_cell_index(dataset)
+    pos, found = index.lookup(device, t)
+    return (
+        index.gather(dataset.geo.col, pos),
+        index.gather(dataset.geo.row, pos),
+        found,
+    )

@@ -1,0 +1,153 @@
+"""Application-category traffic breakdown (Tables 6-7, §3.6).
+
+Traffic per category is split into four contexts: cellular at home,
+cellular elsewhere, WiFi at home, and WiFi on public networks. "Home" for
+cellular is inferred the same way as home APs: the modal 5 km cell a device
+occupies during the 22:00-06:00 window (§3.6 uses "the same classification
+technique described in §3.4.1"). WiFi context comes from the associated AP's
+class.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.ap_classification import APClassification, classify_aps
+from repro.analysis.users import UserDayClasses
+from repro.apps.categories import CATEGORIES, category_name
+from repro.constants import (
+    HOME_NIGHT_END_HOUR,
+    HOME_NIGHT_START_HOUR,
+    SAMPLES_PER_DAY,
+    SAMPLES_PER_HOUR,
+)
+from repro.errors import AnalysisError
+from repro.traces.dataset import CampaignDataset
+
+CONTEXTS = ("cell_home", "cell_other", "wifi_home", "wifi_public")
+
+_CONTEXT_LABELS = {
+    "cell_home": "Cell home",
+    "cell_other": "Cell other",
+    "wifi_home": "WiFi home",
+    "wifi_public": "WiFi public",
+}
+
+
+@dataclass(frozen=True)
+class AppBreakdown:
+    """Per-context category volume shares for one campaign."""
+
+    year: int
+    #: context -> category code -> share of that context's volume (0..1).
+    shares_rx: Dict[str, Dict[int, float]]
+    shares_tx: Dict[str, Dict[int, float]]
+
+    def top(
+        self, context: str, n: int = 5, direction: str = "rx"
+    ) -> List[Tuple[str, float]]:
+        """Top ``n`` categories as (name, percentage), Tables 6-7 style."""
+        table = self.shares_rx if direction == "rx" else self.shares_tx
+        try:
+            shares = table[context]
+        except KeyError:
+            raise AnalysisError(
+                f"unknown context {context!r}; have {CONTEXTS}"
+            ) from None
+        ranked = sorted(shares.items(), key=lambda kv: kv[1], reverse=True)[:n]
+        return [(category_name(code), 100.0 * share) for code, share in ranked]
+
+    @staticmethod
+    def context_label(context: str) -> str:
+        return _CONTEXT_LABELS[context]
+
+
+def infer_home_cells(dataset: CampaignDataset) -> Dict[int, Tuple[int, int]]:
+    """Modal night-time 5 km cell per device (the 'cellular home' anchor)."""
+    geo = dataset.geo
+    if len(geo) == 0:
+        return {}
+    hour = (geo.t % SAMPLES_PER_DAY) // SAMPLES_PER_HOUR
+    night = (hour >= HOME_NIGHT_START_HOUR) | (hour < HOME_NIGHT_END_HOUR)
+    counts: Dict[int, Counter] = defaultdict(Counter)
+    for d, c, r in zip(geo.device[night], geo.col[night], geo.row[night]):
+        counts[int(d)][(int(c), int(r))] += 1
+    return {d: counter.most_common(1)[0][0] for d, counter in counts.items()}
+
+
+def app_breakdown(
+    dataset: CampaignDataset,
+    classification: Optional[APClassification] = None,
+    classes: Optional[UserDayClasses] = None,
+    subset: str = "all",
+) -> AppBreakdown:
+    """Tables 6-7: per-context category shares.
+
+    ``subset`` may be ``"all"`` (default), ``"light"`` or ``"heavy"``, in
+    which case ``classes`` must cover the dataset (§3.6 also reports the
+    light-user view).
+    """
+    if classification is None:
+        classification = classify_aps(dataset)
+    apps = dataset.apps
+    if len(apps) == 0:
+        raise AnalysisError("dataset has no app-traffic records (Android only)")
+    home_cells = infer_home_cells(dataset)
+
+    if subset != "all":
+        if classes is None:
+            raise AnalysisError("subset breakdown requires UserDayClasses")
+        mask_matrix = classes.light if subset == "light" else classes.heavy
+        row_mask = mask_matrix[apps.device, apps.day]
+    else:
+        row_mask = np.ones(len(apps), dtype=bool)
+
+    rx_totals: Dict[str, np.ndarray] = {
+        ctx: np.zeros(len(CATEGORIES)) for ctx in CONTEXTS
+    }
+    tx_totals: Dict[str, np.ndarray] = {
+        ctx: np.zeros(len(CATEGORIES)) for ctx in CONTEXTS
+    }
+    for i in np.flatnonzero(row_mask):
+        device = int(apps.device[i])
+        category = int(apps.category[i])
+        if apps.cellular[i]:
+            home = home_cells.get(device)
+            cell = (int(apps.col[i]), int(apps.row[i]))
+            ctx = "cell_home" if home is not None and cell == home else "cell_other"
+        else:
+            cls = classification.wifi_class_of(int(apps.ap_id[i]))
+            if cls == "home":
+                ctx = "wifi_home"
+            elif cls == "public":
+                ctx = "wifi_public"
+            else:
+                # Offices/open venues are grouped with public for Tables 6-7
+                # ("WiFi public" = WiFi away from home in the paper's cuts).
+                ctx = "wifi_public"
+        rx_totals[ctx][category] += float(apps.rx[i])
+        tx_totals[ctx][category] += float(apps.tx[i])
+
+    def normalize(totals: Dict[str, np.ndarray]) -> Dict[str, Dict[int, float]]:
+        out: Dict[str, Dict[int, float]] = {}
+        for ctx, vec in totals.items():
+            total = vec.sum()
+            if total <= 0:
+                out[ctx] = {}
+                continue
+            out[ctx] = {
+                code: float(vec[code] / total)
+                for code in range(len(CATEGORIES))
+                if vec[code] > 0
+            }
+        return out
+
+    return AppBreakdown(
+        year=dataset.year,
+        shares_rx=normalize(rx_totals),
+        shares_tx=normalize(tx_totals),
+    )

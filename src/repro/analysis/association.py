@@ -1,0 +1,185 @@
+"""WiFi association access patterns (Figure 12, Table 5, Figure 13, §3.4.2).
+
+- Number of distinct APs each device associates with per day, for all users
+  and the light/heavy subsets (Figure 12).
+- The HPO breakdown: how many Home/Public/Other networks a device-day
+  combines (Table 5).
+- Consecutive association duration CCDFs per network class (Figure 13).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.ap_classification import APClassification, classify_aps
+from repro.analysis.users import UserDayClasses, classify_user_days
+from repro.constants import SAMPLES_PER_DAY, SAMPLES_PER_HOUR
+from repro.errors import AnalysisError
+from repro.stats.distributions import Ecdf, ccdf
+from repro.traces.dataset import CampaignDataset
+from repro.traces.records import WifiStateCode
+
+
+@dataclass(frozen=True)
+class ApsPerDay:
+    """Figure 12: distribution of distinct associated APs per device-day."""
+
+    year: int
+    #: subset -> {1: pct, 2: pct, 3: pct, 4: pct of device-days with >= 4}.
+    breakdown: Dict[str, Dict[int, float]]
+
+    def pct(self, subset: str, n_aps: int) -> float:
+        return self.breakdown[subset].get(n_aps, 0.0)
+
+
+@dataclass(frozen=True)
+class HpoBreakdown:
+    """Table 5: percentage of device-days per (home, public, other) combo."""
+
+    year: int
+    #: (n_home, n_public, n_other) -> percentage of WiFi device-days.
+    combos: Dict[Tuple[int, int, int], float]
+    four_plus_pct: float
+
+    def pct(self, home: int, public: int, other: int) -> float:
+        return self.combos.get((home, public, other), 0.0)
+
+
+def _device_day_aps(
+    dataset: CampaignDataset,
+) -> Dict[Tuple[int, int], set]:
+    """(device, day) -> set of associated ap_ids."""
+    wifi = dataset.wifi
+    assoc = wifi.state == int(WifiStateCode.ASSOCIATED)
+    out: Dict[Tuple[int, int], set] = defaultdict(set)
+    device = wifi.device[assoc]
+    day = wifi.t[assoc] // SAMPLES_PER_DAY
+    ap = wifi.ap_id[assoc]
+    for d, dy, a in zip(device, day, ap):
+        out[(int(d), int(dy))].add(int(a))
+    return out
+
+
+def aps_per_day(
+    dataset: CampaignDataset,
+    classes: Optional[UserDayClasses] = None,
+) -> ApsPerDay:
+    """Figure 12 breakdown for all/heavy/light device-days."""
+    if classes is None:
+        classes = classify_user_days(dataset)
+    per_day = _device_day_aps(dataset)
+    if not per_day:
+        raise AnalysisError("no associations in dataset")
+    subsets = {"all": classes.valid, "heavy": classes.heavy, "light": classes.light}
+    breakdown: Dict[str, Dict[int, float]] = {}
+    for name, mask in subsets.items():
+        counts: Dict[int, int] = defaultdict(int)
+        total = 0
+        for (device, day), aps in per_day.items():
+            if not mask[device, day]:
+                continue
+            total += 1
+            counts[min(len(aps), 4)] += 1
+        if total == 0:
+            breakdown[name] = {}
+            continue
+        breakdown[name] = {n: 100.0 * c / total for n, c in sorted(counts.items())}
+    return ApsPerDay(year=dataset.year, breakdown=breakdown)
+
+
+def hpo_breakdown(
+    dataset: CampaignDataset,
+    classification: Optional[APClassification] = None,
+) -> HpoBreakdown:
+    """Table 5: home/public/other combination percentages per device-day."""
+    if classification is None:
+        classification = classify_aps(dataset)
+    per_day = _device_day_aps(dataset)
+    if not per_day:
+        raise AnalysisError("no associations in dataset")
+    combos: Dict[Tuple[int, int, int], int] = defaultdict(int)
+    four_plus = 0
+    total = 0
+    for (_device, _day), aps in per_day.items():
+        total += 1
+        if len(aps) >= 4:
+            four_plus += 1
+            continue
+        n_home = n_public = n_other = 0
+        for a in aps:
+            cls = classification.wifi_class_of(a)
+            if cls == "home":
+                n_home += 1
+            elif cls == "public":
+                n_public += 1
+            else:
+                n_other += 1
+        combos[(n_home, n_public, n_other)] += 1
+    return HpoBreakdown(
+        year=dataset.year,
+        combos={k: 100.0 * v / total for k, v in combos.items()},
+        four_plus_pct=100.0 * four_plus / total,
+    )
+
+
+@dataclass(frozen=True)
+class AssociationDurations:
+    """Figure 13: consecutive same-AP association durations (hours)."""
+
+    year: int
+    ccdf_by_class: Dict[str, Ecdf]
+    p90_hours: Dict[str, float]
+
+
+def association_durations(
+    dataset: CampaignDataset,
+    classification: Optional[APClassification] = None,
+) -> AssociationDurations:
+    """Compute per-class CCDFs of consecutive association time."""
+    if classification is None:
+        classification = classify_aps(dataset)
+    wifi = dataset.wifi
+    assoc = wifi.state == int(WifiStateCode.ASSOCIATED)
+    if not assoc.any():
+        raise AnalysisError("no associations in dataset")
+    device = wifi.device[assoc].astype(np.int64)
+    t = wifi.t[assoc].astype(np.int64)
+    ap = wifi.ap_id[assoc].astype(np.int64)
+    order = np.lexsort((t, device))
+    device, t, ap = device[order], t[order], ap[order]
+
+    durations: Dict[str, List[float]] = defaultdict(list)
+
+    def flush(current_ap: int, run_slots: int) -> None:
+        cls = classification.wifi_class_of(int(current_ap))
+        key = cls if cls in ("home", "public", "office") else "other"
+        durations[key].append(run_slots / SAMPLES_PER_HOUR)
+
+    run_ap = -1
+    run_len = 0
+    prev_dev = -1
+    prev_t = -10
+    for d, tt, a in zip(device, t, ap):
+        contiguous = d == prev_dev and tt == prev_t + 1 and a == run_ap
+        if contiguous:
+            run_len += 1
+        else:
+            if run_len > 0:
+                flush(run_ap, run_len)
+            run_ap = int(a)
+            run_len = 1
+        prev_dev, prev_t = d, tt
+    if run_len > 0:
+        flush(run_ap, run_len)
+
+    ccdfs = {}
+    p90 = {}
+    for cls, values in durations.items():
+        arr = np.asarray(values)
+        ccdfs[cls] = ccdf(arr)
+        p90[cls] = float(np.percentile(arr, 90))
+    return AssociationDurations(year=dataset.year, ccdf_by_class=ccdfs, p90_hours=p90)

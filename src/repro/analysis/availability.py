@@ -1,0 +1,145 @@
+"""Availability of public WiFi to WiFi-available users (Figure 17, §3.5).
+
+Figure 17: CCDF of the number of detected public networks per
+WiFi-available device per 10 minutes, split by band and by strong signal.
+
+The §3.5 offload estimate: slots where a WiFi-available device detects at
+least one strong public network are *offloadable*; the cellular download
+volume in those slots, as a fraction of those devices' total cellular
+download, is the traffic that could move to public WiFi (the paper finds
+15-20%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.stats.distributions import Ecdf, ccdf
+from repro.traces.dataset import CampaignDataset
+from repro.traces.records import IfaceKind, WifiStateCode
+
+
+@dataclass(frozen=True)
+class PublicAvailability:
+    """Figure 17 CCDFs over available-state scan samples."""
+
+    year: int
+    ccdfs: Dict[str, Ecdf]
+    n_samples: int
+
+    def ccdf(self, key: str) -> Ecdf:
+        try:
+            return self.ccdfs[key]
+        except KeyError:
+            raise AnalysisError(
+                f"unknown availability key {key!r}; have {sorted(self.ccdfs)}"
+            ) from None
+
+    def fraction_seeing(self, key: str, at_least: int) -> float:
+        """Fraction of samples detecting >= ``at_least`` networks."""
+        dist = self.ccdf(key)
+        if at_least <= 0:
+            return 1.0
+        return dist.at(at_least - 1) if False else float(
+            (dist.values >= at_least).sum() / dist.n
+        )
+
+
+def _available_scan_mask(dataset: CampaignDataset) -> np.ndarray:
+    """Mask over scan rows taken while the device was WiFi-available."""
+    wifi = dataset.wifi
+    available = wifi.state == int(WifiStateCode.AVAILABLE)
+    n_slots = dataset.n_slots
+    avail_keys = np.sort(
+        wifi.device[available].astype(np.int64) * n_slots
+        + wifi.t[available].astype(np.int64)
+    )
+    scans = dataset.scans
+    scan_keys = scans.device.astype(np.int64) * n_slots + scans.t.astype(np.int64)
+    pos = np.searchsorted(avail_keys, scan_keys)
+    pos = np.clip(pos, 0, max(len(avail_keys) - 1, 0))
+    if len(avail_keys) == 0:
+        return np.zeros(len(scan_keys), dtype=bool)
+    return avail_keys[pos] == scan_keys
+
+
+def public_availability(dataset: CampaignDataset) -> PublicAvailability:
+    """Figure 17: detected public networks per available device-slot."""
+    scans = dataset.scans
+    if len(scans) == 0:
+        raise AnalysisError("dataset has no scan summaries")
+    mask = _available_scan_mask(dataset)
+    if not mask.any():
+        raise AnalysisError("no scans in WiFi-available state")
+    ccdfs = {
+        "24_all": ccdf(scans.n24_all[mask]),
+        "24_strong": ccdf(scans.n24_strong[mask]),
+        "5_all": ccdf(scans.n5_all[mask]),
+        "5_strong": ccdf(scans.n5_strong[mask]),
+    }
+    return PublicAvailability(
+        year=dataset.year, ccdfs=ccdfs, n_samples=int(mask.sum())
+    )
+
+
+@dataclass(frozen=True)
+class OffloadEstimate:
+    """§3.5: how much cellular traffic could move to public WiFi."""
+
+    year: int
+    #: Fraction of WiFi-available devices that encounter >= 1 strong public
+    #: network during the campaign ("have opportunities": ~60%).
+    devices_with_opportunity: float
+    #: Offloadable share of those devices' cellular download (15-20%).
+    offloadable_fraction: float
+    n_available_devices: int
+
+
+def offload_estimate(dataset: CampaignDataset) -> OffloadEstimate:
+    """Estimate offloadable cellular volume for WiFi-available users."""
+    scans = dataset.scans
+    if len(scans) == 0:
+        raise AnalysisError("dataset has no scan summaries")
+    mask = _available_scan_mask(dataset)
+    if not mask.any():
+        raise AnalysisError("no scans in WiFi-available state")
+    strong = (scans.n24_strong + scans.n5_strong) >= 1
+    n_slots = dataset.n_slots
+    device = scans.device.astype(np.int64)
+
+    available_devices = np.unique(device[mask])
+    opportunity_devices = np.unique(device[mask & strong])
+    offload_keys = np.sort(
+        device[mask & strong] * n_slots + scans.t[mask & strong].astype(np.int64)
+    )
+
+    traffic = dataset.traffic
+    cellular = traffic.iface != int(IfaceKind.WIFI)
+    in_devices = np.isin(traffic.device, available_devices)
+    cell_rows = cellular & in_devices
+    total_cell = float(traffic.rx[cell_rows].sum())
+    t_keys = (
+        traffic.device[cell_rows].astype(np.int64) * n_slots
+        + traffic.t[cell_rows].astype(np.int64)
+    )
+    pos = np.searchsorted(offload_keys, t_keys)
+    pos = np.clip(pos, 0, max(len(offload_keys) - 1, 0))
+    offloadable_rows = (
+        offload_keys[pos] == t_keys if len(offload_keys) else np.zeros_like(t_keys, bool)
+    )
+    offloadable = float(traffic.rx[cell_rows][offloadable_rows].sum())
+
+    return OffloadEstimate(
+        year=dataset.year,
+        devices_with_opportunity=(
+            len(opportunity_devices) / len(available_devices)
+            if len(available_devices)
+            else 0.0
+        ),
+        offloadable_fraction=offloadable / total_cell if total_cell else 0.0,
+        n_available_devices=int(len(available_devices)),
+    )

@@ -1,0 +1,103 @@
+"""Soft bandwidth cap effects (Figure 19, §3.8).
+
+A device-day is *potentially capped* when the previous three days' cellular
+download exceeds the 1 GB threshold. Figure 19 plots, for capped and other
+device-days, the CDF of (today's cellular download) / (mean of the previous
+three days); throttling pushes the capped curve left. The gap between the
+two medians shrinks from 2014 to 2015 after the policy relaxation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.constants import CAP_THRESHOLD_BYTES, CAP_WINDOW_DAYS
+from repro.errors import AnalysisError
+from repro.stats.distributions import Ecdf, ecdf
+from repro.traces.dataset import CampaignDataset
+
+
+@dataclass(frozen=True)
+class CapEffect:
+    """Figure 19 curves and §3.8 statistics for one campaign."""
+
+    year: int
+    capped_ratio_cdf: Ecdf
+    others_ratio_cdf: Ecdf
+    potentially_capped_fraction: float
+    #: Fraction of capped / other device-days below half of the 3-day mean.
+    capped_below_half: float
+    others_below_half: float
+
+    def median_gap(self) -> float:
+        """Difference of medians (others - capped) of the ratio CDFs."""
+        return self.others_ratio_cdf.median() - self.capped_ratio_cdf.median()
+
+
+def cap_effect(
+    dataset: CampaignDataset,
+    threshold_bytes: float = float(CAP_THRESHOLD_BYTES),
+    window_days: int = CAP_WINDOW_DAYS,
+    min_window_mb: float = 1.0,
+) -> CapEffect:
+    """Detect potentially capped device-days and measure the throttle."""
+    if window_days < 1:
+        raise AnalysisError("window must be >= 1 day")
+    cell = dataset.daily_matrix("cell", "rx")
+    n_devices, n_days = cell.shape
+    if n_days <= window_days:
+        raise AnalysisError("campaign too short for the cap window")
+
+    capped_ratios = []
+    other_ratios = []
+    n_capped_days = 0
+    n_eval_days = 0
+    for day in range(window_days, n_days):
+        window = cell[:, day - window_days:day]
+        window_sum = window.sum(axis=1)
+        window_mean = window_sum / window_days
+        today = cell[:, day]
+        evaluable = window_mean > min_window_mb * 1e6
+        n_eval_days += int(evaluable.sum())
+        capped = evaluable & (window_sum > threshold_bytes)
+        n_capped_days += int(capped.sum())
+        with np.errstate(invalid="ignore", divide="ignore"):
+            ratio = today / window_mean
+        capped_ratios.append(ratio[capped])
+        other_ratios.append(ratio[evaluable & ~capped])
+
+    capped_all = np.concatenate(capped_ratios) if capped_ratios else np.array([])
+    others_all = np.concatenate(other_ratios) if other_ratios else np.array([])
+    if capped_all.size == 0 or others_all.size == 0:
+        raise AnalysisError("not enough capped/other device-days to compare")
+    return CapEffect(
+        year=dataset.year,
+        capped_ratio_cdf=ecdf(capped_all),
+        others_ratio_cdf=ecdf(others_all),
+        potentially_capped_fraction=n_capped_days / max(n_eval_days, 1),
+        capped_below_half=float((capped_all < 0.5).mean()),
+        others_below_half=float((others_all < 0.5).mean()),
+    )
+
+
+def capped_users_without_home_ap(
+    dataset: CampaignDataset,
+    home_devices: set,
+    threshold_bytes: float = float(CAP_THRESHOLD_BYTES),
+    window_days: int = CAP_WINDOW_DAYS,
+) -> Optional[float]:
+    """§3.8: fraction of ever-capped devices lacking an inferred home AP."""
+    cell = dataset.daily_matrix("cell", "rx")
+    n_days = cell.shape[1]
+    ever_capped = np.zeros(cell.shape[0], dtype=bool)
+    for day in range(window_days, n_days):
+        window_sum = cell[:, day - window_days:day].sum(axis=1)
+        ever_capped |= window_sum > threshold_bytes
+    capped_ids = np.flatnonzero(ever_capped)
+    if capped_ids.size == 0:
+        return None
+    without_home = sum(1 for d in capped_ids if int(d) not in home_devices)
+    return without_home / capped_ids.size

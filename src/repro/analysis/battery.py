@@ -1,0 +1,108 @@
+"""Battery drain vs WiFi state (extension of §2 / Table 9's battery concern).
+
+The agent records battery status; Table 9 shows users citing "battery drain"
+as a reason to keep WiFi off, while §4.2(4) concludes battery life was *not*
+actually a significant factor. This analysis quantifies that: the mean
+discharge rate (percent per hour, charging samples excluded) by the device's
+WiFi state at the time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.traces.dataset import CampaignDataset
+from repro.traces.records import WifiStateCode
+
+_STATE_NAMES = {
+    int(WifiStateCode.OFF): "wifi_off",
+    int(WifiStateCode.AVAILABLE): "wifi_available",
+    int(WifiStateCode.ASSOCIATED): "wifi_associated",
+}
+
+
+@dataclass(frozen=True)
+class BatteryDrain:
+    """Mean discharge rates by WiFi state."""
+
+    year: int
+    #: state name -> mean drain in percent per hour (positive = discharging).
+    drain_pct_per_hour: Dict[str, float]
+    n_samples: Dict[str, int]
+    charging_fraction: float
+
+    def extra_cost_of_wifi(self) -> float:
+        """Drain difference: WiFi on (any) minus WiFi off, %/hour."""
+        off = self.drain_pct_per_hour.get("wifi_off")
+        on_states = [
+            self.drain_pct_per_hour[k]
+            for k in ("wifi_available", "wifi_associated")
+            if k in self.drain_pct_per_hour
+        ]
+        if off is None or not on_states:
+            raise AnalysisError("need both on and off states to compare")
+        return float(np.mean(on_states)) - off
+
+
+def battery_drain(dataset: CampaignDataset) -> BatteryDrain:
+    """Per-WiFi-state battery discharge rates (Android devices)."""
+    battery = dataset.battery
+    if len(battery) == 0:
+        raise AnalysisError("dataset has no battery samples")
+    wifi = dataset.wifi
+    if len(wifi) == 0:
+        raise AnalysisError("dataset has no wifi observations")
+
+    n_slots = dataset.n_slots
+    # Consecutive-sample drain per device: level[i] - level[i+1] over the
+    # slot gap, skipping device boundaries and charging samples.
+    device = battery.device.astype(np.int64)
+    t = battery.t.astype(np.int64)
+    level = battery.level.astype(np.float64)
+    charging = battery.charging.astype(bool)
+    same_device = device[1:] == device[:-1]
+    gap = t[1:] - t[:-1]
+    usable = same_device & (gap > 0) & ~charging[1:] & ~charging[:-1]
+    drain_per_hour = (level[:-1] - level[1:]) / (gap / 6.0)
+
+    # WiFi state of the *later* sample, joined via composite keys.
+    wifi_key = np.sort(
+        wifi.device.astype(np.int64) * n_slots + wifi.t.astype(np.int64)
+    )
+    order = np.argsort(
+        wifi.device.astype(np.int64) * n_slots + wifi.t.astype(np.int64)
+    )
+    wifi_states_sorted = wifi.state[order]
+    sample_key = device[1:] * n_slots + t[1:]
+    pos = np.searchsorted(wifi_key, sample_key)
+    pos = np.clip(pos, 0, len(wifi_key) - 1)
+    matched = wifi_key[pos] == sample_key
+
+    drains: Dict[str, list] = {name: [] for name in _STATE_NAMES.values()}
+    idx = np.flatnonzero(usable & matched)
+    states = wifi_states_sorted[pos[idx]]
+    values = drain_per_hour[idx]
+    for code, name in _STATE_NAMES.items():
+        sel = states == code
+        if sel.any():
+            drains[name] = values[sel]
+
+    rates = {}
+    counts = {}
+    for name, arr in drains.items():
+        if len(arr) == 0:
+            continue
+        rates[name] = float(np.mean(arr))
+        counts[name] = int(len(arr))
+    if not rates:
+        raise AnalysisError("no joinable battery/wifi samples")
+    return BatteryDrain(
+        year=dataset.year,
+        drain_pct_per_hour=rates,
+        n_samples=counts,
+        charging_fraction=float(charging.mean()),
+    )

@@ -1,0 +1,115 @@
+"""Daily per-user traffic volume (Figures 3-4, Table 3, §3.2).
+
+Distributions of daily volume per (device, day): total RX/TX CDFs across the
+three campaigns (Figure 3), per-interface CDFs (Figure 4), and the
+median/mean growth table with annual growth rates (Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.constants import MIN_DAILY_VOLUME_MB
+from repro.errors import AnalysisError
+from repro.stats.distributions import Ecdf, ecdf
+from repro.stats.growth import annual_growth_rate
+from repro.traces.dataset import CampaignDataset
+
+
+@dataclass(frozen=True)
+class DailyVolumeDistributions:
+    """Per-(device, day) volume CDFs for one campaign (values in MB)."""
+
+    year: int
+    total_rx: Ecdf
+    total_tx: Ecdf
+    cdf_by_type: Dict[str, Ecdf]
+
+    def zero_fraction(self, kind: str, direction: str = "rx") -> float:
+        """Fraction of device-days with no traffic on an interface class.
+
+        Matches §3.2: "8% of cellular interfaces and 20% of WiFi interfaces
+        do not send and receive any data."
+        """
+        key = f"{kind}_{direction}_zero_fraction"
+        try:
+            return self._zero_fractions[key]
+        except (AttributeError, KeyError):
+            raise AnalysisError(f"no zero-fraction recorded for {key}") from None
+
+
+def daily_volume_distributions(dataset: CampaignDataset) -> DailyVolumeDistributions:
+    """Figure 3/4 distributions for one campaign."""
+    rx_all = dataset.daily_matrix("all", "rx").ravel() / 1e6
+    tx_all = dataset.daily_matrix("all", "tx").ravel() / 1e6
+    valid = rx_all >= MIN_DAILY_VOLUME_MB
+    if not valid.any():
+        raise AnalysisError("no device-days above the volume floor")
+
+    cdf_by_type = {}
+    zero_fractions = {}
+    for kind in ("cell", "wifi"):
+        for direction in ("rx", "tx"):
+            values = dataset.daily_matrix(kind, direction).ravel() / 1e6
+            values = values[valid]
+            zero_fractions[f"{kind}_{direction}_zero_fraction"] = float(
+                (values <= 0.0).mean()
+            )
+            positive = values[values > 0]
+            if positive.size:
+                cdf_by_type[f"{kind}_{direction}"] = ecdf(positive)
+
+    result = DailyVolumeDistributions(
+        year=dataset.year,
+        total_rx=ecdf(rx_all[valid]),
+        total_tx=ecdf(tx_all[valid]),
+        cdf_by_type=cdf_by_type,
+    )
+    object.__setattr__(result, "_zero_fractions", zero_fractions)
+    return result
+
+
+@dataclass(frozen=True)
+class VolumeGrowthTable:
+    """Table 3: median/mean daily download (MB/day) by year, plus AGR."""
+
+    years: Sequence[int]
+    median: Dict[str, Dict[int, float]]
+    mean: Dict[str, Dict[int, float]]
+    agr_median: Dict[str, float]
+    agr_mean: Dict[str, float]
+
+    def row(self, statistic: str, kind: str) -> Dict[int, float]:
+        table = self.median if statistic == "median" else self.mean
+        return table[kind]
+
+
+def volume_growth_table(datasets: Sequence[CampaignDataset]) -> VolumeGrowthTable:
+    """Build Table 3 from the three campaign datasets."""
+    if len(datasets) < 2:
+        raise AnalysisError("growth table needs at least two campaigns")
+    years = [ds.year for ds in datasets]
+    median: Dict[str, Dict[int, float]] = {k: {} for k in ("all", "cell", "wifi")}
+    mean: Dict[str, Dict[int, float]] = {k: {} for k in ("all", "cell", "wifi")}
+    for ds in datasets:
+        rx_all = ds.daily_matrix("all", "rx").ravel()
+        valid = rx_all >= MIN_DAILY_VOLUME_MB * 1e6
+        for kind in ("all", "cell", "wifi"):
+            values = ds.daily_matrix(kind, "rx").ravel()[valid] / 1e6
+            median[kind][ds.year] = float(np.median(values))
+            mean[kind][ds.year] = float(values.mean())
+    agr_median = {
+        kind: annual_growth_rate(years, [median[kind][y] for y in years])
+        for kind in median
+    }
+    agr_mean = {
+        kind: annual_growth_rate(years, [mean[kind][y] for y in years])
+        for kind in mean
+    }
+    return VolumeGrowthTable(
+        years=years, median=median, mean=mean,
+        agr_median=agr_median, agr_mean=agr_mean,
+    )

@@ -1,0 +1,90 @@
+"""Cellular-vs-WiFi per-user-day heat map (Figure 5, §3.3.1).
+
+Each (device, day) is a point at (cellular MB, WiFi MB) on log-log axes.
+Three user types fall out: cellular-intensive (no WiFi), WiFi-intensive
+(no cellular), and mixed users; among mixed users, those above the diagonal
+offload more than they use cellular.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.constants import MIN_DAILY_VOLUME_MB
+from repro.errors import AnalysisError
+from repro.traces.dataset import CampaignDataset
+
+#: Below this daily volume an interface counts as unused (log-plot floor).
+INTENSIVE_FLOOR_MB = 0.01
+
+
+@dataclass(frozen=True)
+class WifiCellHeatmap:
+    """Figure 5 data and the §3.3.1 user-type fractions."""
+
+    year: int
+    cell_mb: np.ndarray
+    wifi_mb: np.ndarray
+    histogram: np.ndarray
+    log_edges: np.ndarray
+    cellular_intensive_fraction: float
+    wifi_intensive_fraction: float
+    mixed_fraction: float
+    mixed_above_diagonal_fraction: float
+
+    @property
+    def n_points(self) -> int:
+        return len(self.cell_mb)
+
+
+def wifi_cell_heatmap(
+    dataset: CampaignDataset,
+    bins: int = 60,
+    log_range: Tuple[float, float] = (-2.0, 3.0),
+) -> WifiCellHeatmap:
+    """Build the per-user-day heat map for one campaign."""
+    if bins < 2:
+        raise AnalysisError("need at least 2 bins")
+    cell = dataset.daily_matrix("cell", "rx").ravel() / 1e6
+    wifi = dataset.daily_matrix("wifi", "rx").ravel() / 1e6
+    total = dataset.daily_matrix("all", "rx").ravel() / 1e6
+    valid = total >= MIN_DAILY_VOLUME_MB
+    cell, wifi = cell[valid], wifi[valid]
+    if cell.size == 0:
+        raise AnalysisError("no valid device-days")
+
+    cell_used = cell > INTENSIVE_FLOOR_MB
+    wifi_used = wifi > INTENSIVE_FLOOR_MB
+    cellular_intensive = cell_used & ~wifi_used
+    wifi_intensive = wifi_used & ~cell_used
+    mixed = cell_used & wifi_used
+    n = len(cell)
+
+    above = wifi[mixed] > cell[mixed]
+    mixed_count = int(mixed.sum())
+
+    log_edges = np.linspace(log_range[0], log_range[1], bins + 1)
+    clipped_cell = np.clip(cell, 10 ** log_range[0], 10 ** log_range[1])
+    clipped_wifi = np.clip(wifi, 10 ** log_range[0], 10 ** log_range[1])
+    histogram, _, _ = np.histogram2d(
+        np.log10(clipped_cell[mixed]),
+        np.log10(clipped_wifi[mixed]),
+        bins=[log_edges, log_edges],
+    )
+
+    return WifiCellHeatmap(
+        year=dataset.year,
+        cell_mb=cell,
+        wifi_mb=wifi,
+        histogram=histogram,
+        log_edges=log_edges,
+        cellular_intensive_fraction=float(cellular_intensive.sum() / n),
+        wifi_intensive_fraction=float(wifi_intensive.sum() / n),
+        mixed_fraction=float(mixed_count / n),
+        mixed_above_diagonal_fraction=(
+            float(above.sum() / mixed_count) if mixed_count else 0.0
+        ),
+    )

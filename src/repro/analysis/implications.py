@@ -1,0 +1,78 @@
+"""Offload-impact estimates (§4.1).
+
+Two back-of-envelope numbers the paper derives by combining panel medians
+with public statistics:
+
+1. Smartphone WiFi share of total residential broadband volume:
+   cellular is 20% of broadband (Figure 1), the panel's WiFi:cellular median
+   ratio is ~1.4, and ~95% of WiFi volume is at home, so offloaded
+   smartphone traffic is roughly 20% * 1.4 ≈ 28% of broadband volume.
+2. One smartphone's share of a home's broadband volume: median smartphone
+   WiFi download / median broadband download per customer (436 MB/day in
+   2015 [IIJ]) ≈ 12%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import MIN_DAILY_VOLUME_MB
+from repro.errors import AnalysisError
+from repro.traces.dataset import CampaignDataset
+
+#: Nationwide cellular / residential-broadband volume ratio (Figure 1, [34]).
+CELLULAR_SHARE_OF_BROADBAND = 0.20
+
+#: Median residential broadband download per customer per day, 2015 [9].
+BROADBAND_MEDIAN_MB_PER_DAY = 436.0
+
+
+@dataclass(frozen=True)
+class OffloadImpact:
+    """§4.1 estimates for one campaign."""
+
+    year: int
+    median_cell_mb: float
+    median_wifi_mb: float
+    wifi_to_cell_ratio: float
+    wifi_share_of_smartphone: float
+    #: Estimated smartphone-WiFi share of total broadband volume (~28%).
+    offload_share_of_broadband: float
+    #: Estimated one-smartphone share of a home's broadband volume (~12%).
+    smartphone_share_of_home_broadband: float
+
+
+def offload_impact(
+    dataset: CampaignDataset,
+    home_wifi_fraction: float = 0.95,
+    cellular_share_of_broadband: float = CELLULAR_SHARE_OF_BROADBAND,
+    broadband_median_mb: float = BROADBAND_MEDIAN_MB_PER_DAY,
+) -> OffloadImpact:
+    """Derive the §4.1 impact estimates from a campaign's medians."""
+    if not 0 < home_wifi_fraction <= 1:
+        raise AnalysisError("home_wifi_fraction must be in (0, 1]")
+    total = dataset.daily_matrix("all", "rx").ravel()
+    valid = total >= MIN_DAILY_VOLUME_MB * 1e6
+    if not valid.any():
+        raise AnalysisError("no valid device-days")
+    cell = dataset.daily_matrix("cell", "rx").ravel()[valid] / 1e6
+    wifi = dataset.daily_matrix("wifi", "rx").ravel()[valid] / 1e6
+    median_cell = float(np.median(cell))
+    median_wifi = float(np.median(wifi))
+    if median_cell <= 0:
+        raise AnalysisError("median cellular volume is zero")
+    ratio = median_wifi / median_cell
+    wifi_share = median_wifi / (median_wifi + median_cell)
+    return OffloadImpact(
+        year=dataset.year,
+        median_cell_mb=median_cell,
+        median_wifi_mb=median_wifi,
+        wifi_to_cell_ratio=ratio,
+        wifi_share_of_smartphone=wifi_share,
+        offload_share_of_broadband=(
+            cellular_share_of_broadband * ratio * home_wifi_fraction
+        ),
+        smartphone_share_of_home_broadband=median_wifi / broadband_median_mb,
+    )

@@ -1,0 +1,118 @@
+"""WiFi-traffic ratio and WiFi-user ratio (Figures 6-8, §3.3.2-§3.3.3).
+
+- WiFi-traffic ratio: WiFi download volume / total download volume per
+  one-hour bin.
+- WiFi-user ratio: fraction of users associated with WiFi per bin.
+
+Both are computed for the whole panel and for the light/heavy device-day
+subsets (classification is per day, so a device contributes to a subset only
+on days it belongs to it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.users import UserDayClasses, classify_user_days
+from repro.constants import SAMPLES_PER_DAY, SAMPLES_PER_HOUR
+from repro.errors import AnalysisError
+from repro.stats.timeseries import HourlySeries
+from repro.traces.dataset import CampaignDataset
+from repro.traces.records import IfaceKind, WifiStateCode
+
+
+@dataclass(frozen=True)
+class RatioSeries:
+    """Per-hour ratio series plus its campaign mean."""
+
+    hourly: HourlySeries
+    mean: float
+
+    def folded_week(self) -> np.ndarray:
+        return self.hourly.fold_week()
+
+
+@dataclass(frozen=True)
+class WifiRatios:
+    """All the Figure 6-8 series for one campaign."""
+
+    year: int
+    traffic_ratio: Dict[str, RatioSeries]
+    user_ratio: Dict[str, RatioSeries]
+
+    def traffic(self, subset: str = "all") -> RatioSeries:
+        return self.traffic_ratio[subset]
+
+    def users(self, subset: str = "all") -> RatioSeries:
+        return self.user_ratio[subset]
+
+
+def wifi_ratios(
+    dataset: CampaignDataset,
+    classes: Optional[UserDayClasses] = None,
+) -> WifiRatios:
+    """Compute WiFi-traffic and WiFi-user ratios for all/light/heavy."""
+    if classes is None:
+        classes = classify_user_days(dataset)
+    start_weekday = dataset.axis.start.weekday()
+    n_hours = dataset.n_days * 24
+
+    traffic = dataset.traffic
+    t_hour = traffic.t // SAMPLES_PER_HOUR
+    t_day = traffic.t // SAMPLES_PER_DAY
+    is_wifi = traffic.iface == int(IfaceKind.WIFI)
+    rx = traffic.rx
+
+    wifi_tab = dataset.wifi
+    assoc = wifi_tab.state == int(WifiStateCode.ASSOCIATED)
+    a_dev = wifi_tab.device[assoc]
+    a_hour = wifi_tab.t[assoc] // SAMPLES_PER_HOUR
+    a_day = wifi_tab.t[assoc] // SAMPLES_PER_DAY
+
+    subsets = {
+        "all": classes.valid,
+        "light": classes.light,
+        "heavy": classes.heavy,
+    }
+    traffic_ratio = {}
+    user_ratio = {}
+    for name, mask in subsets.items():
+        in_subset = mask[traffic.device, t_day]
+        wifi_sum = np.zeros(n_hours)
+        total_sum = np.zeros(n_hours)
+        sel = in_subset
+        np.add.at(total_sum, t_hour[sel], rx[sel])
+        sel_w = in_subset & is_wifi
+        np.add.at(wifi_sum, t_hour[sel_w], rx[sel_w])
+        with np.errstate(invalid="ignore", divide="ignore"):
+            ratio = wifi_sum / total_sum
+        ratio[total_sum == 0] = np.nan
+        traffic_ratio[name] = _ratio_series(ratio, start_weekday)
+
+        # User ratio: distinct associated devices per hour / subset size.
+        a_in = mask[a_dev, a_day]
+        pair = (
+            a_dev[a_in].astype(np.int64) * n_hours + a_hour[a_in].astype(np.int64)
+        )
+        uniq = np.unique(pair)
+        assoc_count = np.zeros(n_hours)
+        np.add.at(assoc_count, (uniq % n_hours).astype(np.int64), 1.0)
+        denominator = mask.sum(axis=0).astype(float)  # devices per day
+        denom_hourly = np.repeat(denominator, 24)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            uratio = assoc_count / denom_hourly
+        uratio[denom_hourly == 0] = np.nan
+        user_ratio[name] = _ratio_series(uratio, start_weekday)
+
+    return WifiRatios(
+        year=dataset.year, traffic_ratio=traffic_ratio, user_ratio=user_ratio
+    )
+
+
+def _ratio_series(values: np.ndarray, start_weekday: int) -> RatioSeries:
+    finite = values[np.isfinite(values)]
+    mean = float(finite.mean()) if finite.size else float("nan")
+    return RatioSeries(hourly=HourlySeries(values, start_weekday), mean=mean)

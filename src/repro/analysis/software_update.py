@@ -1,0 +1,126 @@
+"""iOS software-update timing (Figure 18, §3.7).
+
+The 2015 campaign captured the iOS 8.2 rollout: WiFi-only, 565 MB, flash
+crowd on release day with a weekend bump and long tail. Update delay is
+compared between users with and without an inferred home AP; users without
+home WiFi update late (median +3.5 days) or not at all (14%), and some go
+out of their way to update on public or office WiFi.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.ap_classification import APClassification, classify_aps
+from repro.constants import SAMPLES_PER_DAY
+from repro.errors import AnalysisError
+from repro.traces.dataset import CampaignDataset
+from repro.traces.records import DeviceOS, WifiStateCode
+
+
+@dataclass(frozen=True)
+class UpdateTiming:
+    """Figure 18 data plus the §3.7 headline statistics."""
+
+    year: int
+    release_day: int
+    #: Days-since-release for every updated device.
+    update_days: np.ndarray
+    #: Same, restricted to devices with no inferred home AP.
+    update_days_no_home: np.ndarray
+    updated_fraction: float
+    updated_fraction_no_home: float
+    first_day_fraction: float
+    median_delay_days: float
+    median_delay_days_no_home: float
+    #: Updated-without-home devices by the AP class used for the download.
+    no_home_update_network: Dict[str, int]
+
+    def cdf_curve(self) -> "tuple[np.ndarray, np.ndarray]":
+        """(days since release, cumulative fraction of the iOS panel)."""
+        if self.update_days.size == 0:
+            raise AnalysisError("no updates observed")
+        days = np.sort(self.update_days)
+        frac = np.arange(1, len(days) + 1) / max(self._n_ios, 1)
+        return days, frac
+
+
+def update_timing(
+    dataset: CampaignDataset,
+    classification: Optional[APClassification] = None,
+) -> UpdateTiming:
+    """Analyze the campaign's OS update events."""
+    updates = dataset.updates
+    if len(updates) == 0:
+        raise AnalysisError("campaign has no update events")
+    if classification is None:
+        classification = classify_aps(dataset)
+
+    ios_devices = {
+        d.device_id for d in dataset.devices if d.os is DeviceOS.IOS
+    }
+    n_ios = len(ios_devices)
+    if n_ios == 0:
+        raise AnalysisError("no iOS devices in dataset")
+    no_home_ios = {
+        d for d in ios_devices if d not in classification.home_ap_of_device
+    }
+
+    update_day_of: Dict[int, int] = {}
+    update_slot_of: Dict[int, int] = {}
+    for device, t in zip(updates.device, updates.t):
+        day = int(t) // SAMPLES_PER_DAY
+        if int(device) not in update_day_of or day < update_day_of[int(device)]:
+            update_day_of[int(device)] = day
+            update_slot_of[int(device)] = int(t)
+
+    release_day = min(update_day_of.values())
+    all_days = np.array(
+        [d - release_day for dev, d in update_day_of.items() if dev in ios_devices]
+    )
+    no_home_days = np.array(
+        [d - release_day for dev, d in update_day_of.items() if dev in no_home_ios]
+    )
+
+    network_used: Dict[str, int] = {}
+    wifi = dataset.wifi
+    assoc = wifi.state == int(WifiStateCode.ASSOCIATED)
+    n_slots = dataset.n_slots
+    keys = (
+        wifi.device[assoc].astype(np.int64) * n_slots + wifi.t[assoc].astype(np.int64)
+    )
+    order = np.argsort(keys)
+    keys_sorted = keys[order]
+    aps_sorted = wifi.ap_id[assoc][order]
+    for device in no_home_ios:
+        if device not in update_slot_of:
+            continue
+        want = device * n_slots + update_slot_of[device]
+        pos = int(np.clip(np.searchsorted(keys_sorted, want), 0, len(keys_sorted) - 1))
+        if len(keys_sorted) and keys_sorted[pos] == want:
+            cls = classification.wifi_class_of(int(aps_sorted[pos]))
+        else:
+            cls = "unknown"
+        network_used[cls] = network_used.get(cls, 0) + 1
+
+    result = UpdateTiming(
+        year=dataset.year,
+        release_day=release_day,
+        update_days=all_days,
+        update_days_no_home=no_home_days,
+        updated_fraction=len(all_days) / n_ios,
+        updated_fraction_no_home=(
+            len(no_home_days) / len(no_home_ios) if no_home_ios else float("nan")
+        ),
+        first_day_fraction=float((all_days == 0).sum()) / n_ios,
+        median_delay_days=float(np.median(all_days)) if all_days.size else float("nan"),
+        median_delay_days_no_home=(
+            float(np.median(no_home_days)) if no_home_days.size else float("nan")
+        ),
+        no_home_update_network=network_used,
+    )
+    object.__setattr__(result, "_n_ios", n_ios)
+    return result

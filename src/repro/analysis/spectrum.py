@@ -1,0 +1,124 @@
+"""Spectrum usage: 5 GHz adoption (Figure 14) and 2.4 GHz channels (Figure 16).
+
+Both are computed over *associated unique* APs, per classified location
+class. 5 GHz rollout is rapid in public networks but slow at home/office;
+public 2.4 GHz channels concentrate on the planned 1/6/11 trio while home
+channels start Ch1-heavy in 2013 and disperse by 2015.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+import numpy as np
+
+from repro.analysis.ap_classification import APClassification, classify_aps
+from repro.constants import NUM_24GHZ_CHANNELS
+from repro.errors import AnalysisError
+from repro.radio.bands import Band
+from repro.traces.dataset import CampaignDataset
+from repro.traces.records import WifiStateCode
+
+
+def _associated_aps(dataset: CampaignDataset) -> Set[int]:
+    wifi = dataset.wifi
+    assoc = wifi.state == int(WifiStateCode.ASSOCIATED)
+    return {int(a) for a in np.unique(wifi.ap_id[assoc])}
+
+
+@dataclass(frozen=True)
+class BandFractions:
+    """Figure 14: fraction of associated unique APs that are 5 GHz."""
+
+    year: int
+    fraction_5ghz: Dict[str, float]
+    counts: Dict[str, int]
+
+    def fraction(self, ap_class: str) -> float:
+        try:
+            return self.fraction_5ghz[ap_class]
+        except KeyError:
+            raise AnalysisError(f"no band data for class {ap_class!r}") from None
+
+
+def band_fractions(
+    dataset: CampaignDataset,
+    classification: Optional[APClassification] = None,
+) -> BandFractions:
+    """Per-class 5 GHz fractions over associated unique APs."""
+    if classification is None:
+        classification = classify_aps(dataset)
+    aps = _associated_aps(dataset)
+    if not aps:
+        raise AnalysisError("no associated APs")
+    totals: Dict[str, int] = {"home": 0, "office": 0, "public": 0, "other": 0}
+    five: Dict[str, int] = dict(totals)
+    for ap_id in aps:
+        entry = dataset.ap_directory[ap_id]
+        cls = classification.ap_class.get(ap_id, "other")
+        if cls == "mobile":
+            cls = "other"
+        totals[cls] += 1
+        if entry.band is Band.GHZ_5:
+            five[cls] += 1
+    fractions = {
+        cls: (five[cls] / totals[cls]) if totals[cls] else float("nan")
+        for cls in totals
+    }
+    return BandFractions(year=dataset.year, fraction_5ghz=fractions, counts=totals)
+
+
+@dataclass(frozen=True)
+class ChannelDistributions:
+    """Figure 16: PDF over 2.4 GHz channels for home and public APs."""
+
+    year: int
+    pdf: Dict[str, np.ndarray]  # class -> length-13 probability vector
+
+    def channel_share(self, ap_class: str, channel: int) -> float:
+        if not 1 <= channel <= NUM_24GHZ_CHANNELS:
+            raise AnalysisError(f"bad 2.4GHz channel {channel}")
+        return float(self._pdf_of(ap_class)[channel - 1])
+
+    def trio_share(self, ap_class: str) -> float:
+        """Probability mass on the non-overlapping 1/6/11 trio."""
+        p = self._pdf_of(ap_class)
+        return float(p[0] + p[5] + p[10])
+
+    def _pdf_of(self, ap_class: str) -> np.ndarray:
+        try:
+            return self.pdf[ap_class]
+        except KeyError:
+            raise AnalysisError(
+                f"no observed 2.4GHz APs of class {ap_class!r}"
+            ) from None
+
+
+def channel_distributions(
+    dataset: CampaignDataset,
+    classification: Optional[APClassification] = None,
+    classes: tuple = ("home", "public"),
+) -> ChannelDistributions:
+    """Channel PDFs over associated unique 2.4 GHz APs per class."""
+    if classification is None:
+        classification = classify_aps(dataset)
+    aps = _associated_aps(dataset)
+    counts = {cls: np.zeros(NUM_24GHZ_CHANNELS) for cls in classes}
+    for ap_id in aps:
+        entry = dataset.ap_directory[ap_id]
+        if entry.band is not Band.GHZ_2_4:
+            continue
+        cls = classification.wifi_class_of(ap_id)
+        if cls in counts:
+            counts[cls][entry.channel - 1] += 1
+    pdf = {}
+    for cls, vec in counts.items():
+        total = vec.sum()
+        if total == 0:
+            # Tiny panels may observe no 2.4 GHz APs of a class; omit it.
+            continue
+        pdf[cls] = vec / total
+    if not pdf:
+        raise AnalysisError(f"no 2.4GHz APs of any class in {classes}")
+    return ChannelDistributions(year=dataset.year, pdf=pdf)

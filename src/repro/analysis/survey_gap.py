@@ -1,0 +1,78 @@
+"""Survey-vs-measurement consistency (§4.2, Table 8 vs §3.4).
+
+The paper cross-checks the questionnaire against the traces: home-AP answers
+are "consistent with our estimation", but public-WiFi answers over-report —
+"users think they have more connectivity than they really do in public WiFi
+networks". This analysis quantifies both gaps for a campaign: the share of
+users *claiming* to connect at each location versus the share actually
+observed associating there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.analysis.ap_classification import APClassification, classify_aps
+from repro.errors import AnalysisError
+from repro.population.survey import SurveyResponse
+from repro.traces.dataset import CampaignDataset
+from repro.traces.records import WifiStateCode
+
+LOCATION_CLASSES = {"home": ("home",), "office": ("office",), "public": ("public",)}
+
+
+@dataclass(frozen=True)
+class SurveyGap:
+    """Claimed vs measured connectivity per location."""
+
+    year: int
+    claimed_pct: Dict[str, float]
+    measured_pct: Dict[str, float]
+
+    def gap(self, location: str) -> float:
+        """Claimed minus measured, in percentage points."""
+        try:
+            return self.claimed_pct[location] - self.measured_pct[location]
+        except KeyError:
+            raise AnalysisError(f"unknown location {location!r}") from None
+
+    def overreported(self, location: str, threshold_pp: float = 5.0) -> bool:
+        """Whether users claim noticeably more than the traces show."""
+        return self.gap(location) > threshold_pp
+
+
+def survey_gap(
+    dataset: CampaignDataset,
+    responses: List[SurveyResponse],
+    classification: Optional[APClassification] = None,
+) -> SurveyGap:
+    """Compare Table 8 claims against measured association behaviour."""
+    if not responses:
+        raise AnalysisError("no survey responses")
+    if classification is None:
+        classification = classify_aps(dataset)
+
+    wifi = dataset.wifi
+    assoc = wifi.state == int(WifiStateCode.ASSOCIATED)
+    devices_by_class: Dict[str, Set[int]] = {loc: set() for loc in LOCATION_CLASSES}
+    device = wifi.device[assoc]
+    ap_id = wifi.ap_id[assoc]
+    pairs = np.unique(np.stack([device, ap_id], axis=1), axis=0)
+    for dev, ap in pairs:
+        cls = classification.wifi_class_of(int(ap))
+        for loc, classes in LOCATION_CLASSES.items():
+            if cls in classes:
+                devices_by_class[loc].add(int(dev))
+
+    n = dataset.n_devices
+    measured = {
+        loc: 100.0 * len(devs) / n for loc, devs in devices_by_class.items()
+    }
+    claimed = {}
+    for loc in LOCATION_CLASSES:
+        yes = sum(1 for r in responses if r.connected.get(loc) == "yes")
+        claimed[loc] = 100.0 * yes / len(responses)
+    return SurveyGap(year=dataset.year, claimed_pct=claimed, measured_pct=measured)

@@ -1,0 +1,75 @@
+"""Light-user / heavy-hitter classification (§2).
+
+"We refer to light users as those whose daily download traffic ranges from
+the 40th to 60th percentiles, and heavy hitters as users whose daily download
+traffic is ranked in the top 5%. Note that as daily user traffic volume is
+highly variable, one user may be a light user one day and heavy hitter on
+another." — classification is therefore per (device, day).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import (
+    HEAVY_PCTL,
+    LIGHT_PCTL_HIGH,
+    LIGHT_PCTL_LOW,
+    MIN_DAILY_VOLUME_MB,
+)
+from repro.errors import AnalysisError
+from repro.traces.dataset import CampaignDataset
+
+
+@dataclass(frozen=True)
+class UserDayClasses:
+    """Per-(device, day) classification masks.
+
+    ``volumes`` is the (n_devices, n_days) daily download matrix in bytes;
+    ``valid`` marks device-days above the 0.1 MB floor; ``light`` and
+    ``heavy`` are subsets of ``valid``.
+    """
+
+    volumes: np.ndarray
+    valid: np.ndarray
+    light: np.ndarray
+    heavy: np.ndarray
+
+    @property
+    def n_device_days(self) -> int:
+        return int(self.valid.sum())
+
+    def fraction_light(self) -> float:
+        return float(self.light.sum() / max(self.valid.sum(), 1))
+
+    def fraction_heavy(self) -> float:
+        return float(self.heavy.sum() / max(self.valid.sum(), 1))
+
+
+def classify_user_days(
+    dataset: CampaignDataset,
+    light_low: float = LIGHT_PCTL_LOW,
+    light_high: float = LIGHT_PCTL_HIGH,
+    heavy_pctl: float = HEAVY_PCTL,
+    min_volume_mb: float = MIN_DAILY_VOLUME_MB,
+) -> UserDayClasses:
+    """Classify every device-day of a campaign by download volume."""
+    if not 0 <= light_low < light_high <= 100 or not 0 < heavy_pctl <= 100:
+        raise AnalysisError("bad percentile configuration")
+    volumes = dataset.daily_matrix("all", "rx")
+    valid = volumes >= min_volume_mb * 1e6
+    light = np.zeros_like(valid)
+    heavy = np.zeros_like(valid)
+    for day in range(volumes.shape[1]):
+        day_valid = valid[:, day]
+        day_volumes = volumes[day_valid, day]
+        if day_volumes.size < 5:
+            continue
+        lo = np.percentile(day_volumes, light_low)
+        hi = np.percentile(day_volumes, light_high)
+        heavy_cut = np.percentile(day_volumes, heavy_pctl)
+        light[:, day] = day_valid & (volumes[:, day] >= lo) & (volumes[:, day] < hi)
+        heavy[:, day] = day_valid & (volumes[:, day] >= heavy_cut)
+    return UserDayClasses(volumes=volumes, valid=valid, light=light, heavy=heavy)

@@ -1,0 +1,188 @@
+"""Command-line interface.
+
+Four subcommands::
+
+    python -m repro simulate --scale 0.1 --out data/        # run + save
+    python -m repro analyze  --scale 0.1 table3 fig05       # run experiments
+    python -m repro analyze  --data data/ table4            # on saved data
+    python -m repro list                                    # experiments
+    python -m repro validate data/campaign2015              # check a dataset
+
+``analyze`` accepts experiment ids (``table1``..``table9``, ``fig01``..
+``fig19``, ``sec35``, ``sec41``) or ``all``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.reporting.experiments import (
+    EXPERIMENTS,
+    AnalysisCache,
+    list_experiments,
+    run_experiment,
+)
+from repro.simulation.study import Study, StudyConfig, run_study
+from repro.traces.io import load_dataset, save_dataset
+from repro.traces.validate import validate_dataset
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Tracking the Evolution and Diversity in "
+                    "Network Usage of Smartphones' (IMC 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="run the study and save datasets")
+    simulate.add_argument("--scale", type=float, default=0.1,
+                          help="panel scale relative to the paper (default 0.1)")
+    simulate.add_argument("--seed", type=int, default=7)
+    simulate.add_argument("--out", type=Path, required=True,
+                          help="output directory for campaign datasets")
+
+    analyze = sub.add_parser("analyze", help="run experiments")
+    analyze.add_argument("experiments", nargs="+",
+                         help="experiment ids, or 'all'")
+    analyze.add_argument("--scale", type=float, default=0.1)
+    analyze.add_argument("--seed", type=int, default=7)
+    analyze.add_argument("--data", type=Path, default=None,
+                         help="directory with saved campaign datasets "
+                              "(from `repro simulate`); simulates if absent")
+    analyze.add_argument("--out", type=Path, default=None,
+                         help="also write rendered artifacts here")
+
+    sub.add_parser("list", help="list available experiments")
+
+    report = sub.add_parser(
+        "report", help="paper-vs-measured markdown summary of a fresh study"
+    )
+    report.add_argument("--scale", type=float, default=0.1)
+    report.add_argument("--seed", type=int, default=7)
+    report.add_argument("--out", type=Path, default=None,
+                        help="write the markdown report here")
+
+    validate = sub.add_parser("validate", help="validate a saved dataset")
+    validate.add_argument("path", type=Path)
+
+    return parser
+
+
+def _load_study_from(data_dir: Path) -> Study:
+    """Rebuild a Study-like container from saved campaign directories."""
+    study = Study(StudyConfig(scale=1.0))
+    found = sorted(data_dir.glob("campaign*"))
+    if not found:
+        raise ReproError(f"no campaign datasets under {data_dir}")
+    from repro.simulation.campaign import CampaignResult
+
+    for path in found:
+        dataset = load_dataset(path)
+        study.campaigns[dataset.year] = CampaignResult(
+            config=None, dataset=dataset, profiles=[], deployment=None,
+        )
+        study.surveys[dataset.year] = []
+    return study
+
+
+def _resolve_experiments(names: List[str]) -> List[str]:
+    if names == ["all"]:
+        return sorted(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        raise ReproError(
+            f"unknown experiments: {unknown}; try `repro list`"
+        )
+    return names
+
+
+#: Experiments that need the survey (unavailable on reloaded datasets).
+_SURVEY_EXPERIMENTS = frozenset({"table2", "table8", "table9"})
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    study = run_study(scale=args.scale, seed=args.seed)
+    args.out.mkdir(parents=True, exist_ok=True)
+    for year in study.years:
+        path = args.out / f"campaign{year}"
+        save_dataset(study.dataset(year), path)
+        print(f"saved {path} ({study.dataset(year).n_devices} devices)")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    names = _resolve_experiments(args.experiments)
+    if args.data is not None:
+        study = _load_study_from(args.data)
+        skipped = [n for n in names if n in _SURVEY_EXPERIMENTS]
+        if skipped:
+            print(f"note: skipping survey experiments on saved data: {skipped}")
+            names = [n for n in names if n not in _SURVEY_EXPERIMENTS]
+    else:
+        study = run_study(scale=args.scale, seed=args.seed)
+    cache = AnalysisCache(study)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        result = run_experiment(name, cache)
+        text = result.render() if hasattr(result, "render") else str(result)
+        print(text)
+        print()
+        if args.out is not None:
+            (args.out / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.reporting.summary import render_markdown, study_summary
+
+    study = run_study(scale=args.scale, seed=args.seed)
+    findings = study_summary(AnalysisCache(study))
+    text = render_markdown(
+        findings,
+        title=f"Study summary (scale {args.scale}, seed {args.seed})",
+    )
+    print(text)
+    if args.out is not None:
+        args.out.write_text(text + "\n")
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    for experiment in list_experiments():
+        print(f"{experiment.experiment_id:8s} {experiment.paper_item:12s} "
+              f"{experiment.title}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.path)
+    summary = validate_dataset(dataset)
+    print(summary)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "simulate": cmd_simulate,
+        "analyze": cmd_analyze,
+        "list": cmd_list,
+        "report": cmd_report,
+        "validate": cmd_validate,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

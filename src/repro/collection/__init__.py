@@ -1,0 +1,15 @@
+"""Measurement-collection substrate: agent, uploader, central server (§2)."""
+
+from repro.collection.agent import MeasurementAgent, AgentSnapshot
+from repro.collection.uploader import Uploader, UploadBatch, FlakyTransport, Transport
+from repro.collection.server import CollectionServer
+
+__all__ = [
+    "MeasurementAgent",
+    "AgentSnapshot",
+    "Uploader",
+    "UploadBatch",
+    "FlakyTransport",
+    "Transport",
+    "CollectionServer",
+]

@@ -1,0 +1,153 @@
+"""On-device measurement agent (§2).
+
+The measurement software runs in the background and records, every 10
+minutes, the device state as unit records: interface byte counters, the WiFi
+observation, coarse geolocation, scan summaries, per-app counters, and any
+OS-update event. The agent does not interpret anything — it snapshots and
+hands records to the uploader.
+
+OS differences are enforced here, mirroring the real software:
+
+- iOS reports only the associated AP (no off/available distinction), no
+  scan results, and no per-application counters.
+- Geolocation is quantized to 5 km before it leaves the device (privacy).
+- Tethering traffic is flagged so the pipeline can exclude it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import CollectionError
+from repro.geo.coords import Coordinate, cell_index
+from repro.traces.records import (
+    AppTrafficRecord,
+    BatterySample,
+    DeviceInfo,
+    DeviceOS,
+    GeoSample,
+    IfaceKind,
+    ScanSummary,
+    TrafficSample,
+    UpdateEvent,
+    WifiObservation,
+    WifiStateCode,
+)
+
+
+@dataclass(frozen=True)
+class AgentSnapshot:
+    """Raw device state handed to the agent each sampling tick."""
+
+    t: int
+    location: Coordinate
+    wifi_state: WifiStateCode
+    ap_id: int = -1
+    rssi_dbm: float = 0.0
+    rx_wifi: float = 0.0
+    tx_wifi: float = 0.0
+    rx_cell: float = 0.0
+    tx_cell: float = 0.0
+    tethering: bool = False
+    scan: Optional[ScanSummary] = None
+    update: Optional[UpdateEvent] = None
+    battery: Optional[BatterySample] = None
+
+
+@dataclass
+class Records:
+    """Unit records produced by one tick."""
+
+    traffic: List[TrafficSample] = field(default_factory=list)
+    wifi: List[WifiObservation] = field(default_factory=list)
+    geo: List[GeoSample] = field(default_factory=list)
+    scans: List[ScanSummary] = field(default_factory=list)
+    apps: List[AppTrafficRecord] = field(default_factory=list)
+    updates: List[UpdateEvent] = field(default_factory=list)
+    battery: List[BatterySample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return (
+            len(self.traffic) + len(self.wifi) + len(self.geo)
+            + len(self.scans) + len(self.apps) + len(self.updates)
+            + len(self.battery)
+        )
+
+
+class MeasurementAgent:
+    """Turns device snapshots into schema records, per the device OS."""
+
+    def __init__(self, info: DeviceInfo) -> None:
+        self.info = info
+        self._last_t: Optional[int] = None
+
+    def sample(self, snapshot: AgentSnapshot) -> Records:
+        """Process one 10-minute tick."""
+        if self._last_t is not None and snapshot.t <= self._last_t:
+            raise CollectionError(
+                f"non-monotonic sampling: {snapshot.t} after {self._last_t}"
+            )
+        self._last_t = snapshot.t
+        records = Records()
+        device_id = self.info.device_id
+
+        if snapshot.rx_wifi or snapshot.tx_wifi:
+            records.traffic.append(
+                TrafficSample(
+                    device_id, snapshot.t, IfaceKind.WIFI,
+                    snapshot.rx_wifi, snapshot.tx_wifi,
+                    tethering=snapshot.tethering,
+                )
+            )
+        if snapshot.rx_cell or snapshot.tx_cell:
+            records.traffic.append(
+                TrafficSample(
+                    device_id, snapshot.t,
+                    IfaceKind.from_technology(self.info.technology),
+                    snapshot.rx_cell, snapshot.tx_cell,
+                    tethering=snapshot.tethering,
+                )
+            )
+
+        records.wifi.extend(self._wifi_observation(snapshot))
+
+        col, row = cell_index(snapshot.location)
+        records.geo.append(GeoSample(device_id, snapshot.t, col, row))
+
+        if snapshot.scan is not None and self.info.os is DeviceOS.ANDROID:
+            records.scans.append(snapshot.scan)
+
+        if snapshot.update is not None:
+            records.updates.append(snapshot.update)
+        if snapshot.battery is not None:
+            records.battery.append(snapshot.battery)
+        return records
+
+    def _wifi_observation(self, snapshot: AgentSnapshot) -> Sequence[WifiObservation]:
+        device_id = self.info.device_id
+        if self.info.os is DeviceOS.IOS:
+            # iOS can only report the associated AP (§2).
+            if snapshot.wifi_state is WifiStateCode.ASSOCIATED:
+                return [
+                    WifiObservation(
+                        device_id, snapshot.t, WifiStateCode.ASSOCIATED,
+                        snapshot.ap_id, snapshot.rssi_dbm,
+                    )
+                ]
+            return []
+        return [
+            WifiObservation(
+                device_id, snapshot.t, snapshot.wifi_state,
+                snapshot.ap_id, snapshot.rssi_dbm,
+            )
+        ]
+
+    def daily_app_records(
+        self, records: Sequence[AppTrafficRecord]
+    ) -> List[AppTrafficRecord]:
+        """Pass through daily per-app counters (Android only)."""
+        if self.info.os is DeviceOS.IOS:
+            # iOS has no interface for per-application traffic (§2).
+            return []
+        return list(records)

@@ -1,0 +1,68 @@
+"""Central collection server (§2).
+
+Receives upload batches, deduplicates retried deliveries by (device,
+sequence), and assembles everything into a
+:class:`~repro.traces.dataset.DatasetBuilder`. Tethering-flagged traffic is
+dropped at ingest (§2 cleaning).
+"""
+
+from __future__ import annotations
+
+from typing import Set, Tuple
+
+from repro.collection.uploader import UploadBatch
+from repro.errors import CollectionError
+from repro.timeutil import TimeAxis
+from repro.traces.dataset import DatasetBuilder
+from repro.traces.records import ApDirectoryEntry, DeviceInfo
+
+
+class CollectionServer:
+    """Assembles uploaded batches into a campaign dataset."""
+
+    def __init__(self, year: int, axis: TimeAxis) -> None:
+        self.builder = DatasetBuilder(year, axis)
+        self._seen: Set[Tuple[int, int]] = set()
+        self.batches_received = 0
+        self.duplicates_dropped = 0
+
+    def register_device(self, info: DeviceInfo) -> None:
+        """Enroll a device before it uploads."""
+        self.builder.add_device(info)
+
+    def register_ap(self, entry: ApDirectoryEntry) -> None:
+        """Record an AP's observable attributes in the directory."""
+        if entry.ap_id not in self.builder.ap_directory:
+            self.builder.add_ap(entry)
+
+    def receive(self, batch: UploadBatch) -> None:
+        """Ingest one batch (idempotent on retries)."""
+        if batch.device_id >= len(self.builder.devices):
+            raise CollectionError(
+                f"upload from unregistered device {batch.device_id}"
+            )
+        key = (batch.device_id, batch.sequence)
+        if key in self._seen:
+            self.duplicates_dropped += 1
+            return
+        self._seen.add(key)
+        self.batches_received += 1
+        records = batch.records
+        for sample in records.traffic:
+            self.builder.add_traffic(sample)  # drops tethering rows
+        for obs in records.wifi:
+            self.builder.add_wifi(obs)
+        for geo in records.geo:
+            self.builder.add_geo(geo)
+        for scan in records.scans:
+            self.builder.add_scan(scan)
+        for app in records.apps:
+            self.builder.add_app_traffic(app)
+        for update in records.updates:
+            self.builder.add_update(update)
+        for sample in records.battery:
+            self.builder.add_battery(sample)
+
+    def build_dataset(self):
+        """Freeze everything received so far into a dataset."""
+        return self.builder.build()

@@ -1,0 +1,62 @@
+"""Shared constants for the measurement study.
+
+Values marked with a section reference (e.g. ``§3.8``) come directly from the
+paper; everything else is a schema constant of the measurement software.
+"""
+
+from __future__ import annotations
+
+#: Sampling period of the measurement agent (§2: "collects statistics every
+#: 10 minutes").
+SAMPLE_PERIOD_MINUTES = 10
+SAMPLE_PERIOD_SECONDS = SAMPLE_PERIOD_MINUTES * 60
+
+#: Samples per day and per campaign.
+SAMPLES_PER_HOUR = 60 // SAMPLE_PERIOD_MINUTES
+SAMPLES_PER_DAY = 24 * SAMPLES_PER_HOUR
+
+#: Length of one measurement campaign (§1: "three, 15-day-long ...
+#: measurements").
+CAMPAIGN_DAYS = 15
+
+#: Coarse geolocation precision reported by the agent (§2: "5km precision").
+GEO_PRECISION_KM = 5.0
+
+#: Daily download below this is dropped from per-day distributions (§3.2).
+MIN_DAILY_VOLUME_MB = 0.1
+
+#: Soft bandwidth cap: 3-day download threshold and throttled rate (§1, §3.8).
+CAP_WINDOW_DAYS = 3
+CAP_THRESHOLD_BYTES = 1 * 1000**3  # 1 GB over the previous three days
+CAP_LIMIT_BPS = 128_000  # 128 kbps during peak hours once capped
+
+#: RSSI threshold for a "strong" (usable) WiFi network (§3.4.4, §3.5).
+STRONG_RSSI_DBM = -70.0
+
+#: Size of the iOS 8.2 update captured in the 2015 campaign (§3.7).
+IOS_UPDATE_BYTES = 565 * 1000**2
+
+#: Home-AP inference: fraction of the night window that must be spent on the
+#: same (BSSID, ESSID) pair (§3.4.1).
+HOME_NIGHT_START_HOUR = 22
+HOME_NIGHT_END_HOUR = 6
+HOME_NIGHT_FRACTION = 0.70
+
+#: Office-AP inference window (§3.4.1): mainly connected 11:00-17:00 weekdays.
+OFFICE_START_HOUR = 11
+OFFICE_END_HOUR = 17
+
+#: Light users: daily download in the 40th-60th percentile band; heavy
+#: hitters: top 5% (§2).
+LIGHT_PCTL_LOW = 40.0
+LIGHT_PCTL_HIGH = 60.0
+HEAVY_PCTL = 95.0
+
+BYTES_PER_MB = 1000**2
+BYTES_PER_GB = 1000**3
+
+#: Number of 2.4 GHz channels available in Japan (§3.4.5: 13 channels).
+NUM_24GHZ_CHANNELS = 13
+
+#: Minimum channel separation to avoid cross-channel interference (§3.4.5).
+CHANNEL_SEPARATION = 5

@@ -1,0 +1,28 @@
+"""Geolocation substrate: coordinates, 5 km quantization, and grid cells.
+
+The measurement agent reports only coarse geolocation (5 km precision, §2);
+this package provides the coordinate math the agent and the analysis share.
+"""
+
+from repro.geo.coords import (
+    Coordinate,
+    haversine_km,
+    quantize,
+    cell_index,
+    cell_center,
+)
+from repro.geo.grid import GridCell, DensityGrid
+from repro.geo.places import PLACES, place, TOKYO_REGION
+
+__all__ = [
+    "Coordinate",
+    "haversine_km",
+    "quantize",
+    "cell_index",
+    "cell_center",
+    "GridCell",
+    "DensityGrid",
+    "PLACES",
+    "place",
+    "TOKYO_REGION",
+]

@@ -1,0 +1,99 @@
+"""Coordinate primitives and coarse (5 km) quantization.
+
+The study area is the Greater Tokyo region. Distances there are small enough
+that we use a local equirectangular approximation anchored at the region
+center for cell indexing, and the haversine formula for exact great-circle
+distances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import GEO_PRECISION_KM
+from repro.errors import ConfigurationError
+
+EARTH_RADIUS_KM = 6371.0088
+
+#: Anchor of the local grid (approximately Tokyo station).
+ANCHOR_LAT = 35.681
+ANCHOR_LON = 139.767
+
+
+@dataclass(frozen=True)
+class Coordinate:
+    """A WGS-84 latitude/longitude pair in decimal degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ConfigurationError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ConfigurationError(f"longitude out of range: {self.lon}")
+
+    def distance_km(self, other: "Coordinate") -> float:
+        """Great-circle distance to ``other`` in kilometres."""
+        return haversine_km(self, other)
+
+
+def haversine_km(a: Coordinate, b: Coordinate) -> float:
+    """Great-circle distance between two coordinates in kilometres."""
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2.0) ** 2 + (
+        math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+def _km_offsets(coord: Coordinate) -> tuple[float, float]:
+    """East/north offsets in km from the grid anchor (equirectangular)."""
+    east = (
+        math.radians(coord.lon - ANCHOR_LON)
+        * EARTH_RADIUS_KM
+        * math.cos(math.radians(ANCHOR_LAT))
+    )
+    north = math.radians(coord.lat - ANCHOR_LAT) * EARTH_RADIUS_KM
+    return east, north
+
+
+def cell_index(coord: Coordinate, cell_km: float = GEO_PRECISION_KM) -> tuple[int, int]:
+    """Index of the ``cell_km`` square grid cell containing ``coord``.
+
+    The index is (column, row) relative to the anchor; negative indices are
+    valid for cells west/south of the anchor.
+    """
+    if cell_km <= 0:
+        raise ConfigurationError(f"cell size must be positive: {cell_km}")
+    east, north = _km_offsets(coord)
+    return math.floor(east / cell_km), math.floor(north / cell_km)
+
+
+def cell_center(
+    index: tuple[int, int], cell_km: float = GEO_PRECISION_KM
+) -> Coordinate:
+    """Coordinate of the center of grid cell ``index``."""
+    if cell_km <= 0:
+        raise ConfigurationError(f"cell size must be positive: {cell_km}")
+    col, row = index
+    east = (col + 0.5) * cell_km
+    north = (row + 0.5) * cell_km
+    lat = ANCHOR_LAT + math.degrees(north / EARTH_RADIUS_KM)
+    lon = ANCHOR_LON + math.degrees(
+        east / (EARTH_RADIUS_KM * math.cos(math.radians(ANCHOR_LAT)))
+    )
+    return Coordinate(lat, lon)
+
+
+def quantize(coord: Coordinate, cell_km: float = GEO_PRECISION_KM) -> Coordinate:
+    """Coarsen ``coord`` to the center of its grid cell.
+
+    This is what the measurement agent reports: a location rounded to 5 km
+    precision for privacy (§2).
+    """
+    return cell_center(cell_index(coord, cell_km), cell_km)

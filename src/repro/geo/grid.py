@@ -1,0 +1,89 @@
+"""Grid-cell accumulators used by the AP-density analyses (Figure 10, §3.5).
+
+A :class:`DensityGrid` counts distinct items (e.g. unique APs) per 5 km cell
+and renders the counts as a dense 2-D array for map-style output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterator, Set, Tuple
+
+import numpy as np
+
+from repro.constants import GEO_PRECISION_KM
+from repro.errors import DatasetError
+from repro.geo.coords import Coordinate, cell_center, cell_index
+
+CellIndex = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """A single grid cell with its index, center, and item count."""
+
+    index: CellIndex
+    center: Coordinate
+    count: int
+
+
+@dataclass
+class DensityGrid:
+    """Counts distinct hashable items per grid cell.
+
+    Adding the same item to the same cell twice is idempotent, matching the
+    paper's "number of associated *unique* APs per 5 km cell" (Figure 10).
+    """
+
+    cell_km: float = GEO_PRECISION_KM
+    _cells: Dict[CellIndex, Set[Hashable]] = field(default_factory=dict)
+
+    def add(self, coord: Coordinate, item: Hashable) -> None:
+        """Record ``item`` as present in the cell containing ``coord``."""
+        idx = cell_index(coord, self.cell_km)
+        self._cells.setdefault(idx, set()).add(item)
+
+    def count(self, index: CellIndex) -> int:
+        """Number of distinct items recorded in cell ``index``."""
+        return len(self._cells.get(index, ()))
+
+    def cells(self) -> Iterator[GridCell]:
+        """Iterate non-empty cells in deterministic (row, col) order."""
+        for idx in sorted(self._cells, key=lambda i: (i[1], i[0])):
+            yield GridCell(idx, cell_center(idx, self.cell_km), len(self._cells[idx]))
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def n_cells_with_at_least(self, threshold: int) -> int:
+        """Number of cells whose distinct-item count is >= ``threshold``.
+
+        Used for the paper's "cells with at least one AP" / "cells with more
+        than 100 APs" style statistics (§3.4.1, §3.5).
+        """
+        if threshold < 1:
+            raise DatasetError(f"threshold must be >= 1, got {threshold}")
+        return sum(1 for items in self._cells.values() if len(items) >= threshold)
+
+    def max_count(self) -> int:
+        """Largest per-cell count (0 for an empty grid)."""
+        if not self._cells:
+            return 0
+        return max(len(items) for items in self._cells.values())
+
+    def to_array(self) -> Tuple[np.ndarray, CellIndex]:
+        """Render as a dense array of counts.
+
+        Returns ``(array, origin)`` where ``array[row, col]`` is the count for
+        cell ``(origin_col + col, origin_row + row)``.
+        """
+        if not self._cells:
+            return np.zeros((0, 0), dtype=np.int64), (0, 0)
+        cols = [idx[0] for idx in self._cells]
+        rows = [idx[1] for idx in self._cells]
+        origin = (min(cols), min(rows))
+        shape = (max(rows) - origin[1] + 1, max(cols) - origin[0] + 1)
+        array = np.zeros(shape, dtype=np.int64)
+        for (col, row), items in self._cells.items():
+            array[row - origin[1], col - origin[0]] = len(items)
+        return array, origin

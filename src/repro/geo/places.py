@@ -1,0 +1,48 @@
+"""Named Greater-Tokyo places used to lay out the synthetic study region.
+
+The coordinates are the real locations of the cities labelled in the paper's
+Figure 10 maps. The simulator distributes homes, offices, and public venues
+around these anchors so the reproduced density maps have the same spatial
+structure (dense downtown, dispersed residential belt).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.geo.coords import Coordinate
+
+#: City anchors shown on the Figure 10 maps, plus the two downtown wards the
+#: paper names as the highest-density public-WiFi areas (§3.4.1).
+PLACES: Dict[str, Coordinate] = {
+    "tokyo": Coordinate(35.681, 139.767),
+    "shinjuku": Coordinate(35.690, 139.700),
+    "shibuya": Coordinate(35.658, 139.702),
+    "yokohama": Coordinate(35.466, 139.622),
+    "kawasaki": Coordinate(35.531, 139.703),
+    "chiba": Coordinate(35.607, 140.106),
+    "saitama": Coordinate(35.861, 139.645),
+    "funabashi": Coordinate(35.695, 139.983),
+    "hachioji": Coordinate(35.666, 139.316),
+    "narita": Coordinate(35.776, 140.318),
+    "odawara": Coordinate(35.265, 139.152),
+    "yokosuka": Coordinate(35.281, 139.672),
+}
+
+#: Bounding box of the study region (roughly covers all PLACES with margin).
+TOKYO_REGION = {
+    "lat_min": 35.15,
+    "lat_max": 36.00,
+    "lon_min": 139.00,
+    "lon_max": 140.45,
+}
+
+
+def place(name: str) -> Coordinate:
+    """Look up a named place; raises ``ConfigurationError`` if unknown."""
+    try:
+        return PLACES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(PLACES))
+        raise ConfigurationError(f"unknown place {name!r}; known places: {known}") from None

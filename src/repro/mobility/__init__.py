@@ -1,0 +1,16 @@
+"""Mobility substrate: occupation-driven schedules and location states."""
+
+from repro.mobility.schedule import (
+    LocationState,
+    ScheduleGenerator,
+    DaySchedule,
+)
+from repro.mobility.model import activity_weights, MobilityModel
+
+__all__ = [
+    "LocationState",
+    "ScheduleGenerator",
+    "DaySchedule",
+    "activity_weights",
+    "MobilityModel",
+]

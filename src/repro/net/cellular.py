@@ -1,0 +1,104 @@
+"""Cellular substrate: radio technologies, carriers, and throughput.
+
+The study spans the Japanese 3G -> LTE transition: LTE carries 25% of
+cellular traffic in 2013 and 80% by 2015 (Table 1). Most users are on a flat
+rate with a soft bandwidth cap (§1), which :mod:`repro.simulation.cap`
+enforces on top of this substrate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class CellularTechnology(enum.Enum):
+    """Cellular radio access technology."""
+
+    THREE_G = "3G"
+    LTE = "LTE"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Carrier:
+    """A cellular provider with its market share and LTE rollout speed.
+
+    ``market_share`` values across :data:`CARRIERS` sum to 1; recruitment
+    samples carriers in proportion (§2: selection "in consideration of the
+    market share of major Japanese cellular providers").
+    """
+
+    name: str
+    market_share: float
+    lte_rollout_bias: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.market_share <= 1.0:
+            raise ConfigurationError(
+                f"market share must be in (0, 1]: {self.market_share}"
+            )
+
+
+#: Approximate 2013-2015 Japanese market shares of the three major carriers.
+CARRIERS: Tuple[Carrier, ...] = (
+    Carrier("docomo", 0.45, lte_rollout_bias=0.02),
+    Carrier("au", 0.29, lte_rollout_bias=0.0),
+    Carrier("softbank", 0.26, lte_rollout_bias=-0.02),
+)
+
+
+def pick_carrier(rng: np.random.Generator) -> Carrier:
+    """Sample a carrier proportionally to market share."""
+    shares = np.array([c.market_share for c in CARRIERS])
+    idx = int(rng.choice(len(CARRIERS), p=shares / shares.sum()))
+    return CARRIERS[idx]
+
+
+@dataclass(frozen=True)
+class CellularNetwork:
+    """Throughput model for one device's cellular attachment.
+
+    Nominal achievable throughputs are generous relative to demand — in this
+    study the binding constraint is the demand model and the soft cap, not
+    link capacity — but 3G vs LTE still matters for cap recovery and the
+    "LTE is enough" survey answers.
+    """
+
+    technology: CellularTechnology
+    carrier: Carrier
+
+    #: Achievable mean throughputs (bits/s) by technology.
+    THROUGHPUT_BPS = {
+        CellularTechnology.THREE_G: 3_000_000.0,
+        CellularTechnology.LTE: 20_000_000.0,
+    }
+
+    def capacity_bytes(self, interval_s: float) -> float:
+        """Maximum bytes deliverable in ``interval_s`` seconds."""
+        if interval_s < 0:
+            raise ConfigurationError(f"interval must be >= 0: {interval_s}")
+        return self.THROUGHPUT_BPS[self.technology] * interval_s / 8.0
+
+
+def assign_technology(
+    lte_share: float, carrier: Carrier, rng: np.random.Generator
+) -> CellularTechnology:
+    """Assign a device's technology for a campaign year.
+
+    ``lte_share`` is the campaign-wide target fraction of cellular traffic on
+    LTE (Table 1); the carrier's rollout bias shifts individual probability.
+    """
+    if not 0.0 <= lte_share <= 1.0:
+        raise ConfigurationError(f"lte_share must be in [0, 1]: {lte_share}")
+    p = float(np.clip(lte_share + carrier.lte_rollout_bias, 0.0, 1.0))
+    if rng.random() < p:
+        return CellularTechnology.LTE
+    return CellularTechnology.THREE_G

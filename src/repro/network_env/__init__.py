@@ -1,0 +1,24 @@
+"""Year-parameterized WiFi deployment environment."""
+
+from repro.network_env.public_wifi import (
+    PROVIDER_ESSIDS,
+    PublicWifiConfig,
+    provider_essid_for,
+)
+from repro.network_env.home_wifi import HomeWifiConfig, build_home_ap
+from repro.network_env.deployment import (
+    DeploymentConfig,
+    Deployment,
+    build_deployment,
+)
+
+__all__ = [
+    "PROVIDER_ESSIDS",
+    "PublicWifiConfig",
+    "provider_essid_for",
+    "HomeWifiConfig",
+    "build_home_ap",
+    "DeploymentConfig",
+    "Deployment",
+    "build_deployment",
+]

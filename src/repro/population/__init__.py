@@ -1,0 +1,23 @@
+"""Synthetic study population: demographics, profiles, recruitment, survey."""
+
+from repro.population.demographics import (
+    OCCUPATION_SHARES,
+    Occupation,
+    sample_occupation,
+)
+from repro.population.profiles import WifiPolicy, UserProfile
+from repro.population.recruitment import RecruitmentConfig, recruit
+from repro.population.survey import SurveyResponse, run_survey, SurveyTables
+
+__all__ = [
+    "OCCUPATION_SHARES",
+    "Occupation",
+    "sample_occupation",
+    "WifiPolicy",
+    "UserProfile",
+    "RecruitmentConfig",
+    "recruit",
+    "SurveyResponse",
+    "run_survey",
+    "SurveyTables",
+]

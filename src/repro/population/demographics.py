@@ -1,0 +1,105 @@
+"""User demographics (Table 2).
+
+The recruiting company selected a wide variety of users; Table 2 gives the
+occupation breakdown per campaign year. Occupation drives the mobility
+schedule: office workers commute, housewives are home-based, students split
+between campus and home, and so on.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Occupation(enum.Enum):
+    """Occupation groups exactly as reported in Table 2."""
+
+    GOVERNMENT = "government worker"
+    OFFICE = "office worker"
+    ENGINEER = "engineer"
+    WORKER_OTHER = "worker (other)"
+    PROFESSIONAL = "professional"
+    SELF_OWNED = "self-owned business"
+    PART_TIMER = "part timer"
+    HOUSEWIFE = "housewife"
+    STUDENT = "student"
+    OTHER = "other"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Table 2 percentages per campaign year (they sum to ~100 per year).
+OCCUPATION_SHARES: Dict[int, Dict[Occupation, float]] = {
+    2013: {
+        Occupation.GOVERNMENT: 2.1,
+        Occupation.OFFICE: 20.0,
+        Occupation.ENGINEER: 16.7,
+        Occupation.WORKER_OTHER: 12.8,
+        Occupation.PROFESSIONAL: 2.4,
+        Occupation.SELF_OWNED: 6.1,
+        Occupation.PART_TIMER: 9.0,
+        Occupation.HOUSEWIFE: 15.0,
+        Occupation.STUDENT: 9.6,
+        Occupation.OTHER: 6.3,
+    },
+    2014: {
+        Occupation.GOVERNMENT: 3.4,
+        Occupation.OFFICE: 20.1,
+        Occupation.ENGINEER: 14.7,
+        Occupation.WORKER_OTHER: 13.7,
+        Occupation.PROFESSIONAL: 2.0,
+        Occupation.SELF_OWNED: 6.7,
+        Occupation.PART_TIMER: 10.1,
+        Occupation.HOUSEWIFE: 14.2,
+        Occupation.STUDENT: 8.3,
+        Occupation.OTHER: 6.8,
+    },
+    2015: {
+        Occupation.GOVERNMENT: 2.4,
+        Occupation.OFFICE: 23.6,
+        Occupation.ENGINEER: 16.6,
+        Occupation.WORKER_OTHER: 13.2,
+        Occupation.PROFESSIONAL: 2.8,
+        Occupation.SELF_OWNED: 5.6,
+        Occupation.PART_TIMER: 10.6,
+        Occupation.HOUSEWIFE: 13.3,
+        Occupation.STUDENT: 2.7,
+        Occupation.OTHER: 7.1,
+    },
+}
+
+#: Occupations whose schedule includes a weekday commute to a workplace.
+COMMUTER_OCCUPATIONS = frozenset(
+    {
+        Occupation.GOVERNMENT,
+        Occupation.OFFICE,
+        Occupation.ENGINEER,
+        Occupation.WORKER_OTHER,
+        Occupation.PROFESSIONAL,
+    }
+)
+
+
+def occupation_probabilities(year: int) -> "tuple[list[Occupation], np.ndarray]":
+    """Occupations and normalized sampling probabilities for ``year``."""
+    try:
+        shares = OCCUPATION_SHARES[year]
+    except KeyError:
+        raise ConfigurationError(
+            f"no demographics for year {year}; known: {sorted(OCCUPATION_SHARES)}"
+        ) from None
+    occupations = list(shares)
+    probs = np.array([shares[o] for o in occupations], dtype=float)
+    return occupations, probs / probs.sum()
+
+
+def sample_occupation(year: int, rng: np.random.Generator) -> Occupation:
+    """Draw one occupation for a recruit in campaign ``year``."""
+    occupations, probs = occupation_probabilities(year)
+    return occupations[int(rng.choice(len(occupations), p=probs))]

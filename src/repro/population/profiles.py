@@ -1,0 +1,107 @@
+"""Per-user profiles: everything that shapes one participant's behaviour.
+
+A profile is the simulator-side identity of a participant. Fields fall into
+three groups: device (OS/carrier/technology), environment (home/office
+locations, whether a home broadband AP exists), and behaviour (WiFi interface
+policy, public-WiFi enrollment, traffic appetite, category taste).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.apps.demand import CategoryMix
+from repro.errors import ConfigurationError
+from repro.geo.coords import Coordinate
+from repro.net.cellular import Carrier, CellularTechnology
+from repro.population.demographics import COMMUTER_OCCUPATIONS, Occupation
+from repro.traces.records import DeviceOS
+
+
+class WifiPolicy(enum.Enum):
+    """How a user manages the WiFi interface (§3.3.4, Table 9).
+
+    - ``ALWAYS_ON``: interface on all day; associates with any configured
+      network in range.
+    - ``DAYTIME_OFF``: explicitly turns WiFi off when leaving home and back
+      on in the evening (the WiFi-off population, ~50% of Android users in
+      2013 falling to ~40% in 2015).
+    - ``ALWAYS_OFF``: never turns WiFi on (cellular-intensive).
+    - ``NO_CONFIG``: interface on but no networks configured — shows up as
+      WiFi-available, never associates ("difficult to set up" /
+      "no configuration" in Table 9).
+    """
+
+    ALWAYS_ON = "always_on"
+    DAYTIME_OFF = "daytime_off"
+    ALWAYS_OFF = "always_off"
+    NO_CONFIG = "no_config"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class UserProfile:
+    """One recruited participant."""
+
+    user_id: int
+    os: DeviceOS
+    carrier: Carrier
+    technology: CellularTechnology
+    occupation: Occupation
+    home: Coordinate
+    office: Optional[Coordinate]
+    has_home_ap: bool
+    office_has_ap: bool
+    wifi_policy: WifiPolicy
+    public_enrolled: bool
+    #: The user disabled cellular data entirely and relies on WiFi alone
+    #: (the WiFi-intensive population of Figure 5, ~8% of user-days).
+    cellular_data_off: bool
+    appetite_bytes: float
+    mix: CategoryMix
+    has_mobile_ap: bool = False
+    commute_public_exposure: float = 0.5
+    #: Fraction of at-home demand that still leaks onto cellular (WiFi
+    #: assist, app pinning, brief disconnects).
+    home_cell_leak: float = 0.2
+    #: Multiplier on the WiFi binge-burst rate (a heavy-tailed minority of
+    #: users binge video/downloads on WiFi; they become the heavy hitters).
+    binge_propensity: float = 1.0
+    recruited: bool = True
+
+    #: Filled by the deployment step.
+    home_ap_id: int = field(default=-1)
+    office_ap_id: int = field(default=-1)
+    mobile_ap_id: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.appetite_bytes <= 0:
+            raise ConfigurationError("appetite must be positive")
+        if self.is_commuter and self.office is None:
+            raise ConfigurationError(
+                f"commuter occupation {self.occupation} requires an office"
+            )
+        if not 0.0 <= self.commute_public_exposure <= 1.0:
+            raise ConfigurationError("commute exposure must be in [0, 1]")
+        if not 0.0 <= self.home_cell_leak <= 1.0:
+            raise ConfigurationError("home_cell_leak must be in [0, 1]")
+
+    @property
+    def is_commuter(self) -> bool:
+        """Whether the weekday schedule includes a workplace commute."""
+        return self.occupation in COMMUTER_OCCUPATIONS or (
+            self.occupation is Occupation.STUDENT
+        )
+
+    @property
+    def wifi_capable(self) -> bool:
+        """Whether any WiFi association can ever happen for this user."""
+        if self.wifi_policy in (WifiPolicy.ALWAYS_OFF, WifiPolicy.NO_CONFIG):
+            return False
+        return self.has_home_ap or self.office_has_ap or self.public_enrolled or (
+            self.has_mobile_ap
+        )

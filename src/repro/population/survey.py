@@ -1,0 +1,199 @@
+"""Post-campaign user survey (§4.2, Tables 8 and 9).
+
+At the end of each campaign all users filled out a questionnaire with two
+WiFi questions: where did you connect (home/office/public), and why did you
+not connect at each location. Answers are generated from each user's actual
+profile plus reporting noise — notably the optimism bias the paper observes:
+"users think they have more connectivity than they really do in public WiFi
+networks".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.population.profiles import UserProfile, WifiPolicy
+
+LOCATIONS = ("home", "office", "public")
+
+ANSWERS = ("yes", "no", "NA")
+
+#: Reason rows of Table 9 (multiple answers allowed). The security and
+#: LTE-is-enough questions were added in 2014.
+REASONS = (
+    "No available APs",
+    "Difficult to set up",
+    "No configuration",
+    "Battery drain",
+    "Failed",
+    "Security issue",
+    "LTE is enough",
+    "Other",
+)
+
+_SINCE_2014 = frozenset({"Security issue", "LTE is enough"})
+
+
+@dataclass(frozen=True)
+class SurveyResponse:
+    """One user's questionnaire."""
+
+    user_id: int
+    occupation: str
+    connected: Dict[str, str]
+    reasons: Dict[str, Tuple[str, ...]]
+
+    def __post_init__(self) -> None:
+        for loc in LOCATIONS:
+            if self.connected.get(loc) not in ANSWERS:
+                raise ConfigurationError(f"bad answer for {loc}")
+
+
+def _connected_home(profile: UserProfile, rng: np.random.Generator) -> bool:
+    if not profile.has_home_ap:
+        return False
+    return profile.wifi_policy is not WifiPolicy.ALWAYS_OFF and (
+        profile.wifi_policy is not WifiPolicy.NO_CONFIG
+    )
+
+
+def _connected_office(profile: UserProfile, rng: np.random.Generator) -> bool:
+    if not profile.office_has_ap:
+        return False
+    return profile.wifi_policy is WifiPolicy.ALWAYS_ON or rng.random() < 0.5
+
+
+def _claims_public(profile: UserProfile, year: int, rng: np.random.Generator) -> bool:
+    """Self-reported public-WiFi use, with the paper's optimism bias."""
+    actually = (
+        profile.public_enrolled
+        and profile.wifi_policy in (WifiPolicy.ALWAYS_ON, WifiPolicy.DAYTIME_OFF)
+    )
+    if actually:
+        return True
+    # Optimistic over-reporting grows slightly with deployment visibility.
+    optimism = {2013: 0.28, 2014: 0.30, 2015: 0.33}.get(year, 0.30)
+    return rng.random() < optimism
+
+
+def _reasons_for(
+    profile: UserProfile, location: str, year: int, rng: np.random.Generator
+) -> Tuple[str, ...]:
+    """Reasons a user gives for not connecting at ``location``."""
+    chosen: List[str] = []
+    policy = profile.wifi_policy
+    no_ap = {
+        "home": not profile.has_home_ap,
+        "office": not profile.office_has_ap,
+        "public": not profile.public_enrolled and rng.random() < 0.4,
+    }[location]
+    if no_ap:
+        chosen.append("No available APs")
+    if policy is WifiPolicy.NO_CONFIG:
+        chosen.append("No configuration")
+        if rng.random() < 0.6:
+            chosen.append("Difficult to set up")
+    elif rng.random() < 0.15:
+        chosen.append("Difficult to set up")
+    if policy is WifiPolicy.DAYTIME_OFF and rng.random() < 0.3:
+        chosen.append("Battery drain")
+    if rng.random() < 0.08:
+        chosen.append("Failed")
+    if year >= 2014:
+        security_p = {"home": 0.08, "office": 0.10, "public": 0.25}[location]
+        if rng.random() < security_p * (1.5 if year == 2015 else 1.0):
+            chosen.append("Security issue")
+        from repro.net.cellular import CellularTechnology
+
+        if profile.technology is CellularTechnology.LTE and rng.random() < (
+            {"home": 0.30, "office": 0.15, "public": 0.30}[location]
+        ):
+            chosen.append("LTE is enough")
+    if rng.random() < 0.07:
+        chosen.append("Other")
+    if not chosen:
+        chosen.append("Other")
+    return tuple(dict.fromkeys(chosen))
+
+
+def run_survey(
+    profiles: List[UserProfile], year: int, rng: np.random.Generator
+) -> List[SurveyResponse]:
+    """Generate every user's questionnaire for one campaign."""
+    responses = []
+    for profile in profiles:
+        connected = {}
+        na_roll = rng.random(3)
+        answers = (
+            _connected_home(profile, rng),
+            _connected_office(profile, rng),
+            _claims_public(profile, year, rng),
+        )
+        for loc, ans, na in zip(LOCATIONS, answers, na_roll):
+            if na < 0.05:
+                connected[loc] = "NA"
+            else:
+                connected[loc] = "yes" if ans else "no"
+        reasons = {
+            loc: _reasons_for(profile, loc, year, rng)
+            for loc in LOCATIONS
+            if connected[loc] != "yes"
+        }
+        responses.append(
+            SurveyResponse(
+                user_id=profile.user_id,
+                occupation=profile.occupation.value,
+                connected=connected,
+                reasons=reasons,
+            )
+        )
+    return responses
+
+
+@dataclass
+class SurveyTables:
+    """Aggregated survey percentages (Tables 2, 8, 9)."""
+
+    year: int
+    n_responses: int
+    occupation_pct: Dict[str, float] = field(default_factory=dict)
+    connected_pct: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    reason_pct: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+
+def tabulate_survey(responses: List[SurveyResponse], year: int) -> SurveyTables:
+    """Aggregate questionnaires into the three survey tables."""
+    if not responses:
+        raise AnalysisError("no survey responses to tabulate")
+    n = len(responses)
+    tables = SurveyTables(year=year, n_responses=n)
+
+    occupation_counts: Dict[str, int] = {}
+    for r in responses:
+        occupation_counts[r.occupation] = occupation_counts.get(r.occupation, 0) + 1
+    tables.occupation_pct = {
+        occ: 100.0 * count / n for occ, count in sorted(occupation_counts.items())
+    }
+
+    for loc in LOCATIONS:
+        counts = {a: 0 for a in ANSWERS}
+        for r in responses:
+            counts[r.connected[loc]] += 1
+        tables.connected_pct[loc] = {a: 100.0 * c / n for a, c in counts.items()}
+
+    for loc in LOCATIONS:
+        non_connected = [r for r in responses if r.connected[loc] != "yes"]
+        denom = max(len(non_connected), 1)
+        pct = {}
+        for reason in REASONS:
+            if year < 2014 and reason in _SINCE_2014:
+                pct[reason] = float("nan")
+                continue
+            hits = sum(1 for r in non_connected if reason in r.reasons.get(loc, ()))
+            pct[reason] = 100.0 * hits / denom
+        tables.reason_pct[loc] = pct
+    return tables

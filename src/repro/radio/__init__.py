@@ -1,0 +1,28 @@
+"""Radio substrate: frequency bands, path loss / RSSI, and channel planning."""
+
+from repro.radio.bands import Band
+from repro.radio.pathloss import PathLossModel, RssiModel
+from repro.radio.channels import (
+    CHANNELS_24GHZ,
+    NON_OVERLAPPING_24GHZ,
+    CHANNELS_5GHZ,
+    channels_interfere,
+    interference_pairs,
+    interference_fraction,
+    cross_channel_interference_fraction,
+    ChannelPlanner,
+)
+
+__all__ = [
+    "Band",
+    "PathLossModel",
+    "RssiModel",
+    "CHANNELS_24GHZ",
+    "NON_OVERLAPPING_24GHZ",
+    "CHANNELS_5GHZ",
+    "channels_interfere",
+    "interference_pairs",
+    "interference_fraction",
+    "cross_channel_interference_fraction",
+    "ChannelPlanner",
+]

@@ -1,0 +1,26 @@
+"""WiFi frequency bands (§3.4.3).
+
+Recent APs operate in two bands: 2.4 GHz (wider deployment, more noise) and
+5 GHz (more robust, rolled out aggressively in public networks).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Band(enum.Enum):
+    """A WiFi frequency band."""
+
+    GHZ_2_4 = "2.4GHz"
+    GHZ_5 = "5GHz"
+
+    @property
+    def center_frequency_mhz(self) -> int:
+        """Nominal band center frequency in MHz (used by path-loss models)."""
+        if self is Band.GHZ_2_4:
+            return 2442
+        return 5400
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value

@@ -1,0 +1,34 @@
+"""Reporting: text tables, figure series, external context, experiments."""
+
+from repro.reporting.tables import Table
+from repro.reporting.figures import FigureSeries, Figure, render_ascii_series
+from repro.reporting.svg import SvgChart, Axis, figure_to_svg
+from repro.reporting.context import national_traffic_growth, NationalTraffic
+from repro.reporting.summary import Finding, study_summary, render_markdown
+from repro.reporting.experiments import (
+    Experiment,
+    EXPERIMENTS,
+    AnalysisCache,
+    run_experiment,
+    list_experiments,
+)
+
+__all__ = [
+    "Table",
+    "FigureSeries",
+    "Figure",
+    "render_ascii_series",
+    "SvgChart",
+    "Axis",
+    "figure_to_svg",
+    "national_traffic_growth",
+    "NationalTraffic",
+    "Experiment",
+    "EXPERIMENTS",
+    "AnalysisCache",
+    "run_experiment",
+    "list_experiments",
+    "Finding",
+    "study_summary",
+    "render_markdown",
+]

@@ -1,0 +1,63 @@
+"""External context data (Figure 1).
+
+Figure 1 plots nationwide residential-broadband vs cellular download volume
+in Japan, 2006-2015, from the Ministry of Internal Affairs and
+Communications statistics the paper cites [34]. These are public aggregate
+data points printed in the paper's own figure, carried here so the figure
+can be regenerated; they are not outputs of the panel measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class NationalTraffic:
+    """One year's nationwide download volumes (Gbps)."""
+
+    year: int
+    rbb_download_gbps: float
+    cellular_download_gbps: float
+
+    @property
+    def cellular_share(self) -> float:
+        if self.rbb_download_gbps <= 0:
+            raise AnalysisError("broadband volume must be positive")
+        return self.cellular_download_gbps / self.rbb_download_gbps
+
+
+#: Approximate values read off Figure 1 (MIC statistics [34]): residential
+#: broadband grows from ~600 Gbps (2006) to ~3.6 Tbps (2015); cellular
+#: reaches ~20% of broadband by the end of 2014.
+_NATIONAL: Dict[int, NationalTraffic] = {
+    year: NationalTraffic(year, rbb, cell)
+    for year, rbb, cell in (
+        (2006, 640.0, 5.0),
+        (2007, 750.0, 9.0),
+        (2008, 880.0, 15.0),
+        (2009, 990.0, 25.0),
+        (2010, 1130.0, 45.0),
+        (2011, 1330.0, 90.0),
+        (2012, 1700.0, 180.0),
+        (2013, 2160.0, 330.0),
+        (2014, 2800.0, 560.0),
+        (2015, 3600.0, 780.0),
+    )
+}
+
+
+def national_traffic_growth() -> Dict[int, NationalTraffic]:
+    """Figure 1's series: year -> national volumes."""
+    return dict(_NATIONAL)
+
+
+def cellular_share_of_broadband(year: int = 2014) -> float:
+    """The ~20% cellular/broadband ratio §4.1 builds on."""
+    try:
+        return _NATIONAL[year].cellular_share
+    except KeyError:
+        raise AnalysisError(f"no national data for {year}") from None

@@ -1,0 +1,79 @@
+"""Figure-series containers and a small ASCII renderer.
+
+Benchmarks regenerate every paper figure as one or more named
+:class:`FigureSeries`; ``render_ascii_series`` draws a quick terminal
+sparkline so the shape is visible without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One named (x, y) series of a figure."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ReproError(f"series {self.label!r}: x and y lengths differ")
+
+
+@dataclass
+class Figure:
+    """A reproduced figure: id, caption, and its series."""
+
+    figure_id: str
+    caption: str
+    series: List[FigureSeries] = field(default_factory=list)
+
+    def add(self, label: str, x: Sequence[float], y: Sequence[float]) -> None:
+        self.series.append(
+            FigureSeries(label, np.asarray(x, float), np.asarray(y, float))
+        )
+
+    def get(self, label: str) -> FigureSeries:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise ReproError(
+            f"figure {self.figure_id} has no series {label!r}; "
+            f"have {[s.label for s in self.series]}"
+        )
+
+    def render(self, width: int = 72) -> str:
+        lines = [f"{self.figure_id}: {self.caption}"]
+        for s in self.series:
+            lines.append(f"  {s.label}")
+            lines.append("  " + render_ascii_series(s.y, width=width))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def render_ascii_series(values: Sequence[float], width: int = 72) -> str:
+    """Downsample ``values`` to ``width`` columns of unicode blocks."""
+    arr = np.asarray(values, dtype=float)
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        return "(no data)"
+    if arr.size > width:
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array([arr[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a])
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi <= lo:
+        return _BLOCKS[1] * len(arr)
+    scaled = (arr - lo) / (hi - lo) * (len(_BLOCKS) - 2) + 1
+    return "".join(_BLOCKS[int(round(v))] for v in scaled)

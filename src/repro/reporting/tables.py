@@ -1,0 +1,52 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.errors import ReproError
+
+
+@dataclass
+class Table:
+    """A titled table of rows; renders aligned monospace text."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ReproError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def render(self) -> str:
+        cells = [[_fmt(c) for c in self.columns]]
+        for row in self.rows:
+            cells.append([_fmt(v) for v in row])
+        widths = [max(len(r[i]) for r in cells) for i in range(len(self.columns))]
+        lines = [self.title, "-" * len(self.title)]
+        header = "  ".join(c.ljust(w) for c, w in zip(cells[0], widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells[1:]:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NA"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)

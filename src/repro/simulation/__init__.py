@@ -1,0 +1,19 @@
+"""Campaign simulator: devices, traffic, caps, campaigns, the 3-year study."""
+
+from repro.simulation.cap import SoftCapPolicy, SoftCapTracker
+from repro.simulation.params import SimParams
+from repro.simulation.device import DeviceSimulator
+from repro.simulation.campaign import CampaignConfig, run_campaign
+from repro.simulation.study import StudyConfig, Study, default_campaign_config
+
+__all__ = [
+    "SoftCapPolicy",
+    "SoftCapTracker",
+    "SimParams",
+    "DeviceSimulator",
+    "CampaignConfig",
+    "run_campaign",
+    "StudyConfig",
+    "Study",
+    "default_campaign_config",
+]

@@ -1,0 +1,152 @@
+"""Run one measurement campaign end to end.
+
+``run_campaign`` assembles the year's world (panel, deployment), simulates
+every device, and freezes the result into a
+:class:`~repro.traces.dataset.CampaignDataset` whose AP directory contains
+exactly the APs that were actually observed (associated or sighted) — the
+dataset never reveals the full deployed universe, just like the real
+measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+from typing import List, Optional, Set
+
+import numpy as np
+
+from repro.apps.demand import DemandModel
+from repro.apps.updates import UpdateModel
+from repro.errors import ConfigurationError
+from repro.net.accesspoint import AccessPoint
+from repro.network_env.deployment import Deployment, DeploymentConfig, build_deployment
+from repro.population.profiles import UserProfile
+from repro.population.recruitment import RecruitmentConfig, recruit
+from repro.simulation.device import DeviceSimulator
+from repro.simulation.params import SimParams
+from repro.timeutil import TimeAxis
+from repro.traces.dataset import CampaignDataset, DatasetBuilder, GroundTruth
+from repro.traces.records import ApDirectoryEntry, DeviceInfo
+
+
+@dataclass
+class CampaignConfig:
+    """Everything needed to simulate one campaign."""
+
+    year: int
+    start: date
+    n_days: int
+    recruitment: RecruitmentConfig
+    deployment: DeploymentConfig
+    params: SimParams
+    appetite_median_mb: float
+    appetite_sigma: float = 0.85
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_days <= 0:
+            raise ConfigurationError("n_days must be positive")
+        if self.recruitment.year != self.year or self.deployment.year != self.year:
+            raise ConfigurationError("year mismatch between configs")
+
+    @property
+    def axis(self) -> TimeAxis:
+        return TimeAxis(self.start, self.n_days)
+
+
+@dataclass
+class CampaignResult:
+    """A finished campaign: dataset plus simulator-side context."""
+
+    config: CampaignConfig
+    dataset: CampaignDataset
+    profiles: List[UserProfile]
+    deployment: Deployment
+
+
+def run_campaign(config: CampaignConfig) -> CampaignResult:
+    """Simulate one campaign and return its dataset and context."""
+    root_rng = np.random.default_rng(config.seed)
+    demand = DemandModel(
+        year_index=config.params.year_index,
+        appetite_median_mb=config.appetite_median_mb,
+        appetite_sigma=config.appetite_sigma,
+        wifi_uplift=config.params.wifi_uplift,
+    )
+    profiles = recruit(config.recruitment, demand, root_rng)
+    deployment = build_deployment(profiles, config.deployment, root_rng)
+
+    axis = config.axis
+    builder = DatasetBuilder(config.year, axis)
+    for profile in profiles:
+        builder.add_device(
+            DeviceInfo(
+                device_id=profile.user_id,
+                os=profile.os,
+                carrier=profile.carrier.name,
+                technology=profile.technology,
+                recruited=profile.recruited,
+                occupation=profile.occupation.value,
+            )
+        )
+
+    update_model: Optional[UpdateModel] = None
+    if config.params.update_policy is not None:
+        update_model = UpdateModel(config.params.update_policy)
+
+    for profile in profiles:
+        user_rng = np.random.default_rng((config.seed, config.year, profile.user_id))
+        simulator = DeviceSimulator(
+            profile=profile,
+            axis=axis,
+            deployment=deployment,
+            demand=demand,
+            params=config.params,
+            update_model=update_model,
+            rng=user_rng,
+        )
+        simulator.run(builder)
+
+    _register_observed_aps(builder, deployment)
+    builder.ground_truth = _ground_truth(profiles, deployment)
+    dataset = builder.build()
+    return CampaignResult(
+        config=config, dataset=dataset, profiles=profiles, deployment=deployment
+    )
+
+
+def _register_observed_aps(builder: DatasetBuilder, deployment: Deployment) -> None:
+    """Put only APs the panel actually observed into the directory."""
+    observed: Set[int] = set()
+    for chunk in builder._chunks["wifi"]:
+        ap_ids = chunk["ap_id"]
+        observed.update(int(a) for a in np.unique(ap_ids) if a >= 0)
+    for chunk in builder._chunks["sightings"]:
+        observed.update(int(a) for a in np.unique(chunk["ap_id"]))
+    for chunk in builder._chunks["apps"]:
+        ap_ids = chunk["ap_id"]
+        observed.update(int(a) for a in np.unique(ap_ids) if a >= 0)
+    for ap_id in sorted(observed):
+        ap: AccessPoint = deployment.ap(ap_id)
+        builder.add_ap(
+            ApDirectoryEntry(
+                ap_id=ap.ap_id,
+                bssid=ap.bssid,
+                essid=ap.essid,
+                band=ap.band,
+                channel=ap.channel,
+            )
+        )
+
+
+def _ground_truth(profiles: List[UserProfile], deployment: Deployment) -> GroundTruth:
+    truth = GroundTruth()
+    truth.ap_types = {ap_id: ap.ap_type for ap_id, ap in deployment.aps.items()}
+    for profile in profiles:
+        if profile.home_ap_id >= 0:
+            truth.home_ap_of_user[profile.user_id] = profile.home_ap_id
+        if profile.office_ap_id >= 0:
+            truth.office_ap_of_user[profile.user_id] = profile.office_ap_id
+        truth.wifi_policy_of_user[profile.user_id] = profile.wifi_policy.value
+    return truth

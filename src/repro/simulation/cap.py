@@ -1,0 +1,95 @@
+"""Soft bandwidth cap (§1, §3.8).
+
+Japanese cellular providers limit a user's bandwidth (e.g. to 128 kbps)
+during peak hours for a few days once the previous three days' download
+volume exceeds a threshold (typically 1 GB). Two providers relaxed the
+policy in February 2015, which the 2015 campaign config expresses with a
+higher throttled rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, Tuple
+from collections import deque
+
+from repro.constants import (
+    CAP_LIMIT_BPS,
+    CAP_THRESHOLD_BYTES,
+    CAP_WINDOW_DAYS,
+    SAMPLE_PERIOD_SECONDS,
+)
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SoftCapPolicy:
+    """One carrier-year's soft-cap parameters."""
+
+    threshold_bytes: float = float(CAP_THRESHOLD_BYTES)
+    window_days: int = CAP_WINDOW_DAYS
+    limit_bps: float = float(CAP_LIMIT_BPS)
+    #: Hours of day during which the throttle applies (peak hours).
+    peak_hours: Tuple[int, ...] = (8, 12, 18, 19, 20, 21, 22, 23)
+    #: Days the throttle lasts once triggered.
+    penalty_days: int = 2
+
+    def __post_init__(self) -> None:
+        if self.threshold_bytes <= 0:
+            raise ConfigurationError("cap threshold must be positive")
+        if self.window_days < 1:
+            raise ConfigurationError("cap window must be >= 1 day")
+        if self.limit_bps <= 0:
+            raise ConfigurationError("cap limit must be positive")
+        if not all(0 <= h < 24 for h in self.peak_hours):
+            raise ConfigurationError("peak hours must be in 0..23")
+
+    @property
+    def limit_bytes_per_slot(self) -> float:
+        """Maximum bytes a throttled device moves in one 10-minute slot."""
+        return self.limit_bps * SAMPLE_PERIOD_SECONDS / 8.0
+
+
+@dataclass
+class SoftCapTracker:
+    """Tracks one device's rolling download volume and throttle state.
+
+    Drive it day by day: query :meth:`potentially_capped` before the day
+    (it reflects the previous ``window_days``), add the day's realized
+    cellular download with :meth:`record_day`.
+    """
+
+    policy: SoftCapPolicy
+    _window: Deque[float] = field(default_factory=deque)
+    _penalty_left: int = 0
+
+    def potentially_capped(self) -> bool:
+        """Whether the previous window exceeded the threshold (§3.8)."""
+        return sum(self._window) > self.policy.threshold_bytes
+
+    def throttled_today(self) -> bool:
+        """Whether the throttle is active today."""
+        return self._penalty_left > 0 or self.potentially_capped()
+
+    def slot_limit(self, hour: int) -> float:
+        """Byte limit for a slot at ``hour`` today (inf when unthrottled)."""
+        if self.throttled_today() and hour in self.policy.peak_hours:
+            return self.policy.limit_bytes_per_slot
+        return float("inf")
+
+    def window_total(self) -> float:
+        """Download bytes accumulated over the current window."""
+        return float(sum(self._window))
+
+    def record_day(self, cellular_rx_bytes: float) -> None:
+        """Record a finished day's cellular download volume."""
+        if cellular_rx_bytes < 0:
+            raise ConfigurationError("cellular volume must be >= 0")
+        was_over = self.potentially_capped()
+        self._window.append(cellular_rx_bytes)
+        while len(self._window) > self.policy.window_days:
+            self._window.popleft()
+        if was_over:
+            self._penalty_left = max(self._penalty_left - 1, 0)
+        if self.potentially_capped():
+            self._penalty_left = self.policy.penalty_days

@@ -1,0 +1,100 @@
+"""Empirical distribution helpers used by the CDF/CCDF/PDF figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class Ecdf:
+    """An empirical CDF: sorted support values and cumulative probabilities.
+
+    ``values[i]`` has cumulative probability ``probs[i]``; evaluation at an
+    arbitrary point uses right-continuous step semantics.
+    """
+
+    values: np.ndarray
+    probs: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    def at(self, x: float) -> float:
+        """P(X <= x)."""
+        idx = np.searchsorted(self.values, x, side="right")
+        if idx == 0:
+            return 0.0
+        return float(self.probs[idx - 1])
+
+    def quantile(self, q: float) -> float:
+        """Smallest value with cumulative probability >= ``q``."""
+        if not 0.0 < q <= 1.0:
+            raise AnalysisError(f"quantile must be in (0, 1]: {q}")
+        idx = np.searchsorted(self.probs, q, side="left")
+        idx = min(idx, len(self.values) - 1)
+        return float(self.values[idx])
+
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+
+def ecdf(samples: np.ndarray) -> Ecdf:
+    """Empirical CDF of ``samples`` (NaNs rejected, empty rejected)."""
+    data = np.asarray(samples, dtype=float).ravel()
+    if data.size == 0:
+        raise AnalysisError("cannot build an ECDF from no samples")
+    if np.isnan(data).any():
+        raise AnalysisError("samples contain NaN")
+    values = np.sort(data)
+    probs = np.arange(1, len(values) + 1, dtype=float) / len(values)
+    return Ecdf(values, probs)
+
+
+def ccdf(samples: np.ndarray) -> Ecdf:
+    """Complementary CDF: P(X > x) at each sorted sample value.
+
+    Returned in the same container; ``probs`` are exceedance probabilities.
+    """
+    base = ecdf(samples)
+    return Ecdf(base.values, 1.0 - base.probs)
+
+
+def pdf_histogram(
+    samples: np.ndarray,
+    bins: "int | np.ndarray" = 50,
+    range_: "Tuple[float, float] | None" = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Probability-density histogram: returns (bin_centers, density)."""
+    data = np.asarray(samples, dtype=float).ravel()
+    if data.size == 0:
+        raise AnalysisError("cannot build a PDF from no samples")
+    density, edges = np.histogram(data, bins=bins, range=range_, density=True)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return centers, density
+
+
+def percentile_band_mask(
+    samples: np.ndarray, low_pct: float, high_pct: float
+) -> np.ndarray:
+    """Boolean mask of samples in the [low_pct, high_pct) percentile band.
+
+    Used for the paper's light-user definition (§2: 40th-60th percentile of
+    daily download). The band is half-open so adjacent bands partition the
+    population; the top band should use ``high_pct=100`` which is inclusive.
+    """
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        return np.zeros(0, dtype=bool)
+    if not 0.0 <= low_pct < high_pct <= 100.0:
+        raise AnalysisError(f"bad percentile band: [{low_pct}, {high_pct})")
+    lo = np.percentile(data, low_pct)
+    hi = np.percentile(data, high_pct)
+    if high_pct == 100.0:
+        return (data >= lo) & (data <= hi)
+    return (data >= lo) & (data < hi)

@@ -1,0 +1,96 @@
+"""Campaign time axis: 10-minute slots over a 15-day window.
+
+Every table in a :class:`~repro.traces.dataset.CampaignDataset` is indexed by
+a slot number ``t`` counted from campaign start. These helpers convert slots
+to wall-clock quantities (day index, hour of day, weekday) without carrying
+datetime objects through the hot paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, datetime, timedelta
+
+import numpy as np
+
+from repro.constants import (
+    CAMPAIGN_DAYS,
+    SAMPLES_PER_DAY,
+    SAMPLES_PER_HOUR,
+    SAMPLE_PERIOD_MINUTES,
+)
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TimeAxis:
+    """The slot grid of one campaign.
+
+    ``start`` is the local midnight beginning the campaign (JST in the paper;
+    timezone-naive here). Slot ``t`` covers
+    ``[start + t*10min, start + (t+1)*10min)``.
+    """
+
+    start: date
+    n_days: int = CAMPAIGN_DAYS
+
+    def __post_init__(self) -> None:
+        if self.n_days <= 0:
+            raise ConfigurationError(f"n_days must be positive: {self.n_days}")
+
+    @property
+    def n_slots(self) -> int:
+        """Total number of 10-minute slots in the campaign."""
+        return self.n_days * SAMPLES_PER_DAY
+
+    def slot_datetime(self, t: int) -> datetime:
+        """Wall-clock start of slot ``t``."""
+        self._check(t)
+        return datetime(self.start.year, self.start.month, self.start.day) + timedelta(
+            minutes=t * SAMPLE_PERIOD_MINUTES
+        )
+
+    def day_of(self, t) -> "np.ndarray | int":
+        """Campaign-day index (0-based) for slot(s) ``t``."""
+        return np.asarray(t) // SAMPLES_PER_DAY if _is_array(t) else int(t) // SAMPLES_PER_DAY
+
+    def hour_of(self, t) -> "np.ndarray | int":
+        """Hour of day (0-23) for slot(s) ``t``."""
+        if _is_array(t):
+            return (np.asarray(t) % SAMPLES_PER_DAY) // SAMPLES_PER_HOUR
+        return (int(t) % SAMPLES_PER_DAY) // SAMPLES_PER_HOUR
+
+    def weekday_of(self, t) -> "np.ndarray | int":
+        """Weekday (Monday=0 .. Sunday=6) for slot(s) ``t``."""
+        base = self.start.weekday()
+        day = self.day_of(t)
+        return (day + base) % 7
+
+    def is_weekend(self, t) -> "np.ndarray | bool":
+        """Whether slot(s) ``t`` fall on Saturday or Sunday."""
+        wd = self.weekday_of(t)
+        return wd >= 5
+
+    def slot_of(self, day: int, hour: int, minute: int = 0) -> int:
+        """Slot index for campaign ``day`` at ``hour:minute``."""
+        if not 0 <= day < self.n_days:
+            raise ConfigurationError(f"day out of range: {day}")
+        if not 0 <= hour < 24:
+            raise ConfigurationError(f"hour out of range: {hour}")
+        if not 0 <= minute < 60:
+            raise ConfigurationError(f"minute out of range: {minute}")
+        return (
+            day * SAMPLES_PER_DAY
+            + hour * SAMPLES_PER_HOUR
+            + minute // SAMPLE_PERIOD_MINUTES
+        )
+
+    def _check(self, t: int) -> None:
+        if not 0 <= t < self.n_slots:
+            raise ConfigurationError(
+                f"slot {t} out of range [0, {self.n_slots})"
+            )
+
+
+def _is_array(x) -> bool:
+    return isinstance(x, np.ndarray)

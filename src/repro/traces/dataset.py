@@ -1,0 +1,431 @@
+"""Columnar campaign dataset.
+
+A :class:`CampaignDataset` holds one campaign's records as numpy column
+arrays, which is what every analysis operates on. :class:`DatasetBuilder`
+accumulates records (either unit records from the collection pipeline or bulk
+appends from the simulator) and freezes them into a dataset.
+
+Ground truth (AP deployment categories, users' true home APs) is carried
+separately in :class:`GroundTruth` and is **never read by analyses** — it
+exists so tests can score the inference algorithms against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.constants import SAMPLES_PER_DAY
+from repro.errors import DatasetError, SchemaError
+from repro.net.accesspoint import APType
+from repro.timeutil import TimeAxis
+from repro.traces.records import (
+    ApDirectoryEntry,
+    AppTrafficRecord,
+    BatterySample,
+    DeviceInfo,
+    DeviceOS,
+    GeoSample,
+    IfaceKind,
+    ScanSighting,
+    ScanSummary,
+    TrafficSample,
+    UpdateEvent,
+    WifiObservation,
+    WifiStateCode,
+)
+
+
+@dataclass
+class _Table:
+    """A named bundle of equal-length numpy columns."""
+
+    columns: Dict[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        lengths = {name: len(col) for name, col in self.columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise SchemaError(f"ragged table columns: {lengths}")
+
+    def __len__(self) -> int:
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    def __getattr__(self, name: str) -> np.ndarray:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def select(self, mask: np.ndarray) -> "_Table":
+        """Row-filtered copy."""
+        return _Table({name: col[mask] for name, col in self.columns.items()})
+
+
+@dataclass
+class GroundTruth:
+    """Simulator-side truth for scoring inference (not used by analyses)."""
+
+    ap_types: Dict[int, APType] = field(default_factory=dict)
+    home_ap_of_user: Dict[int, int] = field(default_factory=dict)
+    office_ap_of_user: Dict[int, int] = field(default_factory=dict)
+    wifi_policy_of_user: Dict[int, str] = field(default_factory=dict)
+
+
+@dataclass
+class CampaignDataset:
+    """One measurement campaign as column arrays.
+
+    Tables (all sorted by (device, t) where applicable):
+
+    - ``traffic``: device, t, iface, rx, tx, rx_pkts, tx_pkts — bytes and
+      packets per interface per slot.
+    - ``wifi``: device, t, state, ap_id, rssi — WiFi interface observations.
+    - ``geo``: device, t, col, row — coarse 5 km location.
+    - ``scans``: device, t, n24_all, n24_strong, n5_all, n5_strong — public-AP
+      scan counts (Android, interface on).
+    - ``sightings``: device, t, ap_id, rssi — detailed scan results sampled
+      hourly (Android).
+    - ``apps``: device, day, category, cellular, ap_id, col, row, rx, tx —
+      daily per-category app traffic (Android).
+    - ``updates``: device, t, bytes — OS update events.
+    - ``battery``: device, t, level, charging — battery status samples.
+    """
+
+    year: int
+    axis: TimeAxis
+    devices: List[DeviceInfo]
+    ap_directory: Dict[int, ApDirectoryEntry]
+    traffic: _Table
+    wifi: _Table
+    geo: _Table
+    scans: _Table
+    sightings: _Table
+    apps: _Table
+    updates: _Table
+    battery: _Table
+    ground_truth: Optional[GroundTruth] = None
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def n_days(self) -> int:
+        return self.axis.n_days
+
+    @property
+    def n_slots(self) -> int:
+        return self.axis.n_slots
+
+    def device(self, device_id: int) -> DeviceInfo:
+        """Look up a device record by id (ids are dense 0..n-1)."""
+        if not 0 <= device_id < len(self.devices):
+            raise DatasetError(f"unknown device_id {device_id}")
+        return self.devices[device_id]
+
+    def device_os(self) -> np.ndarray:
+        """Array of OS codes per device (0=Android, 1=iOS)."""
+        return np.array(
+            [0 if d.os is DeviceOS.ANDROID else 1 for d in self.devices],
+            dtype=np.int8,
+        )
+
+    def android_ids(self) -> np.ndarray:
+        return np.flatnonzero(self.device_os() == 0)
+
+    def ios_ids(self) -> np.ndarray:
+        return np.flatnonzero(self.device_os() == 1)
+
+    # ------------------------------------------------------------------
+    # Core aggregations shared by many analyses
+    # ------------------------------------------------------------------
+
+    def daily_matrix(
+        self,
+        kind: str = "all",
+        direction: str = "rx",
+    ) -> np.ndarray:
+        """Per-(device, day) byte totals as an (n_devices, n_days) array.
+
+        ``kind`` selects interfaces: ``"all"``, ``"cell"``, ``"wifi"``,
+        ``"3g"``, ``"lte"``. ``direction`` is ``"rx"`` or ``"tx"``.
+        """
+        mask = self._iface_mask(kind)
+        values = self._direction_column(direction)[mask]
+        dev = self.traffic.device[mask]
+        day = self.traffic.t[mask] // SAMPLES_PER_DAY
+        out = np.zeros((self.n_devices, self.n_days))
+        np.add.at(out, (dev, day), values)
+        return out
+
+    def hourly_series(self, kind: str = "all", direction: str = "rx") -> np.ndarray:
+        """Total bytes per hour of the campaign (length ``n_days * 24``)."""
+        mask = self._iface_mask(kind)
+        values = self._direction_column(direction)[mask]
+        hour = self.traffic.t[mask] // 6
+        out = np.zeros(self.n_days * 24)
+        np.add.at(out, hour, values)
+        return out
+
+    def _iface_mask(self, kind: str) -> np.ndarray:
+        iface = self.traffic.iface
+        if kind == "all":
+            return np.ones(len(iface), dtype=bool)
+        if kind == "cell":
+            return iface != int(IfaceKind.WIFI)
+        if kind == "wifi":
+            return iface == int(IfaceKind.WIFI)
+        if kind == "3g":
+            return iface == int(IfaceKind.CELL_3G)
+        if kind == "lte":
+            return iface == int(IfaceKind.CELL_LTE)
+        raise DatasetError(f"unknown interface kind: {kind!r}")
+
+    def _direction_column(self, direction: str) -> np.ndarray:
+        if direction == "rx":
+            return self.traffic.rx
+        if direction == "tx":
+            return self.traffic.tx
+        raise DatasetError(f"unknown direction: {direction!r}")
+
+
+class DatasetBuilder:
+    """Accumulates records and freezes them into a :class:`CampaignDataset`.
+
+    Accepts both unit records (:meth:`add_traffic` etc., used by the
+    collection server) and column chunks (:meth:`extend_traffic` etc., used
+    by the simulator's fast path). Rows may arrive in any order; ``build``
+    sorts each table by (device, t).
+    """
+
+    def __init__(self, year: int, axis: TimeAxis) -> None:
+        self.year = year
+        self.axis = axis
+        self.devices: List[DeviceInfo] = []
+        self.ap_directory: Dict[int, ApDirectoryEntry] = {}
+        self.ground_truth: Optional[GroundTruth] = None
+        self._chunks: Dict[str, List[Dict[str, np.ndarray]]] = {
+            name: [] for name in (
+                "traffic", "wifi", "geo", "scans", "sightings", "apps",
+                "updates", "battery",
+            )
+        }
+
+    # -- registry -------------------------------------------------------
+
+    def add_device(self, info: DeviceInfo) -> None:
+        if info.device_id != len(self.devices):
+            raise SchemaError(
+                f"device ids must be dense: expected {len(self.devices)}, "
+                f"got {info.device_id}"
+            )
+        self.devices.append(info)
+
+    def add_ap(self, entry: ApDirectoryEntry) -> None:
+        if entry.ap_id in self.ap_directory:
+            raise SchemaError(f"duplicate ap_id {entry.ap_id}")
+        self.ap_directory[entry.ap_id] = entry
+
+    # -- unit-record appends (collection pipeline) -----------------------
+
+    def add_traffic(self, s: TrafficSample) -> None:
+        if s.tethering:
+            # Tethering traffic is excluded at ingest (§2 cleaning).
+            return
+        self.extend_traffic(
+            device=[s.device_id], t=[s.t], iface=[int(s.iface)],
+            rx=[s.rx_bytes], tx=[s.tx_bytes],
+            rx_pkts=[s.rx_pkts], tx_pkts=[s.tx_pkts],
+        )
+
+    def add_wifi(self, o: WifiObservation) -> None:
+        self.extend_wifi(
+            device=[o.device_id], t=[o.t], state=[int(o.state)],
+            ap_id=[o.ap_id], rssi=[o.rssi_dbm],
+        )
+
+    def add_geo(self, g: GeoSample) -> None:
+        self.extend_geo(device=[g.device_id], t=[g.t], col=[g.cell_col], row=[g.cell_row])
+
+    def add_scan(self, s: ScanSummary) -> None:
+        self.extend_scans(
+            device=[s.device_id], t=[s.t],
+            n24_all=[s.n24_all], n24_strong=[s.n24_strong],
+            n5_all=[s.n5_all], n5_strong=[s.n5_strong],
+        )
+
+    def add_sighting(self, s: ScanSighting) -> None:
+        self.extend_sightings(
+            device=[s.device_id], t=[s.t], ap_id=[s.ap_id], rssi=[s.rssi_dbm]
+        )
+
+    def add_app_traffic(self, r: AppTrafficRecord) -> None:
+        self.extend_apps(
+            device=[r.device_id], day=[r.day], category=[r.category],
+            cellular=[int(r.iface_cellular)], ap_id=[r.ap_id],
+            col=[r.cell_col], row=[r.cell_row], rx=[r.rx_bytes], tx=[r.tx_bytes],
+        )
+
+    def add_update(self, e: UpdateEvent) -> None:
+        self.extend_updates(device=[e.device_id], t=[e.t], bytes=[e.bytes])
+
+    def add_battery(self, b: BatterySample) -> None:
+        self.extend_battery(device=[b.device_id], t=[b.t],
+                            level=[b.level_pct], charging=[int(b.charging)])
+
+    # -- column-chunk appends (simulator fast path) -----------------------
+
+    def extend_traffic(self, device, t, iface, rx, tx,
+                       rx_pkts=None, tx_pkts=None) -> None:
+        from repro.traces.records import MEAN_RX_PACKET_BYTES, MEAN_TX_PACKET_BYTES
+
+        rx_arr = _f64(rx)
+        tx_arr = _f64(tx)
+        if rx_pkts is None:
+            rx_pkts = np.ceil(rx_arr / MEAN_RX_PACKET_BYTES)
+        if tx_pkts is None:
+            tx_pkts = np.ceil(tx_arr / MEAN_TX_PACKET_BYTES)
+        self._extend("traffic", device=_i32(device), t=_i32(t),
+                     iface=_i8(iface), rx=rx_arr, tx=tx_arr,
+                     rx_pkts=_i64(rx_pkts), tx_pkts=_i64(tx_pkts))
+
+    def extend_wifi(self, device, t, state, ap_id, rssi) -> None:
+        self._extend("wifi", device=_i32(device), t=_i32(t), state=_i8(state),
+                     ap_id=_i32(ap_id), rssi=_f32(rssi))
+
+    def extend_geo(self, device, t, col, row) -> None:
+        self._extend("geo", device=_i32(device), t=_i32(t),
+                     col=_i16(col), row=_i16(row))
+
+    def extend_scans(self, device, t, n24_all, n24_strong, n5_all, n5_strong) -> None:
+        self._extend("scans", device=_i32(device), t=_i32(t),
+                     n24_all=_i16(n24_all), n24_strong=_i16(n24_strong),
+                     n5_all=_i16(n5_all), n5_strong=_i16(n5_strong))
+
+    def extend_sightings(self, device, t, ap_id, rssi) -> None:
+        self._extend("sightings", device=_i32(device), t=_i32(t),
+                     ap_id=_i32(ap_id), rssi=_f32(rssi))
+
+    def extend_apps(self, device, day, category, cellular, ap_id, col, row, rx, tx) -> None:
+        self._extend("apps", device=_i32(device), day=_i16(day),
+                     category=_i8(category), cellular=_i8(cellular),
+                     ap_id=_i32(ap_id), col=_i16(col), row=_i16(row),
+                     rx=_f64(rx), tx=_f64(tx))
+
+    def extend_updates(self, device, t, bytes) -> None:
+        self._extend("updates", device=_i32(device), t=_i32(t), bytes=_f64(bytes))
+
+    def extend_battery(self, device, t, level, charging) -> None:
+        self._extend("battery", device=_i32(device), t=_i32(t),
+                     level=_f32(level), charging=_i8(charging))
+
+    def _extend(self, table: str, **columns: np.ndarray) -> None:
+        lengths = {len(c) for c in columns.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"ragged chunk for table {table!r}")
+        self._chunks[table].append(columns)
+
+    # -- freeze -----------------------------------------------------------
+
+    def build(self) -> CampaignDataset:
+        """Freeze into an immutable, (device, t)-sorted dataset."""
+        tables = {}
+        for name, chunks in self._chunks.items():
+            tables[name] = self._concat(name, chunks)
+        self._validate_ranges(tables)
+        return CampaignDataset(
+            year=self.year,
+            axis=self.axis,
+            devices=list(self.devices),
+            ap_directory=dict(self.ap_directory),
+            traffic=tables["traffic"],
+            wifi=tables["wifi"],
+            geo=tables["geo"],
+            scans=tables["scans"],
+            sightings=tables["sightings"],
+            apps=tables["apps"],
+            updates=tables["updates"],
+            battery=tables["battery"],
+            ground_truth=self.ground_truth,
+        )
+
+    def _concat(self, name: str, chunks: List[Dict[str, np.ndarray]]) -> _Table:
+        if not chunks:
+            return _Table({col: np.array([], dtype=dt) for col, dt in _EMPTY_DTYPES[name]})
+        names = list(chunks[0])
+        for chunk in chunks:
+            if list(chunk) != names:
+                raise SchemaError(f"inconsistent columns in table {name!r}")
+        columns = {
+            col: np.concatenate([chunk[col] for chunk in chunks]) for col in names
+        }
+        table = _Table(columns)
+        sort_key = "t" if "t" in columns else "day"
+        order = np.lexsort((table.columns[sort_key], table.columns["device"]))
+        return table.select(order)
+
+    def _validate_ranges(self, tables: Dict[str, _Table]) -> None:
+        n_slots = self.axis.n_slots
+        n_dev = len(self.devices)
+        for name, table in tables.items():
+            if len(table) == 0:
+                continue
+            if table.device.min() < 0 or table.device.max() >= n_dev:
+                raise SchemaError(f"table {name!r} references unknown device")
+            key = "t" if "t" in table.columns else "day"
+            limit = n_slots if key == "t" else self.axis.n_days
+            if table.columns[key].min() < 0 or table.columns[key].max() >= limit:
+                raise SchemaError(f"table {name!r} has out-of-range {key}")
+
+
+_EMPTY_DTYPES = {
+    "traffic": [("device", np.int32), ("t", np.int32), ("iface", np.int8),
+                ("rx", np.float64), ("tx", np.float64),
+                ("rx_pkts", np.int64), ("tx_pkts", np.int64)],
+    "wifi": [("device", np.int32), ("t", np.int32), ("state", np.int8),
+             ("ap_id", np.int32), ("rssi", np.float32)],
+    "geo": [("device", np.int32), ("t", np.int32), ("col", np.int16),
+            ("row", np.int16)],
+    "scans": [("device", np.int32), ("t", np.int32), ("n24_all", np.int16),
+              ("n24_strong", np.int16), ("n5_all", np.int16), ("n5_strong", np.int16)],
+    "sightings": [("device", np.int32), ("t", np.int32), ("ap_id", np.int32),
+                  ("rssi", np.float32)],
+    "apps": [("device", np.int32), ("day", np.int16), ("category", np.int8),
+             ("cellular", np.int8), ("ap_id", np.int32), ("col", np.int16),
+             ("row", np.int16), ("rx", np.float64), ("tx", np.float64)],
+    "updates": [("device", np.int32), ("t", np.int32), ("bytes", np.float64)],
+    "battery": [("device", np.int32), ("t", np.int32), ("level", np.float32),
+                ("charging", np.int8)],
+}
+
+
+def _i8(x) -> np.ndarray:
+    return np.asarray(x, dtype=np.int8)
+
+
+def _i16(x) -> np.ndarray:
+    return np.asarray(x, dtype=np.int16)
+
+
+def _i32(x) -> np.ndarray:
+    return np.asarray(x, dtype=np.int32)
+
+
+def _f32(x) -> np.ndarray:
+    return np.asarray(x, dtype=np.float32)
+
+
+def _f64(x) -> np.ndarray:
+    return np.asarray(x, dtype=np.float64)
+
+
+def _i64(x) -> np.ndarray:
+    return np.asarray(x, dtype=np.int64)

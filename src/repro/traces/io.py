@@ -1,0 +1,153 @@
+"""Dataset persistence.
+
+A dataset is saved as a directory: ``meta.json`` holds the campaign
+metadata, device roster, AP directory, and (optionally) ground truth;
+``tables.npz`` holds the column arrays. The format round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import date
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.net.accesspoint import APType
+from repro.net.cellular import CellularTechnology
+from repro.radio.bands import Band
+from repro.timeutil import TimeAxis
+from repro.traces.dataset import CampaignDataset, GroundTruth, _Table
+from repro.traces.records import ApDirectoryEntry, DeviceInfo, DeviceOS
+
+_TABLE_NAMES = (
+    "traffic", "wifi", "geo", "scans", "sightings", "apps", "updates", "battery",
+)
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: CampaignDataset, path: "str | Path") -> Path:
+    """Write ``dataset`` to directory ``path`` (created if needed)."""
+    root = Path(path)
+    root.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "year": dataset.year,
+        "start": dataset.axis.start.isoformat(),
+        "n_days": dataset.axis.n_days,
+        "devices": [_device_to_json(d) for d in dataset.devices],
+        "ap_directory": [_ap_to_json(e) for e in dataset.ap_directory.values()],
+        "ground_truth": _truth_to_json(dataset.ground_truth),
+    }
+    (root / "meta.json").write_text(json.dumps(meta))
+    arrays: Dict[str, np.ndarray] = {}
+    for name in _TABLE_NAMES:
+        table: _Table = getattr(dataset, name)
+        for col, arr in table.columns.items():
+            arrays[f"{name}__{col}"] = arr
+    np.savez_compressed(root / "tables.npz", **arrays)
+    return root
+
+
+def load_dataset(path: "str | Path") -> CampaignDataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    root = Path(path)
+    meta_path = root / "meta.json"
+    if not meta_path.exists():
+        raise DatasetError(f"no dataset at {root}")
+    meta = json.loads(meta_path.read_text())
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise DatasetError(
+            f"unsupported dataset format version: {meta.get('format_version')}"
+        )
+    axis = TimeAxis(date.fromisoformat(meta["start"]), meta["n_days"])
+    with np.load(root / "tables.npz") as data:
+        tables = {}
+        for name in _TABLE_NAMES:
+            prefix = f"{name}__"
+            cols = {
+                key[len(prefix):]: data[key] for key in data.files
+                if key.startswith(prefix)
+            }
+            tables[name] = _Table(cols)
+    return CampaignDataset(
+        year=meta["year"],
+        axis=axis,
+        devices=[_device_from_json(d) for d in meta["devices"]],
+        ap_directory={
+            e["ap_id"]: _ap_from_json(e) for e in meta["ap_directory"]
+        },
+        ground_truth=_truth_from_json(meta.get("ground_truth")),
+        **tables,
+    )
+
+
+def _device_to_json(d: DeviceInfo) -> dict:
+    return {
+        "device_id": d.device_id,
+        "os": d.os.value,
+        "carrier": d.carrier,
+        "technology": d.technology.value,
+        "recruited": d.recruited,
+        "occupation": d.occupation,
+    }
+
+
+def _device_from_json(d: dict) -> DeviceInfo:
+    return DeviceInfo(
+        device_id=d["device_id"],
+        os=DeviceOS(d["os"]),
+        carrier=d["carrier"],
+        technology=CellularTechnology(d["technology"]),
+        recruited=d["recruited"],
+        occupation=d["occupation"],
+    )
+
+
+def _ap_to_json(e: ApDirectoryEntry) -> dict:
+    return {
+        "ap_id": e.ap_id,
+        "bssid": e.bssid,
+        "essid": e.essid,
+        "band": e.band.value,
+        "channel": e.channel,
+    }
+
+
+def _ap_from_json(e: dict) -> ApDirectoryEntry:
+    return ApDirectoryEntry(
+        ap_id=e["ap_id"],
+        bssid=e["bssid"],
+        essid=e["essid"],
+        band=Band(e["band"]),
+        channel=e["channel"],
+    )
+
+
+def _truth_to_json(truth: "GroundTruth | None") -> "dict | None":
+    if truth is None:
+        return None
+    return {
+        "ap_types": {str(k): v.value for k, v in truth.ap_types.items()},
+        "home_ap_of_user": {str(k): v for k, v in truth.home_ap_of_user.items()},
+        "office_ap_of_user": {str(k): v for k, v in truth.office_ap_of_user.items()},
+        "wifi_policy_of_user": {
+            str(k): v for k, v in truth.wifi_policy_of_user.items()
+        },
+    }
+
+
+def _truth_from_json(blob: "dict | None") -> "GroundTruth | None":
+    if blob is None:
+        return None
+    return GroundTruth(
+        ap_types={int(k): APType(v) for k, v in blob["ap_types"].items()},
+        home_ap_of_user={int(k): v for k, v in blob["home_ap_of_user"].items()},
+        office_ap_of_user={int(k): v for k, v in blob["office_ap_of_user"].items()},
+        wifi_policy_of_user={
+            int(k): v for k, v in blob["wifi_policy_of_user"].items()
+        },
+    )

@@ -1,0 +1,96 @@
+"""Reusable query helpers over campaign tables.
+
+Several analyses need the same joins: look up a device's 5 km cell at a
+given slot, attach the associated AP to a traffic row, or group rows by
+(device, day). These helpers centralize the sorted composite-key machinery
+(`device * n_slots + t`) the columnar layout makes fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.constants import SAMPLES_PER_DAY
+from repro.errors import AnalysisError
+from repro.traces.dataset import CampaignDataset
+from repro.traces.records import WifiStateCode
+
+
+def composite_keys(device: np.ndarray, t: np.ndarray, n_slots: int) -> np.ndarray:
+    """Sortable (device, slot) composite keys."""
+    return device.astype(np.int64) * n_slots + t.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class SlotIndex:
+    """A sorted (device, t) index over one table, for O(log n) lookups."""
+
+    keys: np.ndarray  # sorted composite keys
+    order: np.ndarray  # argsort of the source rows
+    n_slots: int
+
+    @classmethod
+    def build(
+        cls, device: np.ndarray, t: np.ndarray, n_slots: int
+    ) -> "SlotIndex":
+        keys = composite_keys(device, t, n_slots)
+        order = np.argsort(keys)
+        return cls(keys=keys[order], order=order, n_slots=n_slots)
+
+    def lookup(
+        self, device: np.ndarray, t: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Positions (into the *sorted* source) and a found mask."""
+        want = composite_keys(device, t, self.n_slots)
+        if len(self.keys) == 0:
+            return np.zeros(len(want), dtype=np.int64), np.zeros(len(want), bool)
+        pos = np.searchsorted(self.keys, want)
+        pos = np.clip(pos, 0, len(self.keys) - 1)
+        return pos, self.keys[pos] == want
+
+    def gather(self, column: np.ndarray, pos: np.ndarray) -> np.ndarray:
+        """Values of a source-table ``column`` at sorted positions ``pos``."""
+        return column[self.order][pos]
+
+
+def geo_cell_index(dataset: CampaignDataset) -> SlotIndex:
+    """Index for joining (device, t) to the geolocation table."""
+    geo = dataset.geo
+    if len(geo) == 0:
+        raise AnalysisError("dataset has no geolocation records")
+    return SlotIndex.build(geo.device, geo.t, dataset.n_slots)
+
+
+def association_index(dataset: CampaignDataset) -> Tuple[SlotIndex, np.ndarray]:
+    """Index over associated wifi rows plus their (sorted-order) ap ids."""
+    wifi = dataset.wifi
+    assoc = wifi.state == int(WifiStateCode.ASSOCIATED)
+    index = SlotIndex.build(wifi.device[assoc], wifi.t[assoc], dataset.n_slots)
+    ap_sorted = wifi.ap_id[assoc][index.order].astype(np.int64)
+    return index, ap_sorted
+
+
+def device_day_of(t: np.ndarray) -> np.ndarray:
+    """Campaign-day index for slot column ``t``."""
+    return t // SAMPLES_PER_DAY
+
+
+def distinct_cells_per_device_day(dataset: CampaignDataset) -> np.ndarray:
+    """(n_devices, n_days) count of distinct 5 km cells visited."""
+    geo = dataset.geo
+    if len(geo) == 0:
+        raise AnalysisError("dataset has no geolocation records")
+    day = device_day_of(geo.t.astype(np.int64))
+    # Pack (device, day, col, row) and count unique cells per (device, day).
+    quads = np.stack(
+        [geo.device.astype(np.int64), day,
+         geo.col.astype(np.int64), geo.row.astype(np.int64)],
+        axis=1,
+    )
+    distinct = np.unique(quads, axis=0)
+    out = np.zeros((dataset.n_devices, dataset.n_days), dtype=np.int64)
+    np.add.at(out, (distinct[:, 0], distinct[:, 1]), 1)
+    return out

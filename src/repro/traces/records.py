@@ -1,0 +1,284 @@
+"""Record types of the measurement schema (§2).
+
+The measurement software records, every 10 minutes: byte counts per network
+interface, application traffic (Android), WiFi association and scan results
+(scans on Android only), coarse geolocation, and device information. These
+dataclasses are the unit records the collection agent emits; the columnar
+:class:`~repro.traces.dataset.CampaignDataset` stores the same fields as
+arrays.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SchemaError
+from repro.net.cellular import CellularTechnology
+from repro.radio.bands import Band
+
+
+class IfaceKind(enum.IntEnum):
+    """Network interface a byte counter belongs to."""
+
+    CELL_3G = 0
+    CELL_LTE = 1
+    WIFI = 2
+
+    @property
+    def is_cellular(self) -> bool:
+        return self in (IfaceKind.CELL_3G, IfaceKind.CELL_LTE)
+
+    @classmethod
+    def from_technology(cls, tech: CellularTechnology) -> "IfaceKind":
+        if tech is CellularTechnology.LTE:
+            return cls.CELL_LTE
+        return cls.CELL_3G
+
+
+class WifiStateCode(enum.IntEnum):
+    """WiFi interface state in an observation (§3.3.4).
+
+    ``UNKNOWN`` covers iOS when not associated: iOS only reports the
+    associated AP, so off/available cannot be distinguished (§2).
+    """
+
+    OFF = 0
+    AVAILABLE = 1
+    ASSOCIATED = 2
+    UNKNOWN = 3
+
+
+class NetLocation(enum.IntEnum):
+    """Network-and-place context used by the application breakdown (§3.6)."""
+
+    CELL_HOME = 0
+    CELL_OTHER = 1
+    WIFI_HOME = 2
+    WIFI_PUBLIC = 3
+    WIFI_OFFICE = 4
+    WIFI_OTHER = 5
+
+    @property
+    def label(self) -> str:
+        return {
+            NetLocation.CELL_HOME: "Cell home",
+            NetLocation.CELL_OTHER: "Cell other",
+            NetLocation.WIFI_HOME: "WiFi home",
+            NetLocation.WIFI_PUBLIC: "WiFi public",
+            NetLocation.WIFI_OFFICE: "WiFi office",
+            NetLocation.WIFI_OTHER: "WiFi other",
+        }[self]
+
+
+class DeviceOS(enum.Enum):
+    """Smartphone operating system."""
+
+    ANDROID = "android"
+    IOS = "ios"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class DeviceInfo:
+    """Static per-device information recorded at enrollment.
+
+    ``device_id`` is the unique random identifier the software generates; it
+    is the only user identity in the dataset (§2).
+    """
+
+    device_id: int
+    os: DeviceOS
+    carrier: str
+    technology: CellularTechnology
+    recruited: bool = True
+    occupation: str = "other"
+
+    def __post_init__(self) -> None:
+        if self.device_id < 0:
+            raise SchemaError(f"device_id must be >= 0: {self.device_id}")
+
+
+@dataclass(frozen=True)
+class TrafficSample:
+    """Bytes and packets moved on one interface during one 10-minute slot.
+
+    Packet counts default to a size-derived estimate when the platform
+    counter is unavailable (§2 records both byte and packet counts).
+    """
+
+    device_id: int
+    t: int
+    iface: IfaceKind
+    rx_bytes: float
+    tx_bytes: float
+    rx_pkts: int = -1
+    tx_pkts: int = -1
+    tethering: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rx_bytes < 0 or self.tx_bytes < 0:
+            raise SchemaError(
+                f"negative byte count: rx={self.rx_bytes} tx={self.tx_bytes}"
+            )
+        if self.rx_pkts < 0:
+            object.__setattr__(self, "rx_pkts", estimate_packets(self.rx_bytes))
+        if self.tx_pkts < 0:
+            object.__setattr__(self, "tx_pkts", estimate_packets(self.tx_bytes))
+
+
+#: Mean packet sizes used to estimate counters (download MTU-sized, upload
+#: dominated by ACKs and small requests).
+MEAN_RX_PACKET_BYTES = 1200.0
+MEAN_TX_PACKET_BYTES = 400.0
+
+
+def estimate_packets(n_bytes: float, mean_packet_bytes: float = MEAN_RX_PACKET_BYTES) -> int:
+    """Packet-count estimate for a byte volume (ceil at one packet)."""
+    if n_bytes <= 0:
+        return 0
+    return max(1, int(round(n_bytes / mean_packet_bytes)))
+
+
+@dataclass(frozen=True)
+class WifiObservation:
+    """WiFi interface state during one slot.
+
+    ``ap_id`` and ``rssi_dbm`` are meaningful only when associated.
+    """
+
+    device_id: int
+    t: int
+    state: WifiStateCode
+    ap_id: int = -1
+    rssi_dbm: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.state is WifiStateCode.ASSOCIATED and self.ap_id < 0:
+            raise SchemaError("associated observation requires an ap_id")
+
+
+@dataclass(frozen=True)
+class GeoSample:
+    """Coarse geolocation for one slot: the 5 km grid-cell index (§2)."""
+
+    device_id: int
+    t: int
+    cell_col: int
+    cell_row: int
+
+
+@dataclass(frozen=True)
+class ScanSummary:
+    """Counts of detected public WiFi networks in one slot (Android).
+
+    Split by band and by whether the max RSSI clears the "strong" threshold,
+    matching Figure 17 and the §3.5 availability analysis.
+    """
+
+    device_id: int
+    t: int
+    n24_all: int
+    n24_strong: int
+    n5_all: int
+    n5_strong: int
+
+    def __post_init__(self) -> None:
+        if self.n24_strong > self.n24_all or self.n5_strong > self.n5_all:
+            raise SchemaError("strong count exceeds total count")
+        if min(self.n24_all, self.n24_strong, self.n5_all, self.n5_strong) < 0:
+            raise SchemaError("scan counts must be >= 0")
+
+
+@dataclass(frozen=True)
+class ScanSighting:
+    """One detected (not necessarily associated) AP in a detailed scan."""
+
+    device_id: int
+    t: int
+    ap_id: int
+    rssi_dbm: float
+
+
+@dataclass(frozen=True)
+class AppTrafficRecord:
+    """Per-application-category traffic for one device-day (Android, §2).
+
+    Cellular rows carry the 5 km cell where the traffic occurred (so analyses
+    can infer "cell at home" vs "cell elsewhere"); WiFi rows carry the
+    associated ``ap_id``.
+    """
+
+    device_id: int
+    day: int
+    category: int
+    iface_cellular: bool
+    ap_id: int
+    cell_col: int
+    cell_row: int
+    rx_bytes: float
+    tx_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.rx_bytes < 0 or self.tx_bytes < 0:
+            raise SchemaError("negative app byte count")
+        if not self.iface_cellular and self.ap_id < 0:
+            raise SchemaError("WiFi app record requires an ap_id")
+
+
+@dataclass(frozen=True)
+class BatterySample:
+    """Battery status for one slot (§2: the agent records battery state)."""
+
+    device_id: int
+    t: int
+    level_pct: float
+    charging: bool
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.level_pct <= 100.0:
+            raise SchemaError(f"battery level out of range: {self.level_pct}")
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """A device OS update observed during the campaign (§3.7)."""
+
+    device_id: int
+    t: int
+    bytes: float
+    version: str = "ios-8.2"
+
+
+@dataclass(frozen=True)
+class ApDirectoryEntry:
+    """Attributes of an AP observable by devices (identity + radio)."""
+
+    ap_id: int
+    bssid: str
+    essid: str
+    band: Band
+    channel: int
+
+    @property
+    def key(self) -> tuple:
+        return (self.bssid, self.essid)
+
+
+def netloc_for(iface_cellular: bool, wifi_class: Optional[str] = None,
+               cell_at_home: bool = False) -> NetLocation:
+    """Map an app-traffic context onto a :class:`NetLocation` bucket."""
+    if iface_cellular:
+        return NetLocation.CELL_HOME if cell_at_home else NetLocation.CELL_OTHER
+    mapping = {
+        "home": NetLocation.WIFI_HOME,
+        "public": NetLocation.WIFI_PUBLIC,
+        "office": NetLocation.WIFI_OFFICE,
+        "other": NetLocation.WIFI_OTHER,
+    }
+    if wifi_class not in mapping:
+        raise SchemaError(f"unknown wifi class: {wifi_class!r}")
+    return mapping[wifi_class]

@@ -1,0 +1,39 @@
+"""Shared fixtures: a small end-to-end study plus hand-crafted datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AnalysisCache, clean_for_main_analysis, run_study
+
+
+@pytest.fixture(scope="session")
+def study():
+    """A small but complete three-campaign study (shared, read-only)."""
+    return run_study(scale=0.045, seed=42)
+
+
+@pytest.fixture(scope="session")
+def cache(study):
+    return AnalysisCache(study)
+
+
+@pytest.fixture(scope="session")
+def dataset2013(study):
+    return clean_for_main_analysis(study.dataset(2013))
+
+
+@pytest.fixture(scope="session")
+def dataset2015(study):
+    return clean_for_main_analysis(study.dataset(2015))
+
+
+@pytest.fixture(scope="session")
+def raw2015(study):
+    return study.dataset(2015)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,84 @@
+"""Unit tests for light/heavy user-day classification."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.users import classify_user_days
+from repro.errors import AnalysisError
+from tests.helpers import add_daily_traffic, make_builder
+
+
+def _dataset_with_volumes(volumes_mb, n_days=1):
+    """One device per volume, all on day 0."""
+    builder = make_builder(n_devices=len(volumes_mb), n_days=max(n_days, 1))
+    for device, mb in enumerate(volumes_mb):
+        add_daily_traffic(builder, device, 0, cell_rx_mb=mb)
+    return builder.build()
+
+
+def test_light_band_is_40_to_60_percentile():
+    volumes = list(range(1, 101))  # 1..100 MB
+    ds = _dataset_with_volumes(volumes)
+    classes = classify_user_days(ds)
+    light_volumes = sorted(ds.daily_matrix("all", "rx")[classes.light[:, 0], 0] / 1e6)
+    assert min(light_volumes) >= np.percentile(volumes, 40) - 1
+    assert max(light_volumes) < np.percentile(volumes, 60) + 1
+    assert classes.fraction_light() == pytest.approx(0.2, abs=0.05)
+
+
+def test_heavy_is_top_5_percent():
+    volumes = list(range(1, 101))
+    ds = _dataset_with_volumes(volumes)
+    classes = classify_user_days(ds)
+    heavy = np.flatnonzero(classes.heavy[:, 0])
+    heavy_volumes = ds.daily_matrix("all", "rx")[heavy, 0] / 1e6
+    assert (heavy_volumes >= np.percentile(volumes, 95)).all()
+    assert classes.fraction_heavy() == pytest.approx(0.05, abs=0.03)
+
+
+def test_below_floor_excluded():
+    ds = _dataset_with_volumes([0.05, 10, 20, 30, 40, 50, 60])
+    classes = classify_user_days(ds)
+    assert not classes.valid[0, 0]
+    assert not classes.light[0, 0]
+    assert not classes.heavy[0, 0]
+
+
+def test_classification_is_per_day():
+    builder = make_builder(n_devices=6, n_days=2)
+    # Day 0: device 0 is the heaviest. Day 1: device 5 is.
+    for device in range(6):
+        add_daily_traffic(builder, device, 0, cell_rx_mb=10 + device)
+        add_daily_traffic(builder, device, 1, cell_rx_mb=60 - 10 * device)
+    ds = builder.build()
+    classes = classify_user_days(ds)
+    assert classes.heavy[5, 0]
+    assert classes.heavy[0, 1]
+    assert not classes.heavy[5, 1]
+
+
+def test_small_days_skipped():
+    ds = _dataset_with_volumes([10, 20, 30])  # fewer than 5 valid users
+    classes = classify_user_days(ds)
+    assert classes.light.sum() == 0
+    assert classes.heavy.sum() == 0
+
+
+def test_bad_percentiles_rejected():
+    ds = _dataset_with_volumes([10, 20, 30, 40, 50])
+    with pytest.raises(AnalysisError):
+        classify_user_days(ds, light_low=60, light_high=40)
+
+
+def test_masks_subset_of_valid(dataset2015):
+    classes = classify_user_days(dataset2015)
+    assert not (classes.light & ~classes.valid).any()
+    assert not (classes.heavy & ~classes.valid).any()
+    # Light and heavy are disjoint.
+    assert not (classes.light & classes.heavy).any()
+
+
+def test_study_fractions_reasonable(dataset2015):
+    classes = classify_user_days(dataset2015)
+    assert 0.15 < classes.fraction_light() < 0.25
+    assert 0.03 < classes.fraction_heavy() < 0.09

@@ -1,0 +1,186 @@
+"""Unit tests for aggregate traffic, daily volumes, and the Fig 5 heat map."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.aggregate import aggregate_traffic, peak_hours
+from repro.analysis.daily_volume import (
+    daily_volume_distributions,
+    volume_growth_table,
+)
+from repro.analysis.heatmap import wifi_cell_heatmap
+from repro.errors import AnalysisError
+from repro.traces.records import IfaceKind
+from tests.helpers import add_daily_traffic, make_builder, slot
+
+
+class TestAggregate:
+    def test_shares_exact(self):
+        builder = make_builder(n_devices=1, n_days=1)
+        builder.extend_traffic(
+            device=[0, 0, 0], t=[0, 1, 2],
+            iface=[int(IfaceKind.CELL_3G), int(IfaceKind.CELL_LTE),
+                   int(IfaceKind.WIFI)],
+            rx=[1e6, 3e6, 6e6], tx=[0, 0, 0],
+        )
+        agg = aggregate_traffic(builder.build())
+        assert agg.wifi_share == pytest.approx(0.6)
+        assert agg.lte_share_of_cellular == pytest.approx(0.75)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(AnalysisError):
+            aggregate_traffic(make_builder().build())
+
+    def test_folded_week_units(self):
+        builder = make_builder(n_devices=1, n_days=7)
+        # 450 MB in hour 10 of every day -> 1 Mbps at that hour.
+        for day in range(7):
+            builder.extend_traffic(
+                device=[0], t=[slot(day, 10)], iface=[int(IfaceKind.WIFI)],
+                rx=[450e6], tx=[0],
+            )
+        agg = aggregate_traffic(builder.build())
+        folded = agg.folded_week("wifi_rx")
+        present = folded[np.isfinite(folded)]
+        assert present.max() == pytest.approx(1.0)
+
+    def test_unknown_series_key(self):
+        builder = make_builder(n_devices=1, n_days=1)
+        add_daily_traffic(builder, 0, 0, wifi_rx_mb=1)
+        agg = aggregate_traffic(builder.build())
+        with pytest.raises(AnalysisError):
+            agg.folded_week("bogus")
+
+    def test_peak_hours(self):
+        profile = np.zeros(168)
+        profile[20] = 5.0
+        profile[100] = 9.0
+        profile[50] = np.nan
+        assert list(peak_hours(profile, top_n=2)) == [100, 20]
+
+    def test_wifi_exceeds_cellular_2015(self, dataset2015):
+        agg = aggregate_traffic(dataset2015)
+        assert agg.wifi_share > 0.5  # §3.1: WiFi volume exceeds cellular
+
+
+class TestDailyVolumes:
+    def test_floor_applied(self):
+        builder = make_builder(n_devices=3, n_days=1)
+        add_daily_traffic(builder, 0, 0, cell_rx_mb=0.05)  # below floor
+        add_daily_traffic(builder, 1, 0, cell_rx_mb=5)
+        add_daily_traffic(builder, 2, 0, cell_rx_mb=10)
+        dist = daily_volume_distributions(builder.build())
+        assert dist.total_rx.n == 2
+
+    def test_zero_fractions(self):
+        builder = make_builder(n_devices=4, n_days=1)
+        add_daily_traffic(builder, 0, 0, cell_rx_mb=10)            # no wifi
+        add_daily_traffic(builder, 1, 0, cell_rx_mb=5, wifi_rx_mb=5)
+        add_daily_traffic(builder, 2, 0, wifi_rx_mb=10)            # no cell
+        add_daily_traffic(builder, 3, 0, cell_rx_mb=2, wifi_rx_mb=8)
+        dist = daily_volume_distributions(builder.build())
+        assert dist.zero_fraction("wifi", "rx") == pytest.approx(0.25)
+        assert dist.zero_fraction("cell", "rx") == pytest.approx(0.25)
+
+    def test_unknown_zero_fraction_key(self):
+        builder = make_builder(n_devices=1, n_days=1)
+        add_daily_traffic(builder, 0, 0, cell_rx_mb=10)
+        dist = daily_volume_distributions(builder.build())
+        with pytest.raises(AnalysisError):
+            dist.zero_fraction("fiber")
+
+    def test_rx_larger_than_tx_in_study(self, dataset2015):
+        dist = daily_volume_distributions(dataset2015)
+        assert dist.total_rx.median() > dist.total_tx.median() * 2
+
+    def test_growth_table(self, cache):
+        datasets = [cache.clean(y) for y in cache.years]
+        growth = volume_growth_table(datasets)
+        # Volumes grow monotonically (Table 3 shape).
+        for kind in ("all", "cell", "wifi"):
+            series = [growth.median[kind][y] for y in cache.years]
+            assert series[0] < series[-1]
+            assert growth.agr_median[kind] > 0
+        # WiFi grows fastest in median (AGR 134% vs 35% cellular).
+        assert growth.agr_median["wifi"] > growth.agr_median["cell"]
+
+    def test_growth_table_needs_two(self, dataset2015):
+        with pytest.raises(AnalysisError):
+            volume_growth_table([dataset2015])
+
+
+class TestHeatmap:
+    def test_user_type_fractions_exact(self):
+        builder = make_builder(n_devices=5, n_days=1)
+        add_daily_traffic(builder, 0, 0, cell_rx_mb=10)               # cell-int
+        add_daily_traffic(builder, 1, 0, wifi_rx_mb=10)               # wifi-int
+        add_daily_traffic(builder, 2, 0, cell_rx_mb=5, wifi_rx_mb=10)  # above
+        add_daily_traffic(builder, 3, 0, cell_rx_mb=10, wifi_rx_mb=5)  # below
+        add_daily_traffic(builder, 4, 0, cell_rx_mb=0.02)             # dropped
+        hm = wifi_cell_heatmap(builder.build())
+        assert hm.n_points == 4
+        assert hm.cellular_intensive_fraction == pytest.approx(0.25)
+        assert hm.wifi_intensive_fraction == pytest.approx(0.25)
+        assert hm.mixed_fraction == pytest.approx(0.5)
+        assert hm.mixed_above_diagonal_fraction == pytest.approx(0.5)
+
+    def test_histogram_covers_mixed_points(self):
+        builder = make_builder(n_devices=3, n_days=1)
+        for device in range(3):
+            add_daily_traffic(builder, device, 0, cell_rx_mb=10, wifi_rx_mb=20)
+        hm = wifi_cell_heatmap(builder.build())
+        assert hm.histogram.sum() == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            wifi_cell_heatmap(make_builder().build())
+
+    def test_bins_validated(self, dataset2015):
+        with pytest.raises(AnalysisError):
+            wifi_cell_heatmap(dataset2015, bins=1)
+
+    def test_fractions_sum_to_one(self, dataset2015):
+        hm = wifi_cell_heatmap(dataset2015)
+        total = (
+            hm.cellular_intensive_fraction + hm.wifi_intensive_fraction
+            + hm.mixed_fraction
+        )
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+
+class TestTemporalPatterns:
+    def test_weekend_weekday_directions(self, dataset2015):
+        """§3.1: weekend cellular < weekday; weekend WiFi > weekday."""
+        from repro.analysis.aggregate import weekend_weekday_ratio
+        cell_ratio = weekend_weekday_ratio(dataset2015, "cell")
+        wifi_ratio = weekend_weekday_ratio(dataset2015, "wifi")
+        assert cell_ratio < 1.05
+        assert wifi_ratio > cell_ratio
+
+    def test_weekend_ratio_needs_both_day_kinds(self):
+        from repro.analysis.aggregate import weekend_weekday_ratio
+        from repro.errors import AnalysisError
+        from datetime import date
+        builder = make_builder(n_devices=1, n_days=3, start=date(2015, 3, 2))
+        add_daily_traffic(builder, 0, 0, cell_rx_mb=10)  # Mon-Wed: no weekend
+        with pytest.raises(AnalysisError):
+            weekend_weekday_ratio(builder.build(), "cell")
+
+    def test_diurnal_peaks(self, dataset2015):
+        """§3.1: WiFi peaks late evening; cellular peaks in commute hours."""
+        from repro.analysis.aggregate import diurnal_peaks
+        wifi_peaks = set(int(h) for h in diurnal_peaks(dataset2015, "wifi", 4))
+        assert wifi_peaks & {20, 21, 22, 23, 0, 1}
+        cell_peaks = set(int(h) for h in diurnal_peaks(dataset2015, "cell", 5))
+        assert cell_peaks & {7, 8, 9, 12, 18, 19, 20, 21}
+
+    def test_diurnal_peaks_exact(self):
+        from repro.analysis.aggregate import diurnal_peaks
+        builder = make_builder(n_devices=1, n_days=2)
+        for day in range(2):
+            builder.extend_traffic(
+                device=[0, 0], t=[slot(day, 8), slot(day, 21)],
+                iface=[int(IfaceKind.CELL_LTE)] * 2, rx=[5e6, 9e6], tx=[0, 0],
+            )
+        peaks = diurnal_peaks(builder.build(), "cell", 2)
+        assert list(peaks) == [21, 8]

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out and "fig19" in out and "sec41" in out
+
+
+def test_analyze_unknown_experiment(capsys):
+    assert main(["analyze", "fig99", "--scale", "0.02"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiments" in err
+
+
+def test_simulate_then_validate_and_analyze(tmp_path, capsys):
+    out_dir = tmp_path / "data"
+    assert main(["simulate", "--scale", "0.02", "--seed", "3",
+                 "--out", str(out_dir)]) == 0
+    saved = sorted(p.name for p in out_dir.iterdir())
+    assert saved == ["campaign2013", "campaign2014", "campaign2015"]
+
+    assert main(["validate", str(out_dir / "campaign2015")]) == 0
+    out = capsys.readouterr().out
+    assert "dataset ok" in out
+
+    artifact_dir = tmp_path / "artifacts"
+    assert main(["analyze", "table4", "--data", str(out_dir),
+                 "--out", str(artifact_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "Table 4" in out
+    assert (artifact_dir / "table4.txt").exists()
+
+
+def test_analyze_skips_survey_experiments_on_saved_data(tmp_path, capsys):
+    out_dir = tmp_path / "data"
+    main(["simulate", "--scale", "0.02", "--seed", "3", "--out", str(out_dir)])
+    capsys.readouterr()
+    assert main(["analyze", "table8", "--data", str(out_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "skipping survey experiments" in out
+
+
+def test_analyze_simulates_when_no_data(capsys):
+    assert main(["analyze", "fig01", "--scale", "0.02"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+
+
+def test_analyze_on_missing_data_dir(tmp_path, capsys):
+    assert main(["analyze", "table1", "--data", str(tmp_path / "void")]) == 2
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_analyze_all_runs_everything(tmp_path, capsys):
+    from repro.cli import main
+    artifact_dir = tmp_path / "all"
+    assert main(["analyze", "all", "--scale", "0.02", "--seed", "3",
+                 "--out", str(artifact_dir)]) == 0
+    written = {p.stem for p in artifact_dir.glob("*.txt")}
+    from repro.reporting.experiments import EXPERIMENTS
+    assert written == set(EXPERIMENTS)

@@ -1,0 +1,237 @@
+"""Unit and integration tests for the collection substrate."""
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro.collection.agent import AgentSnapshot, MeasurementAgent, Records
+from repro.collection.server import CollectionServer
+from repro.collection.uploader import (
+    FlakyTransport,
+    UploadBatch,
+    Uploader,
+    drain_all,
+)
+from repro.errors import CollectionError, UploadError
+from repro.geo.coords import Coordinate
+from repro.net.cellular import CellularTechnology
+from repro.timeutil import TimeAxis
+from repro.traces.records import (
+    DeviceInfo,
+    DeviceOS,
+    ScanSummary,
+    UpdateEvent,
+    WifiStateCode,
+)
+
+HERE = Coordinate(35.68, 139.76)
+
+
+def _device(device_id=0, os=DeviceOS.ANDROID):
+    return DeviceInfo(device_id, os, "docomo", CellularTechnology.LTE)
+
+
+class TestAgent:
+    def test_basic_sampling(self):
+        agent = MeasurementAgent(_device())
+        records = agent.sample(
+            AgentSnapshot(
+                t=0, location=HERE, wifi_state=WifiStateCode.ASSOCIATED,
+                ap_id=3, rssi_dbm=-55.0, rx_wifi=1e6, tx_wifi=1e5,
+                rx_cell=2e5, tx_cell=1e4,
+            )
+        )
+        assert len(records.traffic) == 2
+        assert len(records.wifi) == 1
+        assert len(records.geo) == 1
+
+    def test_geo_quantized_to_cells(self):
+        agent = MeasurementAgent(_device())
+        records = agent.sample(
+            AgentSnapshot(t=0, location=HERE, wifi_state=WifiStateCode.OFF)
+        )
+        geo = records.geo[0]
+        assert isinstance(geo.cell_col, int) and isinstance(geo.cell_row, int)
+
+    def test_ios_hides_off_state(self):
+        agent = MeasurementAgent(_device(os=DeviceOS.IOS))
+        records = agent.sample(
+            AgentSnapshot(t=0, location=HERE, wifi_state=WifiStateCode.OFF)
+        )
+        assert records.wifi == []
+
+    def test_ios_reports_association(self):
+        agent = MeasurementAgent(_device(os=DeviceOS.IOS))
+        records = agent.sample(
+            AgentSnapshot(
+                t=0, location=HERE, wifi_state=WifiStateCode.ASSOCIATED,
+                ap_id=5, rssi_dbm=-60.0,
+            )
+        )
+        assert len(records.wifi) == 1
+
+    def test_ios_drops_scans_and_apps(self):
+        agent = MeasurementAgent(_device(os=DeviceOS.IOS))
+        scan = ScanSummary(0, 0, 3, 1, 0, 0)
+        records = agent.sample(
+            AgentSnapshot(t=0, location=HERE, wifi_state=WifiStateCode.UNKNOWN,
+                          scan=scan)
+        )
+        assert records.scans == []
+        assert agent.daily_app_records([]) == []
+
+    def test_monotonic_time_enforced(self):
+        agent = MeasurementAgent(_device())
+        agent.sample(AgentSnapshot(t=5, location=HERE, wifi_state=WifiStateCode.OFF))
+        with pytest.raises(CollectionError):
+            agent.sample(AgentSnapshot(t=5, location=HERE, wifi_state=WifiStateCode.OFF))
+
+    def test_update_event_carried(self):
+        agent = MeasurementAgent(_device(os=DeviceOS.IOS))
+        update = UpdateEvent(0, 10, 565e6)
+        records = agent.sample(
+            AgentSnapshot(t=10, location=HERE, wifi_state=WifiStateCode.ASSOCIATED,
+                          ap_id=1, update=update)
+        )
+        assert records.updates == [update]
+
+
+class TestUploader:
+    def test_reliable_transport_delivers(self):
+        received = []
+        transport = FlakyTransport(received.append, failure_rate=0.0)
+        uploader = Uploader(device_id=0, transport=transport)
+        assert uploader.upload(Records())
+        assert len(received) == 1
+        assert uploader.cached_batches == 0
+
+    def test_failures_cached_and_retried(self, rng):
+        received = []
+
+        class FailNTimes:
+            def __init__(self, n):
+                self.n = n
+
+            def deliver(self, batch):
+                if self.n > 0:
+                    self.n -= 1
+                    raise UploadError("down")
+                received.append(batch)
+
+        uploader = Uploader(device_id=0, transport=FailNTimes(2))
+        assert not uploader.upload(Records())
+        assert uploader.cached_batches == 1
+        assert not uploader.flush()
+        assert uploader.flush()
+        assert len(received) == 1
+
+    def test_ordering_preserved_after_failure(self):
+        received = []
+
+        class FailFirst:
+            def __init__(self):
+                self.calls = 0
+
+            def deliver(self, batch):
+                self.calls += 1
+                if self.calls == 1:
+                    raise UploadError("down")
+                received.append(batch.sequence)
+
+        uploader = Uploader(device_id=0, transport=FailFirst())
+        uploader.upload(Records())  # seq 0 fails
+        uploader.upload(Records())  # retries 0, then 1
+        assert received == [0, 1]
+
+    def test_cache_overflow(self):
+        def always_fail(batch):
+            raise UploadError("down")
+
+        transport = FlakyTransport(always_fail, failure_rate=0.0)
+        transport.deliver = lambda b: (_ for _ in ()).throw(UploadError("down"))
+        uploader = Uploader(device_id=0, transport=transport, max_cache_batches=2)
+        uploader.upload(Records())
+        uploader.upload(Records())
+        with pytest.raises(UploadError, match="overflow"):
+            uploader.upload(Records())
+
+    def test_flaky_transport_rate(self, rng):
+        transport = FlakyTransport(lambda b: None, failure_rate=0.3, rng=rng)
+        failures = 0
+        for i in range(1000):
+            try:
+                transport.deliver(UploadBatch(0, i, Records()))
+            except UploadError:
+                failures += 1
+        assert failures / 1000 == pytest.approx(0.3, abs=0.05)
+
+    def test_drain_all_gives_up(self):
+        def always_fail(batch):
+            raise UploadError("down")
+
+        class Down:
+            def deliver(self, batch):
+                always_fail(batch)
+
+        uploader = Uploader(device_id=0, transport=Down())
+        uploader.upload(Records())
+        with pytest.raises(UploadError, match="did not drain"):
+            drain_all([uploader], max_rounds=3)
+
+
+class TestServerPipeline:
+    def test_end_to_end_with_flaky_uploads(self, rng):
+        """Agent -> flaky uploader -> server -> dataset, no data loss."""
+        axis = TimeAxis(date(2015, 3, 2), 2)
+        server = CollectionServer(2015, axis)
+        infos = [_device(0), _device(1, os=DeviceOS.IOS)]
+        for info in infos:
+            server.register_device(info)
+
+        uploaders = []
+        for info in infos:
+            agent = MeasurementAgent(info)
+            transport = FlakyTransport(
+                server.receive, failure_rate=0.4,
+                rng=np.random.default_rng(info.device_id),
+            )
+            uploader = Uploader(device_id=info.device_id, transport=transport)
+            uploaders.append((agent, uploader))
+
+        n_ticks = 50
+        for t in range(n_ticks):
+            for agent, uploader in uploaders:
+                records = agent.sample(
+                    AgentSnapshot(
+                        t=t, location=HERE,
+                        wifi_state=WifiStateCode.AVAILABLE,
+                        rx_cell=1000.0 + t, tx_cell=100.0,
+                    )
+                )
+                uploader.upload(records)
+        drain_all([u for _, u in uploaders])
+
+        dataset = server.build_dataset()
+        # Every tick's traffic arrived exactly once despite 40% failures.
+        assert len(dataset.traffic) == n_ticks * 2
+        assert server.duplicates_dropped == 0
+        for device in (0, 1):
+            rows = dataset.traffic.device == device
+            assert sorted(dataset.traffic.t[rows]) == list(range(n_ticks))
+
+    def test_duplicate_batches_dropped(self):
+        axis = TimeAxis(date(2015, 3, 2), 1)
+        server = CollectionServer(2015, axis)
+        server.register_device(_device(0))
+        batch = UploadBatch(0, 0, Records())
+        server.receive(batch)
+        server.receive(batch)
+        assert server.batches_received == 1
+        assert server.duplicates_dropped == 1
+
+    def test_unregistered_device_rejected(self):
+        axis = TimeAxis(date(2015, 3, 2), 1)
+        server = CollectionServer(2015, axis)
+        with pytest.raises(CollectionError):
+            server.receive(UploadBatch(3, 0, Records()))

@@ -1,0 +1,131 @@
+"""Unit tests for device-simulator internals and helpers."""
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro.apps.demand import DemandModel
+from repro.network_env.deployment import DeploymentConfig, build_deployment
+from repro.network_env.home_wifi import HomeWifiConfig
+from repro.network_env.public_wifi import PublicWifiConfig
+from repro.population.recruitment import RecruitmentConfig, recruit
+from repro.simulation.device import DeviceSimulator, _segments, _stack, _top_splits
+from repro.simulation.params import default_params
+from repro.timeutil import TimeAxis
+
+
+class TestSegments:
+    def test_empty(self):
+        assert _segments(np.array([1, 1, 1]), 0) == []
+
+    def test_single_run(self):
+        states = np.array([0, 0, 3, 3, 3, 0])
+        assert _segments(states, 3) == [(2, 5)]
+
+    def test_multiple_runs(self):
+        states = np.array([3, 0, 3, 3, 0, 3])
+        assert _segments(states, 3) == [(0, 1), (2, 4), (5, 6)]
+
+    def test_full_array(self):
+        states = np.full(6, 2)
+        assert _segments(states, 2) == [(0, 6)]
+
+
+class TestTopSplits:
+    def test_empty(self):
+        assert _top_splits([]) == []
+
+    def test_keeps_head_covering_coverage(self):
+        splits = [(0, 90.0, 0.0), (1, 9.0, 0.0), (2, 0.5, 0.0), (3, 0.5, 0.0)]
+        kept = _top_splits(splits, coverage=0.99)
+        assert [s[0] for s in kept] == [0, 1]
+
+    def test_keeps_all_when_needed(self):
+        splits = [(0, 50.0, 0.0), (1, 50.0, 0.0)]
+        assert len(_top_splits(splits, coverage=0.999)) == 2
+
+    def test_zero_volume(self):
+        assert _top_splits([(0, 0.0, 0.0)]) == []
+
+
+class TestStack:
+    def test_concatenates_columns(self):
+        chunks = [
+            (np.array([1, 2]), np.array([10.0, 20.0])),
+            (np.array([3]), np.array([30.0])),
+        ]
+        a, b = _stack(chunks)
+        assert list(a) == [1, 2, 3]
+        assert list(b) == [10.0, 20.0, 30.0]
+
+
+class TestDeviceSimulator:
+    @pytest.fixture()
+    def world(self, rng):
+        params = default_params(2015)
+        demand = DemandModel(2, appetite_median_mb=50.0,
+                             wifi_uplift=params.wifi_uplift)
+        config = RecruitmentConfig(
+            year=2015, n_android=10, n_ios=4, lte_share=0.8, home_ap_share=0.9
+        )
+        profiles = recruit(config, demand, rng)
+        deployment = build_deployment(
+            profiles,
+            DeploymentConfig(
+                year=2015,
+                home=HomeWifiConfig(2015, 0.15, 0.15),
+                public=PublicWifiConfig(2015, 200, 0.5),
+                open_ap_count=20,
+            ),
+            rng,
+        )
+        return profiles, deployment, demand, params
+
+    def test_run_produces_all_streams(self, world, rng):
+        from repro.traces.dataset import DatasetBuilder
+        from repro.traces.records import DeviceInfo
+        profiles, deployment, demand, params = world
+        axis = TimeAxis(date(2015, 3, 2), 4)
+        builder = DatasetBuilder(2015, axis)
+        for p in profiles:
+            builder.add_device(DeviceInfo(p.user_id, p.os, p.carrier.name,
+                                          p.technology, occupation=p.occupation.value))
+        for p in profiles:
+            DeviceSimulator(
+                p, axis, deployment, demand, params, None,
+                np.random.default_rng(p.user_id),
+            ).run(builder)
+        for ap_id, ap in deployment.aps.items():
+            from repro.traces.records import ApDirectoryEntry
+            builder.add_ap(ApDirectoryEntry(ap_id, ap.bssid, ap.essid,
+                                            ap.band, ap.channel))
+        ds = builder.build()
+        assert len(ds.traffic) > 0
+        assert len(ds.wifi) > 0
+        assert len(ds.geo) == len(profiles) * axis.n_slots
+        assert len(ds.battery) == len(profiles) * axis.n_slots // 3
+        from repro.traces.validate import validate_dataset
+        validate_dataset(ds)
+
+    def test_cap_throttle_applies(self, world):
+        """A monster cellular day gets clipped during peak hours."""
+        import dataclasses
+        profiles, deployment, demand, params = world
+        profile = next(p for p in profiles if not p.has_home_ap and
+                       not p.cellular_data_off)
+        profile = dataclasses.replace(profile) if False else profile
+        profile.appetite_bytes = 3e9  # 3 GB/day demand
+        axis = TimeAxis(date(2015, 3, 2), 6)
+        from repro.traces.dataset import DatasetBuilder
+        from repro.traces.records import DeviceInfo
+        builder = DatasetBuilder(2015, axis)
+        for p in profiles:
+            builder.add_device(DeviceInfo(p.user_id, p.os, p.carrier.name,
+                                          p.technology))
+        sim = DeviceSimulator(
+            profile, axis, deployment, demand, params, None,
+            np.random.default_rng(0),
+        )
+        sim.run(builder)
+        assert sim.cap.potentially_capped()

@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs end to end at a tiny scale."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=480,
+    )
+
+
+@pytest.mark.parametrize("script,needle", [
+    ("quickstart.py", "Headline findings"),
+    ("offload_study.py", "Offload impact"),
+    ("public_wifi_planning.py", "Planner takeaways"),
+    ("update_delay.py", "iOS 8.2 rollout"),
+    ("whatif_policy.py", "What-if"),
+])
+def test_study_examples_run(script, needle):
+    result = _run(script, "0.02")
+    assert result.returncode == 0, result.stderr
+    assert needle in result.stdout
+
+
+def test_collection_pipeline_example():
+    result = _run("collection_pipeline.py")
+    assert result.returncode == 0, result.stderr
+    assert "Data loss after retries: 0 samples" in result.stdout

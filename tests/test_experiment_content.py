@@ -1,0 +1,144 @@
+"""Content checks for every registered experiment's output structure."""
+
+import numpy as np
+import pytest
+
+from repro import run_experiment
+from repro.reporting.figures import Figure
+from repro.reporting.tables import Table
+
+
+class TestTableContent:
+    def test_table1_rows(self, cache):
+        table = run_experiment("table1", cache)
+        assert len(table.rows) == 3
+        years = [row[0] for row in table.rows]
+        assert years == [2013, 2014, 2015]
+        for row in table.rows:
+            assert row[4] == row[2] + row[3]  # total = android + ios
+
+    def test_table2_has_all_occupations(self, cache):
+        table = run_experiment("table2", cache)
+        occupations = {row[0] for row in table.rows}
+        assert "office worker" in occupations
+        assert "housewife" in occupations
+        assert len(occupations) == 10
+
+    def test_table3_six_rows(self, cache):
+        table = run_experiment("table3", cache)
+        assert len(table.rows) == 6
+        stats = {(row[0], row[1]) for row in table.rows}
+        assert ("median", "wifi") in stats and ("mean", "all") in stats
+
+    def test_table4_totals_consistent(self, cache):
+        table = run_experiment("table4", cache)
+        by_type = {row[0]: row[1:] for row in table.rows}
+        for i in range(3):
+            assert by_type["total"][i] == (
+                by_type["home"][i] + by_type["public"][i] + by_type["other"][i]
+            )
+            # Office is a subset of other.
+            assert by_type["(office)"][i] <= by_type["other"][i]
+
+    def test_table5_percentages_sum(self, cache):
+        table = run_experiment("table5", cache)
+        for column in range(1, 4):
+            total = sum(float(row[column].rstrip("%")) for row in table.rows)
+            assert total == pytest.approx(100.0, abs=1.5)
+
+    def test_table6_and_7_ranked(self, cache):
+        for experiment_id in ("table6", "table7"):
+            table = run_experiment(experiment_id, cache)
+            # Per (year, context) the rank column increases 1..5 and the
+            # percentage column is non-increasing.
+            groups = {}
+            for year, context, rank, _cat, pct in table.rows:
+                groups.setdefault((year, context), []).append((rank, float(pct)))
+            for (year, context), rows in groups.items():
+                ranks = [r for r, _ in rows]
+                assert ranks == sorted(ranks)
+                pcts = [p for _, p in rows]
+                assert pcts == sorted(pcts, reverse=True)
+
+    def test_table8_answers_complete(self, cache):
+        table = run_experiment("table8", cache)
+        assert len(table.rows) == 9  # 3 locations x 3 answers
+
+    def test_table9_reason_rows(self, cache):
+        table = run_experiment("table9", cache)
+        assert len(table.rows) == 8 * 3  # 8 reasons x 3 locations
+
+
+class TestFigureContent:
+    def test_fig01_two_series_ten_points(self, cache):
+        figure = run_experiment("fig01", cache)
+        assert len(figure.series) == 2
+        for series in figure.series:
+            assert len(series.x) == 10
+
+    def test_fig02_four_series_week_folded(self, cache):
+        figure = run_experiment("fig02", cache)
+        assert {s.label for s in figure.series} == {
+            "cellular_tx", "cellular_rx", "wifi_tx", "wifi_rx",
+        }
+        for series in figure.series:
+            assert len(series.y) == 168
+
+    def test_fig03_cdfs_monotone(self, cache):
+        figure = run_experiment("fig03", cache)
+        assert len(figure.series) == 6  # RX + TX for three years
+        for series in figure.series:
+            assert (np.diff(series.y) >= 0).all()
+            assert series.y[-1] == pytest.approx(1.0)
+
+    def test_fig04_type_cdfs(self, cache):
+        figure = run_experiment("fig04", cache)
+        labels = {s.label for s in figure.series}
+        assert labels == {"wifi_rx", "wifi_tx", "cell_rx", "cell_tx"}
+
+    def test_fig06_ratios_bounded(self, cache):
+        figure = run_experiment("fig06", cache)
+        for series in figure.series:
+            finite = series.y[np.isfinite(series.y)]
+            assert (finite >= 0).all() and (finite <= 1).all()
+
+    def test_fig09_series_count(self, cache):
+        figure = run_experiment("fig09", cache)
+        # 3 Android states + iOS, for two years.
+        assert len(figure.series) == 8
+
+    def test_fig13_ccdfs_decreasing(self, cache):
+        figure = run_experiment("fig13", cache)
+        for series in figure.series:
+            assert (np.diff(series.y) <= 1e-12).all()
+
+    def test_fig16_pdfs_normalized(self, cache):
+        figure = run_experiment("fig16", cache)
+        for series in figure.series:
+            assert series.y.sum() == pytest.approx(1.0)
+            assert len(series.x) == 13
+
+    def test_fig18_cdf_final_below_one(self, cache):
+        figure = run_experiment("fig18", cache)
+        all_series = figure.get("CDF (all)")
+        assert 0 < all_series.y[-1] <= 1.0
+        assert (np.diff(all_series.y) >= 0).all()
+
+    def test_fig19_four_series(self, cache):
+        figure = run_experiment("fig19", cache)
+        labels = {s.label for s in figure.series}
+        assert labels == {
+            "potentially capped 2014", "others 2014",
+            "potentially capped 2015", "others 2015",
+        }
+
+
+class TestResultTypes:
+    @pytest.mark.parametrize("experiment_id,kind", [
+        ("table1", Table), ("table5", Table), ("fig05", Table),
+        ("fig10", Table), ("fig12", Table), ("fig14", Table),
+        ("fig02", Figure), ("fig15", Figure), ("fig17", Figure),
+        ("sec35", Table), ("sec41", Table),
+    ])
+    def test_kinds(self, cache, experiment_id, kind):
+        assert isinstance(run_experiment(experiment_id, cache), kind)

@@ -1,0 +1,125 @@
+"""Tests for the §4.3 extension analyses and BSSID hardware helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.interference import channel_interference
+from repro.analysis.shared_infra import shared_infrastructure
+from repro.errors import AnalysisError, SchemaError
+from repro.net.identifiers import bssid_prefix, sibling_bssid
+from repro.radio.channels import cross_channel_interference_fraction
+from tests.helpers import (
+    add_ap,
+    add_association_span,
+    add_geo_span,
+    make_builder,
+    slot,
+)
+
+
+class TestBssidHardware:
+    def test_prefix(self):
+        assert bssid_prefix("02:AB:cd:00:11:22") == "02:ab:cd:00:11"
+        assert bssid_prefix("02:ab:cd:00:11:22", octets=3) == "02:ab:cd"
+
+    def test_prefix_validation(self):
+        with pytest.raises(SchemaError):
+            bssid_prefix("02:ab:cd:00:11:22", octets=0)
+        with pytest.raises(SchemaError):
+            bssid_prefix("not-a-mac")
+
+    def test_sibling(self):
+        assert sibling_bssid("02:00:00:00:00:10", 1) == "02:00:00:00:00:11"
+        assert sibling_bssid("02:00:00:00:00:ff", 1) == "02:00:00:00:00:00"
+        assert sibling_bssid("02:00:00:00:00:05", -2) == "02:00:00:00:00:03"
+
+    def test_sibling_shares_prefix(self):
+        base = "02:aa:bb:cc:dd:40"
+        assert bssid_prefix(sibling_bssid(base, 3)) == bssid_prefix(base)
+
+
+class TestCrossChannelFraction:
+    def test_co_channel_excluded(self):
+        assert cross_channel_interference_fraction([6, 6, 6]) == 0.0
+
+    def test_partial_overlap_counted(self):
+        assert cross_channel_interference_fraction([1, 3]) == 1.0
+        assert cross_channel_interference_fraction([1, 6]) == 0.0
+
+    def test_mixed(self):
+        # Pairs: (1,1)=co, (1,4)=cross, (1,4)=cross -> 2/3.
+        assert cross_channel_interference_fraction([1, 1, 4]) == pytest.approx(2 / 3)
+
+    def test_single_ap(self):
+        assert cross_channel_interference_fraction([5]) == 0.0
+
+
+class TestSharedInfrastructure:
+    def _dataset(self):
+        builder = make_builder(n_devices=1, n_days=1)
+        # One shared box: two providers on sibling BSSIDs.
+        add_ap(builder, 0, "0000docomo", bssid="02:00:00:00:aa:01")
+        add_ap(builder, 1, "0001softbank", bssid="02:00:00:00:aa:02")
+        # A standalone provider AP on different hardware.
+        add_ap(builder, 2, "7SPOT", bssid="02:00:00:00:bb:01")
+        # Same hardware, same provider: NOT multi-provider.
+        add_ap(builder, 3, "Wi2premium", bssid="02:00:00:00:cc:01")
+        add_ap(builder, 4, "Wi2premium", bssid="02:00:00:00:cc:02")
+        # Non-public AP on shared-looking hardware: excluded entirely.
+        add_ap(builder, 5, "home-123", bssid="02:00:00:00:aa:03")
+        for ap in range(6):
+            add_association_span(builder, 0, ap, slot(0, 9) + ap, slot(0, 9) + ap + 1)
+        return builder.build()
+
+    def test_detection(self):
+        result = shared_infrastructure(self._dataset())
+        assert result.n_shared_groups == 1
+        assert result.n_shared_aps == 2
+        assert result.n_public_aps == 5
+        assert result.shared_fraction == pytest.approx(0.4)
+        assert result.providers_per_group() == [2]
+
+    def test_requires_observations(self):
+        with pytest.raises(AnalysisError):
+            shared_infrastructure(make_builder().build())
+
+    def test_study_shared_fraction(self, raw2015):
+        result = shared_infrastructure(raw2015)
+        # Deployment seeds ~10% shared boxes; observed fraction is higher
+        # because shared boxes carry several APs each.
+        assert 0.02 < result.shared_fraction < 0.5
+        assert all(n >= 2 for n in result.providers_per_group())
+
+
+class TestChannelInterference:
+    def _dataset(self, home_channels):
+        builder = make_builder(n_devices=len(home_channels), n_days=2)
+        for device, channel in enumerate(home_channels):
+            add_ap(builder, device, f"home-{device}", channel=channel)
+            add_association_span(
+                builder, device, device, slot(0, 22), slot(0, 24)
+            )
+            add_association_span(builder, device, device, slot(0, 0), slot(0, 6))
+            add_geo_span(builder, device, (0, 0), 0, builder.axis.n_slots)
+        return builder.build()
+
+    def test_all_default_channel_is_co_channel_only(self):
+        summary = channel_interference(self._dataset([1, 1, 1]), classes=("home",))
+        assert summary.fraction("home") == 0.0  # co-channel excluded
+        assert summary.trio_share["home"] == 1.0
+
+    def test_adjacent_channels_interfere(self):
+        summary = channel_interference(self._dataset([1, 3, 6]), classes=("home",))
+        # Pairs: (1,3) cross, (3,6) cross, (1,6) clean -> 2/3.
+        assert summary.fraction("home") == pytest.approx(2 / 3)
+
+    def test_unknown_class(self):
+        summary = channel_interference(self._dataset([1, 6]), classes=("home",))
+        with pytest.raises(AnalysisError):
+            summary.fraction("public")
+
+    def test_study_public_cleaner_than_home(self, dataset2015, cache):
+        summary = channel_interference(dataset2015, cache.classification(2015))
+        if not np.isnan(summary.mean_fraction["public"]):
+            assert summary.mean_fraction["public"] <= summary.mean_fraction["home"]
+        assert summary.trio_share["public"] > 0.95

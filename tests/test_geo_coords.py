@@ -1,0 +1,107 @@
+"""Unit tests for coordinate math and 5 km quantization."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.coords import (
+    Coordinate,
+    cell_center,
+    cell_index,
+    haversine_km,
+    quantize,
+)
+from repro.geo.places import PLACES
+
+
+class TestCoordinate:
+    def test_valid_construction(self):
+        c = Coordinate(35.68, 139.76)
+        assert c.lat == 35.68
+        assert c.lon == 139.76
+
+    def test_latitude_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            Coordinate(91.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            Coordinate(-90.5, 0.0)
+
+    def test_longitude_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            Coordinate(0.0, 180.5)
+
+    def test_is_hashable_and_frozen(self):
+        c = Coordinate(35.0, 139.0)
+        assert hash(c) == hash(Coordinate(35.0, 139.0))
+        with pytest.raises(Exception):
+            c.lat = 1.0
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        c = Coordinate(35.68, 139.76)
+        assert haversine_km(c, c) == 0.0
+
+    def test_symmetric(self):
+        a, b = PLACES["tokyo"], PLACES["yokohama"]
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))
+
+    def test_tokyo_yokohama_about_27km(self):
+        d = haversine_km(PLACES["tokyo"], PLACES["yokohama"])
+        assert 24 < d < 30
+
+    def test_one_degree_latitude_about_111km(self):
+        d = haversine_km(Coordinate(35.0, 139.0), Coordinate(36.0, 139.0))
+        assert d == pytest.approx(111.2, rel=0.01)
+
+    def test_method_matches_function(self):
+        a, b = PLACES["tokyo"], PLACES["chiba"]
+        assert a.distance_km(b) == haversine_km(a, b)
+
+
+class TestCellIndex:
+    def test_anchor_in_cell_zero(self):
+        anchor = Coordinate(35.681, 139.767)
+        assert cell_index(anchor) == (0, 0)
+
+    def test_negative_cells_west_of_anchor(self):
+        west = Coordinate(35.681, 139.0)
+        col, _ = cell_index(west)
+        assert col < 0
+
+    def test_cell_center_round_trips(self):
+        for idx in ((0, 0), (3, -2), (-5, 7)):
+            center = cell_center(idx)
+            assert cell_index(center) == idx
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ConfigurationError):
+            cell_index(Coordinate(35.0, 139.0), cell_km=0.0)
+        with pytest.raises(ConfigurationError):
+            cell_center((0, 0), cell_km=-1.0)
+
+    def test_adjacent_cells_are_5km_apart(self):
+        a = cell_center((0, 0))
+        b = cell_center((1, 0))
+        assert haversine_km(a, b) == pytest.approx(5.0, rel=0.02)
+
+
+class TestQuantize:
+    def test_quantize_is_idempotent(self):
+        c = Coordinate(35.701, 139.721)
+        once = quantize(c)
+        twice = quantize(once)
+        assert once == twice
+
+    def test_quantize_moves_less_than_half_diagonal(self):
+        c = Coordinate(35.701, 139.721)
+        q = quantize(c)
+        # Max displacement is half the cell diagonal: 5*sqrt(2)/2 ~ 3.54 km.
+        assert haversine_km(c, q) <= 5.0 * math.sqrt(2) / 2 + 0.05
+
+    def test_points_in_same_cell_quantize_identically(self):
+        a = Coordinate(35.681, 139.767)
+        b = Coordinate(35.690, 139.770)
+        if cell_index(a) == cell_index(b):
+            assert quantize(a) == quantize(b)

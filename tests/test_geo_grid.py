@@ -1,0 +1,81 @@
+"""Unit tests for the density grid."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.geo.coords import Coordinate, cell_center
+from repro.geo.grid import DensityGrid
+
+
+def test_empty_grid():
+    grid = DensityGrid()
+    assert len(grid) == 0
+    assert grid.max_count() == 0
+    array, origin = grid.to_array()
+    assert array.shape == (0, 0)
+    assert origin == (0, 0)
+
+
+def test_add_counts_distinct_items():
+    grid = DensityGrid()
+    c = Coordinate(35.68, 139.77)
+    grid.add(c, "ap1")
+    grid.add(c, "ap2")
+    grid.add(c, "ap1")  # duplicate: idempotent
+    assert grid.max_count() == 2
+    assert len(grid) == 1
+
+
+def test_items_in_different_cells(rng):
+    grid = DensityGrid()
+    grid.add(cell_center((0, 0)), "a")
+    grid.add(cell_center((3, 3)), "b")
+    assert len(grid) == 2
+    assert grid.count((0, 0)) == 1
+    assert grid.count((3, 3)) == 1
+    assert grid.count((9, 9)) == 0
+
+
+def test_n_cells_with_at_least():
+    grid = DensityGrid()
+    for i in range(5):
+        grid.add(cell_center((0, 0)), f"a{i}")
+    grid.add(cell_center((1, 0)), "b")
+    assert grid.n_cells_with_at_least(1) == 2
+    assert grid.n_cells_with_at_least(2) == 1
+    assert grid.n_cells_with_at_least(6) == 0
+
+
+def test_n_cells_with_at_least_rejects_zero():
+    with pytest.raises(DatasetError):
+        DensityGrid().n_cells_with_at_least(0)
+
+
+def test_to_array_layout():
+    grid = DensityGrid()
+    grid.add(cell_center((2, 1)), "a")
+    grid.add(cell_center((2, 1)), "b")
+    grid.add(cell_center((4, 3)), "c")
+    array, origin = grid.to_array()
+    assert origin == (2, 1)
+    assert array.shape == (3, 3)
+    assert array[0, 0] == 2  # cell (2, 1)
+    assert array[2, 2] == 1  # cell (4, 3)
+    assert array.sum() == 3
+
+
+def test_cells_iteration_deterministic():
+    grid = DensityGrid()
+    grid.add(cell_center((1, 5)), "a")
+    grid.add(cell_center((0, 0)), "b")
+    grid.add(cell_center((2, 0)), "c")
+    indexes = [cell.index for cell in grid.cells()]
+    assert indexes == [(0, 0), (2, 0), (1, 5)]  # sorted by (row, col)
+
+
+def test_same_item_in_two_cells_counts_twice():
+    grid = DensityGrid()
+    grid.add(cell_center((0, 0)), "ap")
+    grid.add(cell_center((1, 0)), "ap")
+    assert grid.n_cells_with_at_least(1) == 2

@@ -1,0 +1,35 @@
+"""Unit tests for named places."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.places import PLACES, TOKYO_REGION, place
+
+
+def test_all_figure10_cities_present():
+    for name in (
+        "tokyo", "yokohama", "chiba", "narita", "saitama", "kawasaki",
+        "hachioji", "funabashi", "odawara", "yokosuka",
+    ):
+        assert name in PLACES
+
+
+def test_place_lookup_case_insensitive():
+    assert place("Tokyo") == PLACES["tokyo"]
+    assert place("SHINJUKU") == PLACES["shinjuku"]
+
+
+def test_unknown_place_raises():
+    with pytest.raises(ConfigurationError, match="unknown place"):
+        place("osaka")
+
+
+def test_all_places_inside_region():
+    for coord in PLACES.values():
+        assert TOKYO_REGION["lat_min"] <= coord.lat <= TOKYO_REGION["lat_max"]
+        assert TOKYO_REGION["lon_min"] <= coord.lon <= TOKYO_REGION["lon_max"]
+
+
+def test_downtown_wards_near_tokyo():
+    assert place("shinjuku").distance_km(place("tokyo")) < 12
+    assert place("shibuya").distance_km(place("tokyo")) < 12

@@ -1,0 +1,121 @@
+"""Unit tests for schedules and the mobility model."""
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro.apps.demand import DemandModel
+from repro.constants import SAMPLES_PER_DAY
+from repro.errors import ConfigurationError
+from repro.mobility.model import MobilityModel, activity_weights
+from repro.mobility.schedule import DaySchedule, LocationState, ScheduleGenerator
+from repro.population.demographics import Occupation
+from repro.population.recruitment import RecruitmentConfig, recruit
+from repro.timeutil import TimeAxis
+
+
+def _generator(occupation, seed=0):
+    return ScheduleGenerator(occupation, np.random.default_rng(seed))
+
+
+class TestScheduleGenerator:
+    def test_schedule_length_and_codes(self, rng):
+        gen = _generator(Occupation.OFFICE)
+        day = gen.day(1, rng)
+        assert len(day) == SAMPLES_PER_DAY
+        valid = {int(s) for s in LocationState}
+        assert set(np.unique(day)) <= valid
+
+    def test_commuter_weekday_has_work_and_commute(self, rng):
+        gen = _generator(Occupation.OFFICE)
+        day = gen.day(2, rng)
+        assert (day == int(LocationState.WORK)).sum() >= 6 * 6  # >= 6 hours
+        assert (day == int(LocationState.COMMUTE)).any()
+
+    def test_commuter_night_at_home(self, rng):
+        gen = _generator(Occupation.ENGINEER)
+        day = gen.day(0, rng)
+        assert (day[:30] == int(LocationState.HOME)).all()  # 0:00-5:00
+
+    def test_commuter_weekend_no_work(self, rng):
+        gen = _generator(Occupation.OFFICE)
+        for weekday in (5, 6):
+            day = gen.day(weekday, rng)
+            assert not (day == int(LocationState.WORK)).any()
+
+    def test_housewife_mostly_home(self, rng):
+        gen = _generator(Occupation.HOUSEWIFE)
+        days = [gen.day(d, rng) for d in range(7)]
+        home_frac = np.mean([
+            (d == int(LocationState.HOME)).mean() for d in days
+        ])
+        assert home_frac > 0.7
+
+    def test_bad_weekday_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            _generator(Occupation.OFFICE).day(7, rng)
+
+    def test_habits_stable_across_days(self, rng):
+        gen = _generator(Occupation.OFFICE, seed=3)
+        leaves = []
+        for _ in range(10):
+            day = gen.day(1, rng)
+            commute = np.flatnonzero(day == int(LocationState.COMMUTE))
+            leaves.append(commute[0] if len(commute) else -1)
+        leaves = [l for l in leaves if l >= 0]
+        assert np.std(leaves) < 6  # within an hour of the habit
+
+    def test_some_self_owned_work_from_home(self):
+        wfh = [
+            _generator(Occupation.SELF_OWNED, seed=s).works_from_home
+            for s in range(40)
+        ]
+        assert any(wfh) and not all(wfh)
+
+
+class TestActivityWeights:
+    def test_nonnegative_and_shaped(self, rng):
+        day = np.full(SAMPLES_PER_DAY, int(LocationState.HOME), dtype=np.int8)
+        weights = activity_weights(day, weekend=False, rng=rng)
+        assert (weights >= 0).all()
+        # Deep night much quieter than evening.
+        assert weights[18:30].mean() < weights[120:138].mean()
+
+    def test_work_suppresses_activity(self, rng):
+        home_day = np.full(SAMPLES_PER_DAY, int(LocationState.HOME), dtype=np.int8)
+        work_day = np.full(SAMPLES_PER_DAY, int(LocationState.WORK), dtype=np.int8)
+        reference = np.random.default_rng(1)
+        home_weights = activity_weights(home_day, False, np.random.default_rng(1))
+        work_weights = activity_weights(work_day, False, np.random.default_rng(1))
+        assert work_weights.sum() < home_weights.sum()
+
+
+class TestMobilityModel:
+    @pytest.fixture()
+    def profile(self, rng):
+        demand = DemandModel(0, appetite_median_mb=40.0)
+        config = RecruitmentConfig(
+            year=2013, n_android=30, n_ios=0, lte_share=0.3, home_ap_share=0.7
+        )
+        panel = recruit(config, demand, rng)
+        return next(p for p in panel if p.is_commuter)
+
+    def test_day_mobility_consistent(self, profile, rng):
+        axis = TimeAxis(date(2013, 3, 7), 15)
+        model = MobilityModel(profile, axis, rng)
+        mobility = model.day(0, rng)
+        assert len(mobility.states) == SAMPLES_PER_DAY
+        assert len(mobility.activity) == SAMPLES_PER_DAY
+
+    def test_locations_per_state(self, profile, rng):
+        axis = TimeAxis(date(2013, 3, 7), 15)
+        model = MobilityModel(profile, axis, rng)
+        mobility = model.day(0, rng)
+        home = model.location_for(int(LocationState.HOME), mobility)
+        work = model.location_for(int(LocationState.WORK), mobility)
+        assert home == profile.home
+        assert work == profile.office
+        commute = model.location_for(int(LocationState.COMMUTE), mobility)
+        # Commute waypoint lies between home and office (roughly).
+        assert commute.distance_km(home) <= home.distance_km(work) + 5.0

@@ -1,0 +1,171 @@
+"""Unit tests for the deployment environment."""
+
+import numpy as np
+import pytest
+
+from repro.apps.demand import DemandModel
+from repro.errors import ConfigurationError
+from repro.net.accesspoint import APType
+from repro.net.identifiers import is_public_essid
+from repro.network_env.deployment import (
+    Deployment,
+    DeploymentConfig,
+    build_deployment,
+)
+from repro.network_env.home_wifi import HomeWifiConfig, build_home_ap
+from repro.network_env.public_wifi import (
+    PROVIDER_ESSIDS,
+    PublicWifiConfig,
+    open_venue_essid,
+    provider_essid_for,
+)
+from repro.population.demographics import Occupation
+from repro.population.profiles import WifiPolicy
+from repro.population.recruitment import RecruitmentConfig, recruit
+from repro.radio.bands import Band
+from repro.radio.channels import NON_OVERLAPPING_24GHZ
+
+
+@pytest.fixture()
+def panel(rng):
+    demand = DemandModel(2, appetite_median_mb=50.0)
+    config = RecruitmentConfig(
+        year=2015, n_android=80, n_ios=80, lte_share=0.8,
+        home_ap_share=0.8, office_ap_share=0.3, mobile_ap_share=0.1,
+    )
+    return recruit(config, demand, rng)
+
+
+@pytest.fixture()
+def deployment(panel, rng):
+    config = DeploymentConfig(
+        year=2015,
+        home=HomeWifiConfig(2015, fraction_5ghz=0.15, default_channel_share=0.15),
+        public=PublicWifiConfig(2015, n_aps=800, fraction_5ghz=0.55),
+        open_ap_count=60,
+    )
+    return build_deployment(panel, config, rng)
+
+
+class TestPublicWifi:
+    def test_provider_essids_are_public(self, rng):
+        for _ in range(50):
+            essid, _ = provider_essid_for(rng)
+            assert is_public_essid(essid)
+
+    def test_carrier_restrictions(self):
+        restrictions = {essid: c for essid, _, c in PROVIDER_ESSIDS}
+        assert restrictions["0000docomo"] == "docomo"
+        assert restrictions["0001softbank"] == "softbank"
+        assert restrictions["7SPOT"] is None
+
+    def test_open_essids_not_public(self, rng):
+        for _ in range(30):
+            assert not is_public_essid(open_venue_essid(rng))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            PublicWifiConfig(2015, n_aps=-1, fraction_5ghz=0.5)
+        with pytest.raises(ConfigurationError):
+            PublicWifiConfig(2015, n_aps=10, fraction_5ghz=1.5)
+
+
+class TestHomeWifi:
+    def test_build_home_ap_fields(self, rng):
+        config = HomeWifiConfig(2013, fraction_5ghz=0.0, default_channel_share=1.0)
+        from repro.geo.coords import Coordinate
+        ap = build_home_ap(7, 3, Coordinate(35.7, 139.7), config, rng)
+        assert ap.ap_type is APType.HOME
+        assert ap.band is Band.GHZ_2_4
+        assert ap.channel == 1  # default_channel_share = 1
+
+    def test_fon_share(self, rng):
+        config = HomeWifiConfig(2015, fraction_5ghz=0.0,
+                                default_channel_share=0.0, fon_share=1.0)
+        from repro.geo.coords import Coordinate
+        ap = build_home_ap(0, 0, Coordinate(35.7, 139.7), config, rng)
+        assert ap.essid == "FON_FREE_INTERNET"
+
+    def test_5ghz_fraction(self, rng):
+        from repro.geo.coords import Coordinate
+        config = HomeWifiConfig(2015, fraction_5ghz=0.5, default_channel_share=0.1)
+        bands = [
+            build_home_ap(i, i, Coordinate(35.7, 139.7), config, rng).band
+            for i in range(400)
+        ]
+        share = sum(1 for b in bands if b is Band.GHZ_5) / len(bands)
+        assert share == pytest.approx(0.5, abs=0.08)
+
+
+class TestDeployment:
+    def test_profiles_wired_to_aps(self, panel, deployment):
+        for profile in panel:
+            if profile.has_home_ap:
+                ap = deployment.ap(profile.home_ap_id)
+                assert ap.ap_type is APType.HOME
+                assert ap.location == profile.home
+            else:
+                assert profile.home_ap_id == -1
+            if profile.office_has_ap:
+                assert deployment.ap(profile.office_ap_id).ap_type is APType.OFFICE
+            if profile.has_mobile_ap:
+                assert deployment.ap(profile.mobile_ap_id).ap_type is APType.MOBILE
+
+    def test_student_campus_is_eduroam(self, panel, deployment):
+        students = [
+            p for p in panel
+            if p.occupation is Occupation.STUDENT and p.office_has_ap
+        ]
+        for p in students:
+            assert deployment.ap(p.office_ap_id).essid == "eduroam"
+
+    def test_public_universe_size(self, deployment):
+        publics = [a for a in deployment.aps.values() if a.ap_type is APType.PUBLIC]
+        assert len(publics) == 800
+
+    def test_public_channels_planned(self, deployment):
+        publics = [
+            a for a in deployment.aps.values()
+            if a.ap_type is APType.PUBLIC and a.band is Band.GHZ_2_4
+        ]
+        assert all(a.channel in NON_OVERLAPPING_24GHZ for a in publics)
+
+    def test_public_5ghz_fraction(self, deployment):
+        publics = [a for a in deployment.aps.values() if a.ap_type is APType.PUBLIC]
+        share = sum(1 for a in publics if a.band is Band.GHZ_5) / len(publics)
+        assert share == pytest.approx(0.55, abs=0.06)
+
+    def test_cell_index_consistency(self, deployment):
+        total_indexed = sum(len(v) for v in deployment.venue_aps_by_cell.values())
+        venue_aps = [
+            a for a in deployment.aps.values()
+            if a.ap_type in (APType.PUBLIC, APType.OPEN)
+        ]
+        assert total_indexed == len(venue_aps)
+        counted = sum(
+            n24 + n5 for n24, n5 in deployment.public_counts_by_cell.values()
+        )
+        publics = [a for a in deployment.aps.values() if a.ap_type is APType.PUBLIC]
+        assert counted == len(publics)
+
+    def test_density_lookup(self, deployment):
+        from repro.geo.places import place
+        n24, n5 = deployment.public_density(place("shinjuku"))
+        assert n24 + n5 > 0
+
+    def test_downtown_denser_than_fringe(self, deployment):
+        from repro.geo.places import place
+        downtown = sum(deployment.public_density(place("shinjuku")))
+        fringe = sum(deployment.public_density(place("odawara")))
+        assert downtown > fringe
+
+    def test_familiar_open_aps_only_always_on(self, panel, deployment):
+        for user_id, aps in deployment.familiar_open_aps.items():
+            profile = panel[user_id]
+            assert profile.wifi_policy is WifiPolicy.ALWAYS_ON
+            for ap_id in aps:
+                assert deployment.ap(ap_id).ap_type is APType.OPEN
+
+    def test_unique_bssids(self, deployment):
+        bssids = [a.bssid for a in deployment.aps.values()]
+        assert len(set(bssids)) == len(bssids)

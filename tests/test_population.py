@@ -1,0 +1,199 @@
+"""Unit tests for demographics, profiles, recruitment, and the survey."""
+
+import numpy as np
+import pytest
+
+from repro.apps.demand import DemandModel
+from repro.errors import ConfigurationError
+from repro.population.demographics import (
+    OCCUPATION_SHARES,
+    Occupation,
+    occupation_probabilities,
+    sample_occupation,
+)
+from repro.population.profiles import UserProfile, WifiPolicy
+from repro.population.recruitment import (
+    RecruitmentConfig,
+    default_policy_mix,
+    recruit,
+)
+from repro.population.survey import (
+    REASONS,
+    run_survey,
+    tabulate_survey,
+)
+from repro.traces.records import DeviceOS
+
+
+@pytest.fixture()
+def demand():
+    return DemandModel(2, appetite_median_mb=50.0)
+
+
+@pytest.fixture()
+def panel(demand, rng):
+    config = RecruitmentConfig(
+        year=2015, n_android=150, n_ios=150, lte_share=0.8, home_ap_share=0.8
+    )
+    return recruit(config, demand, rng)
+
+
+class TestDemographics:
+    def test_shares_sum_to_about_100(self):
+        # The paper's own 2015 column sums to 97.9 (rounding in Table 2).
+        for year, shares in OCCUPATION_SHARES.items():
+            assert sum(shares.values()) == pytest.approx(100.0, abs=2.5)
+
+    def test_table2_values(self):
+        assert OCCUPATION_SHARES[2013][Occupation.OFFICE] == 20.0
+        assert OCCUPATION_SHARES[2015][Occupation.STUDENT] == 2.7
+        assert OCCUPATION_SHARES[2014][Occupation.HOUSEWIFE] == 14.2
+
+    def test_probabilities_normalized(self):
+        _, probs = occupation_probabilities(2014)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_unknown_year(self):
+        with pytest.raises(ConfigurationError):
+            occupation_probabilities(2020)
+
+    def test_sampling_matches_shares(self, rng):
+        draws = [sample_occupation(2013, rng) for _ in range(4000)]
+        office_share = draws.count(Occupation.OFFICE) / len(draws)
+        assert office_share == pytest.approx(0.20, abs=0.03)
+
+
+class TestRecruitment:
+    def test_panel_size_and_os_split(self, panel):
+        assert len(panel) == 300
+        android = sum(1 for p in panel if p.os is DeviceOS.ANDROID)
+        assert android == 150
+
+    def test_user_ids_dense(self, panel):
+        assert [p.user_id for p in panel] == list(range(300))
+
+    def test_home_ap_share(self, panel):
+        share = sum(1 for p in panel if p.has_home_ap) / len(panel)
+        assert share == pytest.approx(0.8, abs=0.08)
+
+    def test_lte_share(self, panel):
+        from repro.net.cellular import CellularTechnology
+        lte = sum(1 for p in panel if p.technology is CellularTechnology.LTE)
+        assert lte / len(panel) == pytest.approx(0.8, abs=0.08)
+
+    def test_commuters_have_offices(self, panel):
+        for p in panel:
+            if p.is_commuter:
+                assert p.office is not None
+
+    def test_data_off_requires_home_ap(self, panel):
+        for p in panel:
+            if p.cellular_data_off:
+                assert p.has_home_ap
+                assert p.wifi_policy in (WifiPolicy.ALWAYS_ON, WifiPolicy.DAYTIME_OFF)
+
+    def test_policy_mix_owner_vs_nonowner(self, demand, rng):
+        config = RecruitmentConfig(
+            year=2013, n_android=800, n_ios=0, lte_share=0.3, home_ap_share=0.5
+        )
+        panel = recruit(config, demand, rng)
+        owners = [p for p in panel if p.has_home_ap]
+        nonowners = [p for p in panel if not p.has_home_ap]
+        owner_noconfig = sum(
+            1 for p in owners if p.wifi_policy is WifiPolicy.NO_CONFIG
+        ) / len(owners)
+        nonowner_noconfig = sum(
+            1 for p in nonowners if p.wifi_policy is WifiPolicy.NO_CONFIG
+        ) / len(nonowners)
+        assert nonowner_noconfig > owner_noconfig + 0.2
+
+    def test_default_policy_mix_unknown_year(self):
+        with pytest.raises(ConfigurationError):
+            default_policy_mix(2020)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            RecruitmentConfig(year=2015, n_android=-1, n_ios=0,
+                              lte_share=0.5, home_ap_share=0.5)
+        with pytest.raises(ConfigurationError):
+            RecruitmentConfig(year=2015, n_android=1, n_ios=1,
+                              lte_share=1.5, home_ap_share=0.5)
+
+    def test_homes_spread_over_region(self, panel):
+        lats = np.array([p.home.lat for p in panel])
+        lons = np.array([p.home.lon for p in panel])
+        assert lats.std() > 0.05
+        assert lons.std() > 0.05
+
+
+class TestProfileValidation:
+    def test_commuter_without_office_rejected(self, demand, rng):
+        mix = demand.sample_mix(rng)
+        from repro.net.cellular import CARRIERS, CellularTechnology
+        from repro.geo.coords import Coordinate
+        with pytest.raises(ConfigurationError):
+            UserProfile(
+                user_id=0, os=DeviceOS.ANDROID, carrier=CARRIERS[0],
+                technology=CellularTechnology.LTE,
+                occupation=Occupation.OFFICE,
+                home=Coordinate(35.6, 139.7), office=None,
+                has_home_ap=True, office_has_ap=False,
+                wifi_policy=WifiPolicy.ALWAYS_ON, public_enrolled=True,
+                cellular_data_off=False, appetite_bytes=1e6, mix=mix,
+            )
+
+    def test_wifi_capable(self, panel):
+        for p in panel:
+            if p.wifi_policy in (WifiPolicy.ALWAYS_OFF, WifiPolicy.NO_CONFIG):
+                assert not p.wifi_capable
+
+
+class TestSurvey:
+    def test_every_user_answers(self, panel, rng):
+        responses = run_survey(panel, 2015, rng)
+        assert len(responses) == len(panel)
+        for r in responses:
+            assert set(r.connected) == {"home", "office", "public"}
+
+    def test_reasons_only_for_non_yes(self, panel, rng):
+        responses = run_survey(panel, 2015, rng)
+        for r in responses:
+            for loc, answer in r.connected.items():
+                if answer == "yes":
+                    assert loc not in r.reasons
+                else:
+                    assert len(r.reasons[loc]) >= 1
+
+    def test_tabulation_percentages(self, panel, rng):
+        responses = run_survey(panel, 2015, rng)
+        tables = tabulate_survey(responses, 2015)
+        for loc in ("home", "office", "public"):
+            total = sum(tables.connected_pct[loc].values())
+            assert total == pytest.approx(100.0)
+        assert sum(tables.occupation_pct.values()) == pytest.approx(100.0)
+
+    def test_home_yes_tracks_ownership(self, panel, rng):
+        responses = run_survey(panel, 2015, rng)
+        tables = tabulate_survey(responses, 2015)
+        # ~80% own a home AP; most of them report connecting (Table 8).
+        assert 50.0 < tables.connected_pct["home"]["yes"] < 90.0
+
+    def test_2013_has_no_security_question(self, panel, rng):
+        responses = run_survey(panel, 2013, rng)
+        tables = tabulate_survey(responses, 2013)
+        assert np.isnan(tables.reason_pct["public"]["Security issue"])
+        assert np.isnan(tables.reason_pct["home"]["LTE is enough"])
+
+    def test_2015_has_security_concern_in_public(self, panel, rng):
+        responses = run_survey(panel, 2015, rng)
+        tables = tabulate_survey(responses, 2015)
+        # §4.2(4): security is a significant public-WiFi concern.
+        assert tables.reason_pct["public"]["Security issue"] > (
+            tables.reason_pct["home"]["Security issue"]
+        )
+
+    def test_all_reasons_are_known(self, panel, rng):
+        responses = run_survey(panel, 2015, rng)
+        for r in responses:
+            for reasons in r.reasons.values():
+                assert set(reasons) <= set(REASONS)

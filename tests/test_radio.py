@@ -1,0 +1,144 @@
+"""Unit tests for the radio substrate: bands, path loss, channels."""
+
+import numpy as np
+import pytest
+
+from repro.constants import NUM_24GHZ_CHANNELS
+from repro.errors import ConfigurationError
+from repro.radio.bands import Band
+from repro.radio.channels import (
+    CHANNELS_24GHZ,
+    CHANNELS_5GHZ,
+    NON_OVERLAPPING_24GHZ,
+    ChannelPlanner,
+    channels_interfere,
+    interference_fraction,
+    interference_pairs,
+)
+from repro.radio.pathloss import PathLossModel, RssiModel
+
+
+class TestBands:
+    def test_two_bands(self):
+        assert Band.GHZ_2_4.value == "2.4GHz"
+        assert Band.GHZ_5.value == "5GHz"
+
+    def test_center_frequencies_ordered(self):
+        assert Band.GHZ_2_4.center_frequency_mhz < Band.GHZ_5.center_frequency_mhz
+
+
+class TestPathLoss:
+    def test_loss_increases_with_distance(self):
+        model = PathLossModel(exponent=3.0)
+        assert model.loss_db(10.0) > model.loss_db(2.0)
+
+    def test_reference_clamp_below_1m(self):
+        model = PathLossModel()
+        assert model.loss_db(0.1) == model.loss_db(1.0)
+
+    def test_log_distance_slope(self):
+        model = PathLossModel(exponent=3.0)
+        # 10x distance -> 10*n dB more loss.
+        assert model.loss_db(100.0) - model.loss_db(10.0) == pytest.approx(30.0)
+
+    def test_5ghz_reference_higher(self):
+        loss24 = PathLossModel.for_band(Band.GHZ_2_4).loss_db(10.0)
+        loss5 = PathLossModel.for_band(Band.GHZ_5).loss_db(10.0)
+        assert loss5 > loss24
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ConfigurationError):
+            PathLossModel(exponent=0.0)
+
+
+class TestRssiModel:
+    def test_mean_rssi_monotone_in_distance(self):
+        model = RssiModel()
+        assert model.mean_rssi(5.0) > model.mean_rssi(50.0)
+
+    def test_sample_is_clamped(self, rng):
+        model = RssiModel(floor_dbm=-90.0, ceiling_dbm=-30.0)
+        samples = [model.sample(1000.0, rng) for _ in range(200)]
+        assert all(-90.0 <= s <= -30.0 for s in samples)
+
+    def test_sample_many_matches_scalar_statistics(self, rng):
+        model = RssiModel(shadowing_sigma_db=4.0)
+        distances = np.full(4000, 20.0)
+        batch = model.sample_many(distances, rng)
+        assert batch.mean() == pytest.approx(model.mean_rssi(20.0), abs=0.5)
+        assert batch.std() == pytest.approx(4.0, abs=0.5)
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigurationError):
+            RssiModel(shadowing_sigma_db=-1.0)
+        with pytest.raises(ConfigurationError):
+            RssiModel(floor_dbm=-20.0, ceiling_dbm=-30.0)
+
+
+class TestChannels:
+    def test_13_channels_in_japan(self):
+        assert len(CHANNELS_24GHZ) == NUM_24GHZ_CHANNELS == 13
+
+    def test_interference_rule_five_channels(self):
+        assert channels_interfere(1, 5)
+        assert not channels_interfere(1, 6)
+        assert not channels_interfere(6, 11)
+        assert channels_interfere(3, 3)
+
+    def test_interference_symmetric(self):
+        assert channels_interfere(2, 6) == channels_interfere(6, 2)
+
+    def test_invalid_channel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            channels_interfere(0, 5)
+        with pytest.raises(ConfigurationError):
+            channels_interfere(1, 14)
+
+    def test_non_overlapping_trio_clean(self):
+        assert list(interference_pairs(NON_OVERLAPPING_24GHZ)) == []
+
+    def test_interference_pairs_indexes(self):
+        pairs = list(interference_pairs([1, 2, 11]))
+        assert pairs == [(0, 1)]
+
+    def test_interference_fraction(self):
+        assert interference_fraction([1, 1, 1]) == 1.0
+        assert interference_fraction([1, 6, 11]) == 0.0
+        assert interference_fraction([1]) == 0.0
+        assert interference_fraction([1, 6]) == 0.0
+        assert interference_fraction([1, 4]) == 1.0
+
+
+class TestChannelPlanner:
+    def test_default_mode_always_channel_1(self, rng):
+        planner = ChannelPlanner(mode="default")
+        assert set(planner.assign_many(50, rng)) == {1}
+
+    def test_planned_mode_uses_trio(self, rng):
+        planner = ChannelPlanner(mode="planned")
+        assert set(planner.assign_many(300, rng)) <= set(NON_OVERLAPPING_24GHZ)
+
+    def test_auto_mode_disperses(self, rng):
+        planner = ChannelPlanner(mode="auto")
+        channels = planner.assign_many(2000, rng)
+        assert len(set(channels)) > 5
+        assert all(1 <= c <= 13 for c in channels)
+
+    def test_default_share_concentrates_on_ch1(self, rng):
+        concentrated = ChannelPlanner(mode="auto", default_share=0.9)
+        channels = concentrated.assign_many(1000, rng)
+        assert channels.count(1) / len(channels) > 0.8
+
+    def test_invalid_mode_and_share(self):
+        with pytest.raises(ConfigurationError):
+            ChannelPlanner(mode="bogus")
+        with pytest.raises(ConfigurationError):
+            ChannelPlanner(default_share=1.5)
+
+    def test_assign_many_negative(self, rng):
+        with pytest.raises(ConfigurationError):
+            ChannelPlanner().assign_many(-1, rng)
+
+    def test_5ghz_channel_list_nonoverlapping_spacing(self):
+        diffs = np.diff(CHANNELS_5GHZ)
+        assert (diffs >= 4).all()

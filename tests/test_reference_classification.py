@@ -1,0 +1,79 @@
+"""Cross-check the vectorized AP classification against a naive reference.
+
+The production implementation uses numpy group-bys for speed; this test
+re-implements the §3.4.1 home inference and the office/mobile counting the
+obvious slow way and verifies both agree on simulated data.
+"""
+
+from collections import Counter, defaultdict
+
+import numpy as np
+
+from repro.analysis.ap_classification import (
+    HOME_NIGHT_FRACTION,
+    MIN_NIGHT_SLOTS,
+    MOBILE_CELL_THRESHOLD,
+    _infer_home_aps,
+    _infer_mobile_aps,
+)
+from repro.constants import SAMPLES_PER_DAY, SAMPLES_PER_HOUR
+from repro.traces.records import WifiStateCode
+
+
+def _reference_home_aps(device, day, hour, ap_id):
+    night = (hour >= 22) | (hour < 6)
+    night_counts = defaultdict(Counter)
+    for d, dy, a in zip(device[night], day[night], ap_id[night]):
+        night_counts[(int(d), int(dy))][int(a)] += 1
+    votes = defaultdict(Counter)
+    for (d, _dy), counter in night_counts.items():
+        total = sum(counter.values())
+        if total < MIN_NIGHT_SLOTS:
+            continue
+        top_ap, top_count = counter.most_common(1)[0]
+        if top_count / total >= HOME_NIGHT_FRACTION:
+            votes[d][top_ap] += 1
+    return {d: int(c.most_common(1)[0][0]) for d, c in votes.items()}
+
+
+def _reference_mobile(dataset, device, t, ap_id):
+    geo = dataset.geo
+    lookup = {}
+    for d, tt, c, r in zip(geo.device, geo.t, geo.col, geo.row):
+        lookup[(int(d), int(tt))] = (int(c), int(r))
+    cells = defaultdict(set)
+    for d, tt, a in zip(device, t, ap_id):
+        cell = lookup.get((int(d), int(tt)))
+        if cell is not None:
+            cells[(int(d), int(a))].add(cell)
+    return {
+        a for (_d, a), seen in cells.items() if len(seen) >= MOBILE_CELL_THRESHOLD
+    }
+
+
+def test_home_inference_matches_reference(dataset2015):
+    wifi = dataset2015.wifi
+    assoc = wifi.state == int(WifiStateCode.ASSOCIATED)
+    device = wifi.device[assoc].astype(np.int64)
+    t = wifi.t[assoc].astype(np.int64)
+    ap_id = wifi.ap_id[assoc].astype(np.int64)
+    hour = (t % SAMPLES_PER_DAY) // SAMPLES_PER_HOUR
+    day = t // SAMPLES_PER_DAY
+
+    fast = _infer_home_aps(device, day, hour, ap_id)
+    slow = _reference_home_aps(device, day, hour, ap_id)
+    # Vote winners can differ only on exact vote ties; allow a tiny slack.
+    assert set(fast) == set(slow)
+    disagreements = sum(1 for d in fast if fast[d] != slow[d])
+    assert disagreements <= max(1, len(fast) // 50)
+
+
+def test_mobile_inference_matches_reference(dataset2015):
+    wifi = dataset2015.wifi
+    assoc = wifi.state == int(WifiStateCode.ASSOCIATED)
+    device = wifi.device[assoc].astype(np.int64)
+    t = wifi.t[assoc].astype(np.int64)
+    ap_id = wifi.ap_id[assoc].astype(np.int64)
+    fast = _infer_mobile_aps(dataset2015, device, t, ap_id)
+    slow = _reference_mobile(dataset2015, device, t, ap_id)
+    assert fast == slow

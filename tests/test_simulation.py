@@ -1,0 +1,220 @@
+"""Integration-level tests of the device simulator, campaign, and study."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.constants import SAMPLES_PER_DAY
+from repro.errors import ConfigurationError
+from repro.net.accesspoint import APType
+from repro.population.profiles import WifiPolicy
+from repro.simulation.params import SimParams, default_params
+from repro.simulation.study import StudyConfig, default_campaign_config, run_study
+from repro.simulation.campaign import run_campaign
+from repro.traces.records import DeviceOS, IfaceKind, WifiStateCode
+
+
+class TestParams:
+    def test_defaults_exist_per_year(self):
+        for year in (2013, 2014, 2015):
+            params = default_params(year)
+            assert params.year_index == year - 2013
+
+    def test_only_2015_has_update(self):
+        assert default_params(2013).update_policy is None
+        assert default_params(2014).update_policy is None
+        assert default_params(2015).update_policy is not None
+
+    def test_2015_cap_relaxed(self):
+        assert default_params(2015).cap_policy.limit_bps > (
+            default_params(2014).cap_policy.limit_bps
+        )
+
+    def test_year_growth_in_uplift_and_assoc(self):
+        p13, p15 = default_params(2013), default_params(2015)
+        assert p15.wifi_uplift > p13.wifi_uplift
+        assert p15.venue_assoc_p > p13.venue_assoc_p
+
+    def test_unknown_year(self):
+        with pytest.raises(ConfigurationError):
+            default_params(2020)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimParams(year_index=5)
+        with pytest.raises(ConfigurationError):
+            SimParams(year_index=0, venue_assoc_p=1.5)
+        with pytest.raises(ConfigurationError):
+            SimParams(year_index=0, sighting_period_slots=0)
+
+
+class TestCampaignConfig:
+    def test_scale_shrinks_panel(self):
+        full = default_campaign_config(2015, scale=1.0)
+        small = default_campaign_config(2015, scale=0.1)
+        assert small.recruitment.n_total < full.recruitment.n_total
+        assert small.deployment.public.n_aps < full.deployment.public.n_aps
+
+    def test_scan_scale_compensates(self):
+        full = default_campaign_config(2015, scale=1.0)
+        small = default_campaign_config(2015, scale=0.1)
+        assert small.params.scan_scale == pytest.approx(
+            full.params.scan_scale * 10.0
+        )
+
+    def test_panel_sizes_match_table1_at_full_scale(self):
+        config = default_campaign_config(2013, scale=1.0)
+        assert config.recruitment.n_android == 948
+        assert config.recruitment.n_ios == 807
+
+    def test_year_mismatch_rejected(self):
+        config = default_campaign_config(2015, scale=0.05)
+        bad_recruitment = dataclasses.replace(config.recruitment, year=2014)
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(config, recruitment=bad_recruitment)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            default_campaign_config(2015, scale=0.0)
+        with pytest.raises(ConfigurationError):
+            default_campaign_config(2015, scale=1.5)
+
+
+class TestCampaignOutput:
+    def test_deterministic_with_seed(self):
+        config = default_campaign_config(2013, scale=0.02, seed=9)
+        a = run_campaign(config).dataset
+        b = run_campaign(config).dataset
+        np.testing.assert_array_equal(a.traffic.rx, b.traffic.rx)
+        np.testing.assert_array_equal(a.wifi.ap_id, b.wifi.ap_id)
+
+    def test_different_seed_differs(self):
+        a = run_campaign(default_campaign_config(2013, scale=0.02, seed=1)).dataset
+        b = run_campaign(default_campaign_config(2013, scale=0.02, seed=2)).dataset
+        assert len(a.traffic) != len(b.traffic) or not np.array_equal(
+            a.traffic.rx[:100], b.traffic.rx[:100]
+        )
+
+    def test_directory_only_observed_aps(self, study):
+        for year in study.years:
+            result = study.campaigns[year]
+            dataset = result.dataset
+            assert len(dataset.ap_directory) < len(result.deployment.aps)
+            observed = set(
+                int(a) for a in dataset.wifi.ap_id[dataset.wifi.ap_id >= 0]
+            )
+            assert observed <= set(dataset.ap_directory)
+
+
+class TestSimulatedBehaviour:
+    """Checks that device-level mechanics show up in the data."""
+
+    def test_ios_reports_only_associations(self, raw2015):
+        ios = set(raw2015.ios_ids())
+        wifi = raw2015.wifi
+        ios_rows = np.isin(wifi.device, list(ios))
+        states = set(np.unique(wifi.state[ios_rows]))
+        assert states <= {int(WifiStateCode.ASSOCIATED)}
+
+    def test_android_reports_full_panel(self, raw2015):
+        android = set(raw2015.android_ids())
+        wifi = raw2015.wifi
+        android_rows = np.isin(wifi.device, list(android))
+        states = set(np.unique(wifi.state[android_rows]))
+        assert int(WifiStateCode.OFF) in states
+        assert int(WifiStateCode.AVAILABLE) in states
+        assert int(WifiStateCode.ASSOCIATED) in states
+
+    def test_scans_only_android(self, raw2015):
+        ios = set(raw2015.ios_ids())
+        assert not np.isin(raw2015.scans.device, list(ios)).any()
+        assert not np.isin(raw2015.apps.device, list(ios)).any()
+
+    def test_updates_only_ios_in_2015(self, study):
+        raw = study.dataset(2015)
+        ios = set(raw.ios_ids())
+        assert len(raw.updates) > 0
+        assert all(int(d) in ios for d in raw.updates.device)
+        assert len(study.dataset(2013).updates) == 0
+
+    def test_update_traffic_on_wifi(self, study):
+        raw = study.dataset(2015)
+        n_slots = raw.n_slots
+        wifi_keys = set(
+            (raw.traffic.device[i] * n_slots + raw.traffic.t[i])
+            for i in np.flatnonzero(raw.traffic.iface == int(IfaceKind.WIFI))
+        )
+        for device, t in zip(raw.updates.device, raw.updates.t):
+            assert int(device) * n_slots + int(t) in wifi_keys
+
+    def test_always_off_users_never_associate(self, study):
+        result = study.campaigns[2015]
+        raw = result.dataset
+        truth = raw.ground_truth
+        off_users = [
+            d for d, policy in truth.wifi_policy_of_user.items()
+            if policy == "always_off"
+        ]
+        assoc = raw.wifi.state == int(WifiStateCode.ASSOCIATED)
+        assert not np.isin(raw.wifi.device[assoc], off_users).any()
+
+    def test_no_config_users_never_associate(self, study):
+        raw = study.dataset(2015)
+        truth = raw.ground_truth
+        nc_users = [
+            d for d, policy in truth.wifi_policy_of_user.items()
+            if policy == "no_config"
+        ]
+        assoc = raw.wifi.state == int(WifiStateCode.ASSOCIATED)
+        assert not np.isin(raw.wifi.device[assoc], nc_users).any()
+
+    def test_home_association_matches_truth(self, study):
+        raw = study.dataset(2015)
+        truth = raw.ground_truth
+        assoc = raw.wifi.state == int(WifiStateCode.ASSOCIATED)
+        devices = raw.wifi.device[assoc]
+        aps = raw.wifi.ap_id[assoc]
+        home_type_aps = {
+            ap for ap, t in truth.ap_types.items() if t is APType.HOME
+        }
+        for device, ap in zip(devices[:2000], aps[:2000]):
+            if int(ap) in home_type_aps:
+                # A device on a home-type AP must be on its own home AP.
+                assert truth.home_ap_of_user.get(int(device)) == int(ap)
+
+    def test_app_totals_track_traffic_totals(self, raw2015):
+        """Per-device Android app volume ~= device traffic volume."""
+        android = raw2015.android_ids()
+        apps = raw2015.apps
+        traffic = raw2015.traffic
+        for device in android[:10]:
+            app_total = apps.rx[apps.device == device].sum()
+            traffic_total = traffic.rx[traffic.device == device].sum()
+            if traffic_total == 0:
+                continue
+            # App records exclude trimmed tails and sub-byte rows.
+            assert app_total == pytest.approx(traffic_total, rel=0.15)
+
+
+class TestStudy:
+    def test_all_years_run(self, study):
+        assert set(study.years) == {2013, 2014, 2015}
+        for year in study.years:
+            assert study.dataset(year).n_devices > 10
+            assert len(study.surveys[year]) == study.dataset(year).n_devices
+
+    def test_missing_year_raises(self):
+        from repro.simulation.study import Study
+        with pytest.raises(ConfigurationError):
+            Study().dataset(2015)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            StudyConfig(scale=0.0)
+        with pytest.raises(ConfigurationError):
+            StudyConfig(years=(2019,))
+
+    def test_subset_of_years(self):
+        study = run_study(scale=0.02, seed=3, years=(2014,))
+        assert study.years == (2014,)

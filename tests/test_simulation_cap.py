@@ -1,0 +1,79 @@
+"""Unit tests for the soft bandwidth cap."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.cap import SoftCapPolicy, SoftCapTracker
+
+
+class TestPolicy:
+    def test_defaults_match_paper(self):
+        policy = SoftCapPolicy()
+        assert policy.threshold_bytes == 1e9
+        assert policy.window_days == 3
+        assert policy.limit_bps == 128_000
+
+    def test_limit_bytes_per_slot(self):
+        policy = SoftCapPolicy(limit_bps=128_000)
+        # 128 kbps * 600 s / 8 = 9.6 MB.
+        assert policy.limit_bytes_per_slot == pytest.approx(9.6e6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SoftCapPolicy(threshold_bytes=0)
+        with pytest.raises(ConfigurationError):
+            SoftCapPolicy(window_days=0)
+        with pytest.raises(ConfigurationError):
+            SoftCapPolicy(limit_bps=0)
+        with pytest.raises(ConfigurationError):
+            SoftCapPolicy(peak_hours=(25,))
+
+
+class TestTracker:
+    def test_starts_uncapped(self):
+        tracker = SoftCapTracker(SoftCapPolicy())
+        assert not tracker.potentially_capped()
+        assert tracker.slot_limit(20) == float("inf")
+
+    def test_caps_after_threshold(self):
+        tracker = SoftCapTracker(SoftCapPolicy())
+        tracker.record_day(0.6e9)
+        tracker.record_day(0.6e9)
+        assert tracker.potentially_capped()  # 1.2 GB over two days
+        assert tracker.slot_limit(20) == pytest.approx(9.6e6)
+
+    def test_off_peak_not_throttled(self):
+        tracker = SoftCapTracker(SoftCapPolicy(peak_hours=(20,)))
+        tracker.record_day(2e9)
+        assert tracker.slot_limit(20) < float("inf")
+        assert tracker.slot_limit(3) == float("inf")
+
+    def test_window_slides(self):
+        tracker = SoftCapTracker(SoftCapPolicy(penalty_days=0))
+        tracker.record_day(1.5e9)
+        assert tracker.potentially_capped()
+        tracker.record_day(0.0)
+        tracker.record_day(0.0)
+        assert tracker.potentially_capped()  # 1.5 GB still in window
+        tracker.record_day(0.0)
+        assert not tracker.potentially_capped()
+
+    def test_penalty_days_extend_throttle(self):
+        tracker = SoftCapTracker(SoftCapPolicy(penalty_days=2))
+        tracker.record_day(2e9)
+        for _ in range(3):
+            tracker.record_day(0.0)
+        # Window is now clean but penalty lingers.
+        assert not tracker.potentially_capped()
+        assert tracker.throttled_today()
+
+    def test_negative_volume_rejected(self):
+        tracker = SoftCapTracker(SoftCapPolicy())
+        with pytest.raises(ConfigurationError):
+            tracker.record_day(-1.0)
+
+    def test_window_total(self):
+        tracker = SoftCapTracker(SoftCapPolicy())
+        tracker.record_day(1e8)
+        tracker.record_day(2e8)
+        assert tracker.window_total() == pytest.approx(3e8)

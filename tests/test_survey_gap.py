@@ -1,0 +1,61 @@
+"""Tests for the survey-vs-measurement consistency analysis."""
+
+import pytest
+
+from repro.analysis.survey_gap import survey_gap
+from repro.errors import AnalysisError
+from repro.population.survey import SurveyResponse
+from tests.helpers import add_ap, make_builder, nightly_home_association
+
+
+def _response(user_id, home, office, public):
+    answers = {"home": home, "office": office, "public": public}
+    return SurveyResponse(
+        user_id=user_id, occupation="office worker",
+        connected=answers,
+        reasons={loc: ("Other",) for loc, a in answers.items() if a != "yes"},
+    )
+
+
+def test_gap_computation():
+    builder = make_builder(n_devices=4, n_days=3)
+    add_ap(builder, 0, "home-0")
+    # Only device 0 actually uses home WiFi...
+    nightly_home_association(builder, 0, 0, n_days=3)
+    ds = builder.build()
+    # ...but three of four claim public connectivity (over-reporting).
+    responses = [
+        _response(0, "yes", "no", "yes"),
+        _response(1, "no", "no", "yes"),
+        _response(2, "no", "no", "yes"),
+        _response(3, "no", "no", "no"),
+    ]
+    gap = survey_gap(ds, responses)
+    assert gap.measured_pct["home"] == pytest.approx(25.0)
+    assert gap.claimed_pct["home"] == pytest.approx(25.0)
+    assert gap.gap("home") == pytest.approx(0.0)
+    assert gap.measured_pct["public"] == 0.0
+    assert gap.claimed_pct["public"] == pytest.approx(75.0)
+    assert gap.overreported("public")
+    assert not gap.overreported("home")
+
+
+def test_requires_responses(dataset2015):
+    with pytest.raises(AnalysisError):
+        survey_gap(dataset2015, [])
+
+
+def test_unknown_location(dataset2015, study):
+    gap = survey_gap(dataset2015, study.surveys[2015])
+    with pytest.raises(AnalysisError):
+        gap.gap("moon")
+
+
+def test_study_public_overreported(study, cache):
+    """§4.2: public connectivity is over-reported; home roughly matches."""
+    for year in (2013, 2015):
+        gap = survey_gap(
+            cache.clean(year), study.surveys[year], cache.classification(year)
+        )
+        assert gap.gap("public") > 0.0
+        assert abs(gap.gap("home")) < 20.0

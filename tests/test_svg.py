@@ -1,0 +1,91 @@
+"""Tests for the SVG chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.reporting.figures import Figure
+from repro.reporting.svg import Axis, SvgChart, figure_to_svg
+
+
+def _chart(**kwargs):
+    chart = SvgChart("Test", **kwargs)
+    chart.add_series("a", [0, 1, 2], [1.0, 3.0, 2.0])
+    return chart
+
+
+def test_render_is_valid_svg_document():
+    svg = _chart().render()
+    assert svg.startswith("<svg")
+    assert svg.endswith("</svg>")
+    assert "polyline" in svg
+    assert "Test" in svg
+
+
+def test_multiple_series_distinct_colors():
+    chart = _chart()
+    chart.add_series("b", [0, 1, 2], [2.0, 2.5, 4.0])
+    svg = chart.render()
+    assert svg.count("<polyline") == 2
+    assert "#0072B2" in svg and "#D55E00" in svg
+
+
+def test_legend_labels_escaped():
+    chart = SvgChart("T")
+    chart.add_series("a<b&c", [0, 1], [0.0, 1.0])
+    svg = chart.render()
+    assert "a&lt;b&amp;c" in svg
+    assert "a<b" not in svg
+
+
+def test_log_axis_drops_nonpositive():
+    chart = SvgChart("T", x_axis=Axis(log=True))
+    chart.add_series("a", [0.0, 1.0, 10.0, 100.0], [1.0, 2.0, 3.0, 4.0])
+    svg = chart.render()
+    # Three finite points survive the log transform.
+    line = [l for l in svg.splitlines() if "polyline" in l][0]
+    assert line.count(",") == 3
+
+
+def test_empty_chart_rejected():
+    with pytest.raises(ReproError):
+        SvgChart("T").render()
+
+
+def test_shape_mismatch_rejected():
+    chart = SvgChart("T")
+    with pytest.raises(ReproError):
+        chart.add_series("a", [0, 1], [1.0])
+
+
+def test_margins_validated():
+    with pytest.raises(ReproError):
+        SvgChart("T", width=100, height=100, margin=60)
+
+
+def test_constant_series_renders():
+    chart = SvgChart("T")
+    chart.add_series("flat", [0, 1, 2], [5.0, 5.0, 5.0])
+    assert "<polyline" in chart.render()
+
+
+def test_nan_points_skipped():
+    chart = SvgChart("T")
+    chart.add_series("gaps", [0, 1, 2, 3], [1.0, np.nan, 3.0, 4.0])
+    svg = chart.render()
+    line = [l for l in svg.splitlines() if "polyline" in l][0]
+    assert line.count(",") == 3
+
+
+def test_figure_to_svg(cache):
+    from repro import run_experiment
+    figure = run_experiment("fig03", cache)
+    svg = figure_to_svg(figure, log_x=True)
+    assert svg.startswith("<svg")
+    assert "Figure 3" in svg
+
+
+def test_save(tmp_path):
+    path = tmp_path / "chart.svg"
+    _chart().save(path)
+    assert path.read_text().startswith("<svg")

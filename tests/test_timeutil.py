@@ -1,0 +1,79 @@
+"""Unit tests for the campaign time axis."""
+
+from datetime import date, datetime
+
+import numpy as np
+import pytest
+
+from repro.constants import SAMPLES_PER_DAY
+from repro.errors import ConfigurationError
+from repro.timeutil import TimeAxis
+
+
+@pytest.fixture()
+def axis():
+    # 2015-02-25 is a Wednesday.
+    return TimeAxis(date(2015, 2, 25), n_days=15)
+
+
+def test_n_slots(axis):
+    assert axis.n_slots == 15 * 144
+
+
+def test_slot_datetime(axis):
+    assert axis.slot_datetime(0) == datetime(2015, 2, 25, 0, 0)
+    assert axis.slot_datetime(6) == datetime(2015, 2, 25, 1, 0)
+    assert axis.slot_datetime(144) == datetime(2015, 2, 26, 0, 0)
+
+
+def test_slot_datetime_out_of_range(axis):
+    with pytest.raises(ConfigurationError):
+        axis.slot_datetime(-1)
+    with pytest.raises(ConfigurationError):
+        axis.slot_datetime(axis.n_slots)
+
+
+def test_day_hour_weekday_scalar(axis):
+    t = axis.slot_of(day=2, hour=13, minute=30)
+    assert axis.day_of(t) == 2
+    assert axis.hour_of(t) == 13
+    # Feb 25 is Wednesday (2); two days later is Friday (4).
+    assert axis.weekday_of(t) == 4
+    assert not axis.is_weekend(t)
+
+
+def test_weekend_detection(axis):
+    saturday = axis.slot_of(day=3, hour=12)  # Feb 28, 2015 was a Saturday
+    assert axis.weekday_of(saturday) == 5
+    assert axis.is_weekend(saturday)
+
+
+def test_array_variants(axis):
+    t = np.array([0, 144, 144 * 3 + 6])
+    assert list(axis.day_of(t)) == [0, 1, 3]
+    assert list(axis.hour_of(t)) == [0, 0, 1]
+    weekends = axis.is_weekend(t)
+    assert list(weekends) == [False, False, True]
+
+
+def test_slot_of_validation(axis):
+    with pytest.raises(ConfigurationError):
+        axis.slot_of(day=20, hour=0)
+    with pytest.raises(ConfigurationError):
+        axis.slot_of(day=0, hour=24)
+    with pytest.raises(ConfigurationError):
+        axis.slot_of(day=0, hour=0, minute=60)
+
+
+def test_bad_n_days():
+    with pytest.raises(ConfigurationError):
+        TimeAxis(date(2015, 1, 1), n_days=0)
+
+
+def test_slot_of_round_trip(axis):
+    for day in (0, 7, 14):
+        for hour in (0, 9, 23):
+            t = axis.slot_of(day, hour)
+            assert axis.day_of(t) == day
+            assert axis.hour_of(t) == hour
+            assert t % SAMPLES_PER_DAY == hour * 6

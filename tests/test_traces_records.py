@@ -1,0 +1,131 @@
+"""Unit tests for the record schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.net.cellular import CellularTechnology
+from repro.traces.records import (
+    AppTrafficRecord,
+    DeviceInfo,
+    DeviceOS,
+    GeoSample,
+    IfaceKind,
+    NetLocation,
+    ScanSummary,
+    TrafficSample,
+    UpdateEvent,
+    WifiObservation,
+    WifiStateCode,
+    netloc_for,
+)
+
+
+class TestIfaceKind:
+    def test_cellular_predicate(self):
+        assert IfaceKind.CELL_3G.is_cellular
+        assert IfaceKind.CELL_LTE.is_cellular
+        assert not IfaceKind.WIFI.is_cellular
+
+    def test_from_technology(self):
+        assert IfaceKind.from_technology(CellularTechnology.LTE) is IfaceKind.CELL_LTE
+        assert IfaceKind.from_technology(CellularTechnology.THREE_G) is IfaceKind.CELL_3G
+
+
+class TestRecordValidation:
+    def test_device_info_rejects_negative_id(self):
+        with pytest.raises(SchemaError):
+            DeviceInfo(-1, DeviceOS.ANDROID, "docomo", CellularTechnology.LTE)
+
+    def test_traffic_sample_rejects_negative_bytes(self):
+        with pytest.raises(SchemaError):
+            TrafficSample(0, 0, IfaceKind.WIFI, -1.0, 0.0)
+
+    def test_wifi_observation_associated_needs_ap(self):
+        with pytest.raises(SchemaError):
+            WifiObservation(0, 0, WifiStateCode.ASSOCIATED, ap_id=-1)
+        # Non-associated states do not need an AP.
+        WifiObservation(0, 0, WifiStateCode.OFF)
+        WifiObservation(0, 0, WifiStateCode.AVAILABLE)
+
+    def test_scan_summary_strong_bounded_by_all(self):
+        with pytest.raises(SchemaError):
+            ScanSummary(0, 0, n24_all=3, n24_strong=4, n5_all=0, n5_strong=0)
+        with pytest.raises(SchemaError):
+            ScanSummary(0, 0, n24_all=-1, n24_strong=0, n5_all=0, n5_strong=0)
+        ScanSummary(0, 0, 5, 2, 3, 1)
+
+    def test_app_record_wifi_needs_ap(self):
+        with pytest.raises(SchemaError):
+            AppTrafficRecord(0, 0, 2, iface_cellular=False, ap_id=-1,
+                             cell_col=0, cell_row=0, rx_bytes=1.0, tx_bytes=0.0)
+        AppTrafficRecord(0, 0, 2, iface_cellular=True, ap_id=-1,
+                         cell_col=0, cell_row=0, rx_bytes=1.0, tx_bytes=0.0)
+
+    def test_app_record_rejects_negative(self):
+        with pytest.raises(SchemaError):
+            AppTrafficRecord(0, 0, 2, True, -1, 0, 0, -5.0, 0.0)
+
+    def test_geo_and_update(self):
+        GeoSample(0, 0, -3, 7)
+        event = UpdateEvent(0, 100, 565e6)
+        assert event.version == "ios-8.2"
+
+
+class TestNetLocation:
+    def test_netloc_for_cellular(self):
+        assert netloc_for(True, cell_at_home=True) is NetLocation.CELL_HOME
+        assert netloc_for(True, cell_at_home=False) is NetLocation.CELL_OTHER
+
+    def test_netloc_for_wifi_classes(self):
+        assert netloc_for(False, "home") is NetLocation.WIFI_HOME
+        assert netloc_for(False, "public") is NetLocation.WIFI_PUBLIC
+        assert netloc_for(False, "office") is NetLocation.WIFI_OFFICE
+        assert netloc_for(False, "other") is NetLocation.WIFI_OTHER
+
+    def test_netloc_for_unknown_class(self):
+        with pytest.raises(SchemaError):
+            netloc_for(False, "bogus")
+
+    def test_labels(self):
+        assert NetLocation.CELL_HOME.label == "Cell home"
+        assert NetLocation.WIFI_PUBLIC.label == "WiFi public"
+
+
+class TestPacketCounters:
+    def test_estimation_defaults(self):
+        from repro.traces.records import TrafficSample, estimate_packets
+        sample = TrafficSample(0, 0, IfaceKind.WIFI, 12_000.0, 800.0)
+        assert sample.rx_pkts == estimate_packets(12_000.0)
+        assert sample.rx_pkts == 10
+        assert sample.tx_pkts >= 1
+
+    def test_explicit_counts_respected(self):
+        from repro.traces.records import TrafficSample
+        sample = TrafficSample(0, 0, IfaceKind.WIFI, 1000.0, 0.0,
+                               rx_pkts=7, tx_pkts=0)
+        assert sample.rx_pkts == 7
+        assert sample.tx_pkts == 0
+
+    def test_estimate_packets_floor(self):
+        from repro.traces.records import estimate_packets
+        assert estimate_packets(0.0) == 0
+        assert estimate_packets(1.0) == 1
+        assert estimate_packets(2400.0) == 2
+
+    def test_builder_fills_packets(self):
+        from tests.helpers import make_builder
+        builder = make_builder(n_devices=1, n_days=1)
+        builder.extend_traffic(device=[0], t=[0], iface=[2],
+                               rx=[120_000.0], tx=[4000.0])
+        ds = builder.build()
+        assert ds.traffic.rx_pkts[0] == 100
+        assert ds.traffic.tx_pkts[0] == 10
+
+    def test_simulated_packets_consistent(self, raw2015):
+        import numpy as np
+        traffic = raw2015.traffic
+        positive = traffic.rx > 0
+        assert (traffic.rx_pkts[positive] >= 1).all()
+        # Mean packet size lands near the configured estimate.
+        mean_size = traffic.rx[positive].sum() / traffic.rx_pkts[positive].sum()
+        assert 800 < mean_size < 1400

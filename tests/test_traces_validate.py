@@ -1,0 +1,65 @@
+"""Unit tests for dataset validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.traces.dataset import CampaignDataset
+from repro.traces.validate import validate_dataset
+from tests.helpers import add_ap, add_association_span, add_daily_traffic, make_builder
+
+
+def _valid_dataset():
+    builder = make_builder(n_devices=2, n_days=2)
+    add_ap(builder, 0, "home-x")
+    add_daily_traffic(builder, 0, 0, cell_rx_mb=5, wifi_rx_mb=5)
+    add_association_span(builder, 0, 0, 5, 10)
+    builder.extend_geo(device=[0], t=[0], col=[0], row=[0])
+    builder.extend_scans(device=[0], t=[0], n24_all=[3], n24_strong=[1],
+                         n5_all=[0], n5_strong=[0])
+    return builder.build()
+
+
+def test_valid_dataset_summary():
+    summary = validate_dataset(_valid_dataset())
+    assert summary.n_devices == 2
+    assert summary.n_aps == 1
+    assert summary.rows["traffic"] == 2
+    assert summary.rows["wifi"] == 5
+
+
+def test_missing_ap_in_directory_detected():
+    builder = make_builder(n_devices=1, n_days=1)
+    add_association_span(builder, 0, 42, 0, 3)  # AP 42 never registered
+    dataset = builder.build()
+    with pytest.raises(SchemaError, match="missing from the directory"):
+        validate_dataset(dataset)
+
+
+def test_negative_bytes_detected():
+    dataset = _valid_dataset()
+    dataset.traffic.columns["rx"][0] = -5.0
+    with pytest.raises(SchemaError, match="negative"):
+        validate_dataset(dataset)
+
+
+def test_bad_state_code_detected():
+    dataset = _valid_dataset()
+    dataset.wifi.columns["state"][0] = 9
+    with pytest.raises(SchemaError, match="state"):
+        validate_dataset(dataset)
+
+
+def test_strong_exceeds_total_detected():
+    dataset = _valid_dataset()
+    dataset.scans.columns["n24_strong"][0] = 99
+    with pytest.raises(SchemaError, match="strong"):
+        validate_dataset(dataset)
+
+
+def test_simulated_dataset_validates(study):
+    for year in study.years:
+        summary = validate_dataset(study.dataset(year))
+        assert summary.rows["traffic"] > 0
+        assert summary.rows["wifi"] > 0
+        assert summary.rows["geo"] > 0
