@@ -33,6 +33,12 @@ from repro.simulation.study import (
     default_campaign_config,
 )
 from repro.simulation.campaign import CampaignConfig, CampaignResult, run_campaign
+from repro.collection.faults import (
+    CollectionReport,
+    DeviceCollectionStats,
+    FaultPlan,
+    OutageWindow,
+)
 from repro.traces.dataset import CampaignDataset, DatasetBuilder
 from repro.traces.io import save_dataset, load_dataset
 from repro.traces.cleaning import clean_for_main_analysis
@@ -63,6 +69,10 @@ __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "run_campaign",
+    "CollectionReport",
+    "DeviceCollectionStats",
+    "FaultPlan",
+    "OutageWindow",
     "CampaignDataset",
     "DatasetBuilder",
     "save_dataset",

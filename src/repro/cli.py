@@ -19,7 +19,9 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.errors import ReproError
+from repro.collection.faults import FaultPlan, OutageWindow
+from repro.errors import ConfigurationError, ReproError
+from repro.reporting.collection import render_collection_report
 from repro.reporting.experiments import (
     EXPERIMENTS,
     AnalysisCache,
@@ -45,6 +47,22 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=7)
     simulate.add_argument("--out", type=Path, required=True,
                           help="output directory for campaign datasets")
+    faults = simulate.add_argument_group(
+        "fault injection", "route campaigns through a lossy collection "
+        "pipeline and report completeness")
+    faults.add_argument("--fault-rate", type=float, default=None,
+                        help="per-attempt upload failure probability")
+    faults.add_argument("--fault-rate-3g", type=float, default=None,
+                        help="extra failure probability for 3G devices")
+    faults.add_argument("--dropout-p", type=float, default=None,
+                        help="per-device mid-campaign dropout probability")
+    faults.add_argument("--duplicate-p", type=float, default=None,
+                        help="probability a delivered batch arrives twice")
+    faults.add_argument("--outage", action="append", default=None,
+                        metavar="START:END",
+                        help="outage window in slots (repeatable)")
+    faults.add_argument("--cache-batches", type=int, default=None,
+                        help="on-device cache bound in batches")
 
     analyze = sub.add_parser("analyze", help="run experiments")
     analyze.add_argument("experiments", nargs="+",
@@ -105,13 +123,44 @@ def _resolve_experiments(names: List[str]) -> List[str]:
 _SURVEY_EXPERIMENTS = frozenset({"table2", "table8", "table9"})
 
 
+def _fault_plan_from_args(args: argparse.Namespace) -> Optional[FaultPlan]:
+    """Build a FaultPlan from CLI flags; None when no fault flag was given."""
+    flags = (args.fault_rate, args.fault_rate_3g, args.dropout_p,
+             args.duplicate_p, args.outage, args.cache_batches)
+    if all(value is None for value in flags):
+        return None
+    outages = []
+    for spec in args.outage or ():
+        try:
+            start, _, end = spec.partition(":")
+            outages.append(OutageWindow(int(start), int(end)))
+        except ValueError:
+            raise ConfigurationError(
+                f"--outage expects START:END in slots, got {spec!r}"
+            ) from None
+    return FaultPlan(
+        upload_failure_p=args.fault_rate or 0.0,
+        upload_failure_p_3g_extra=args.fault_rate_3g or 0.0,
+        dropout_p=args.dropout_p or 0.0,
+        duplicate_p=args.duplicate_p or 0.0,
+        outages=tuple(outages),
+        max_cache_batches=args.cache_batches or 4096,
+    )
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
-    study = run_study(scale=args.scale, seed=args.seed)
+    faults = _fault_plan_from_args(args)
+    study = run_study(scale=args.scale, seed=args.seed, faults=faults)
     args.out.mkdir(parents=True, exist_ok=True)
     for year in study.years:
         path = args.out / f"campaign{year}"
         save_dataset(study.dataset(year), path)
         print(f"saved {path} ({study.dataset(year).n_devices} devices)")
+        report = study.campaigns[year].collection
+        if report is not None and faults is not None:
+            print(f"\ncampaign {year} collection:")
+            print(render_collection_report(report))
+            print()
     return 0
 
 

@@ -1,15 +1,45 @@
-"""Measurement-collection substrate: agent, uploader, central server (§2)."""
+"""Measurement-collection substrate: agent, uploader, central server (§2),
+plus the fault-injected campaign pipeline that routes simulated devices
+through all three."""
 
-from repro.collection.agent import MeasurementAgent, AgentSnapshot
-from repro.collection.uploader import Uploader, UploadBatch, FlakyTransport, Transport
+from repro.collection.agent import (
+    MeasurementAgent,
+    AgentSnapshot,
+    ColumnarRecords,
+    Records,
+)
+from repro.collection.uploader import (
+    Uploader,
+    UploadBatch,
+    FlakyTransport,
+    Transport,
+    drain_all,
+)
 from repro.collection.server import CollectionServer
+from repro.collection.faults import (
+    FaultPlan,
+    OutageWindow,
+    FaultedTransport,
+    DeviceCollectionStats,
+    CollectionReport,
+)
+from repro.collection.pipeline import CollectionPump
 
 __all__ = [
     "MeasurementAgent",
     "AgentSnapshot",
+    "ColumnarRecords",
+    "Records",
     "Uploader",
     "UploadBatch",
     "FlakyTransport",
     "Transport",
+    "drain_all",
     "CollectionServer",
+    "FaultPlan",
+    "OutageWindow",
+    "FaultedTransport",
+    "DeviceCollectionStats",
+    "CollectionReport",
+    "CollectionPump",
 ]

@@ -17,8 +17,11 @@ OS differences are enforced here, mirroring the real software:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.constants import SAMPLES_PER_DAY
 from repro.errors import CollectionError
 from repro.geo.coords import Coordinate, cell_index
 from repro.traces.records import (
@@ -28,6 +31,7 @@ from repro.traces.records import (
     DeviceOS,
     GeoSample,
     IfaceKind,
+    ScanSighting,
     ScanSummary,
     TrafficSample,
     UpdateEvent,
@@ -63,6 +67,7 @@ class Records:
     wifi: List[WifiObservation] = field(default_factory=list)
     geo: List[GeoSample] = field(default_factory=list)
     scans: List[ScanSummary] = field(default_factory=list)
+    sightings: List[ScanSighting] = field(default_factory=list)
     apps: List[AppTrafficRecord] = field(default_factory=list)
     updates: List[UpdateEvent] = field(default_factory=list)
     battery: List[BatterySample] = field(default_factory=list)
@@ -70,9 +75,31 @@ class Records:
     def __len__(self) -> int:
         return (
             len(self.traffic) + len(self.wifi) + len(self.geo)
-            + len(self.scans) + len(self.apps) + len(self.updates)
-            + len(self.battery)
+            + len(self.scans) + len(self.sightings) + len(self.apps)
+            + len(self.updates) + len(self.battery)
         )
+
+
+class ColumnarRecords:
+    """One upload's records as row ranges into per-device column arrays.
+
+    The simulator produces a whole device's records as column arrays; the
+    agent partitions them into per-tick uploads without copying by handing
+    the server ``(columns, lo, hi)`` ranges per table. Consecutive ranges
+    over the same arrays merge on the server, so the zero-fault path stays
+    as cheap as a direct bulk append.
+    """
+
+    __slots__ = ("ranges",)
+
+    def __init__(
+        self,
+        ranges: Dict[str, Tuple[Mapping[str, np.ndarray], int, int]],
+    ) -> None:
+        self.ranges = ranges
+
+    def __len__(self) -> int:
+        return sum(hi - lo for _, lo, hi in self.ranges.values())
 
 
 class MeasurementAgent:
@@ -142,6 +169,54 @@ class MeasurementAgent:
                 snapshot.ap_id, snapshot.rssi_dbm,
             )
         ]
+
+    def package_uploads(
+        self,
+        tables: Mapping[str, Mapping[str, np.ndarray]],
+        n_slots: int,
+    ) -> Iterator[Tuple[int, ColumnarRecords]]:
+        """Batch a device's columnar records into per-tick uploads.
+
+        Mirrors the real software: everything recorded during one 10-minute
+        slot goes out as one upload, and the daily per-app counters ride the
+        last slot of their day. Yields ``(t, payload)`` in slot order, which
+        also keeps the agent's monotonic-time invariant.
+        """
+        device_id = self.info.device_id
+        prepared = []
+        for name, cols in tables.items():
+            n = len(next(iter(cols.values())))
+            if n == 0:
+                continue
+            device = np.asarray(cols["device"])
+            if int(device[0]) != device_id or int(device[-1]) != device_id:
+                raise CollectionError(
+                    f"table {name!r} holds rows for a foreign device"
+                )
+            if "t" in cols:
+                key = np.asarray(cols["t"], dtype=np.int64)
+            else:
+                # Daily tables upload at the end of their day.
+                key = (np.asarray(cols["day"], np.int64) + 1) * SAMPLES_PER_DAY - 1
+            order = np.argsort(key, kind="stable")
+            key = key[order]
+            if key[0] < 0 or key[-1] >= n_slots:
+                raise CollectionError(
+                    f"table {name!r} has records outside the campaign window"
+                )
+            sorted_cols = {c: np.asarray(a)[order] for c, a in cols.items()}
+            bounds = np.searchsorted(key, np.arange(n_slots + 1)).tolist()
+            prepared.append((name, sorted_cols, bounds))
+        for t in range(n_slots):
+            ranges = {}
+            for name, cols, bounds in prepared:
+                lo = bounds[t]
+                hi = bounds[t + 1]
+                if hi > lo:
+                    ranges[name] = (cols, lo, hi)
+            if ranges:
+                self._last_t = t
+                yield t, ColumnarRecords(ranges)
 
     def daily_app_records(
         self, records: Sequence[AppTrafficRecord]

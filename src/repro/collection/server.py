@@ -4,17 +4,32 @@ Receives upload batches, deduplicates retried deliveries by (device,
 sequence), and assembles everything into a
 :class:`~repro.traces.dataset.DatasetBuilder`. Tethering-flagged traffic is
 dropped at ingest (§2 cleaning).
+
+Two payload kinds are accepted: unit :class:`~repro.collection.agent.Records`
+(row-wise, used by small tests and the original substrate) and
+:class:`~repro.collection.agent.ColumnarRecords` (range views into a
+device's column arrays, used by the campaign pipeline). Columnar payloads
+are buffered and contiguous ranges merged, so a lossless campaign ingests
+with the same bulk appends as the direct builder path.
 """
 
 from __future__ import annotations
 
-from typing import Set, Tuple
+from typing import Dict, List, Set, Tuple
 
+import numpy as np
+
+from repro.collection.agent import ColumnarRecords, Records
 from repro.collection.uploader import UploadBatch
 from repro.errors import CollectionError
 from repro.timeutil import TimeAxis
 from repro.traces.dataset import DatasetBuilder
 from repro.traces.records import ApDirectoryEntry, DeviceInfo
+
+_TABLES = (
+    "traffic", "wifi", "geo", "scans", "sightings", "apps", "updates",
+    "battery",
+)
 
 
 class CollectionServer:
@@ -22,13 +37,18 @@ class CollectionServer:
 
     def __init__(self, year: int, axis: TimeAxis) -> None:
         self.builder = DatasetBuilder(year, axis)
+        self._registered: Set[int] = set()
         self._seen: Set[Tuple[int, int]] = set()
+        # Buffered columnar ranges: table -> [ [columns, lo, hi], ... ].
+        self._buffers: Dict[str, List[list]] = {name: [] for name in _TABLES}
         self.batches_received = 0
         self.duplicates_dropped = 0
+        self.received_by_device: Dict[int, int] = {}
 
     def register_device(self, info: DeviceInfo) -> None:
         """Enroll a device before it uploads."""
         self.builder.add_device(info)
+        self._registered.add(info.device_id)
 
     def register_ap(self, entry: ApDirectoryEntry) -> None:
         """Record an AP's observable attributes in the directory."""
@@ -37,7 +57,7 @@ class CollectionServer:
 
     def receive(self, batch: UploadBatch) -> None:
         """Ingest one batch (idempotent on retries)."""
-        if batch.device_id >= len(self.builder.devices):
+        if batch.device_id not in self._registered:
             raise CollectionError(
                 f"upload from unregistered device {batch.device_id}"
             )
@@ -47,7 +67,13 @@ class CollectionServer:
             return
         self._seen.add(key)
         self.batches_received += 1
+        self.received_by_device[batch.device_id] = (
+            self.received_by_device.get(batch.device_id, 0) + 1
+        )
         records = batch.records
+        if isinstance(records, ColumnarRecords):
+            self._buffer_columns(records)
+            return
         for sample in records.traffic:
             self.builder.add_traffic(sample)  # drops tethering rows
         for obs in records.wifi:
@@ -56,6 +82,8 @@ class CollectionServer:
             self.builder.add_geo(geo)
         for scan in records.scans:
             self.builder.add_scan(scan)
+        for sighting in records.sightings:
+            self.builder.add_sighting(sighting)
         for app in records.apps:
             self.builder.add_app_traffic(app)
         for update in records.updates:
@@ -63,6 +91,35 @@ class CollectionServer:
         for sample in records.battery:
             self.builder.add_battery(sample)
 
+    def _buffer_columns(self, records: ColumnarRecords) -> None:
+        for table, (cols, lo, hi) in records.ranges.items():
+            buf = self._buffers[table]
+            if buf and buf[-1][0] is cols and buf[-1][2] == lo:
+                # Contiguous with the previous range over the same arrays.
+                buf[-1][2] = hi
+            else:
+                buf.append([cols, lo, hi])
+
+    def flush_buffers(self) -> None:
+        """Move buffered columnar payloads into the builder (idempotent)."""
+        for table, buf in self._buffers.items():
+            if not buf:
+                continue
+            extend = getattr(self.builder, f"extend_{table}")
+            names = list(buf[0][0])
+            if len(buf) == 1:
+                cols, lo, hi = buf[0]
+                extend(**{name: cols[name][lo:hi] for name in names})
+            else:
+                extend(**{
+                    name: np.concatenate(
+                        [cols[name][lo:hi] for cols, lo, hi in buf]
+                    )
+                    for name in names
+                })
+            buf.clear()
+
     def build_dataset(self):
         """Freeze everything received so far into a dataset."""
+        self.flush_buffers()
         return self.builder.build()

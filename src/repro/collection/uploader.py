@@ -13,8 +13,8 @@ from typing import Callable, List, Protocol, Sequence
 
 import numpy as np
 
-from repro.collection.agent import Records
-from repro.errors import UploadError
+from repro.collection.agent import ColumnarRecords, Records
+from repro.errors import ConfigurationError, UploadError
 
 
 @dataclass(frozen=True)
@@ -23,7 +23,7 @@ class UploadBatch:
 
     device_id: int
     sequence: int
-    records: Records
+    records: "Records | ColumnarRecords"
 
 
 class Transport(Protocol):
@@ -34,7 +34,12 @@ class Transport(Protocol):
 
 
 class FlakyTransport:
-    """A transport with a configurable failure rate (cell coverage holes)."""
+    """A transport with a configurable failure rate (cell coverage holes).
+
+    ``failure_rate == 1.0`` is a valid permanent outage — batches stay in
+    the device cache and :func:`drain_all` reports the stall instead of
+    spinning forever.
+    """
 
     def __init__(
         self,
@@ -42,8 +47,10 @@ class FlakyTransport:
         failure_rate: float = 0.0,
         rng: "np.random.Generator | None" = None,
     ) -> None:
-        if not 0.0 <= failure_rate < 1.0:
-            raise UploadError(f"failure rate must be in [0, 1): {failure_rate}")
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ConfigurationError(
+                f"failure rate must be in [0, 1]: {failure_rate}"
+            )
         self._deliver = deliver_fn
         self.failure_rate = failure_rate
         self.rng = rng or np.random.default_rng(0)
@@ -52,7 +59,9 @@ class FlakyTransport:
 
     def deliver(self, batch: UploadBatch) -> None:
         self.attempts += 1
-        if self.rng.random() < self.failure_rate:
+        if self.failure_rate and (
+            self.failure_rate >= 1.0 or self.rng.random() < self.failure_rate
+        ):
             self.failures += 1
             raise UploadError(
                 f"transport failure for device {batch.device_id} seq {batch.sequence}"
@@ -70,21 +79,23 @@ class Uploader:
     _sequence: int = 0
     _cache: List[UploadBatch] = field(default_factory=list)
     delivered: int = 0
+    #: Batches lost to cache-overflow eviction (bounded on-device storage).
+    dropped_batches: int = 0
 
-    def upload(self, records: Records) -> bool:
+    def upload(self, records: "Records | ColumnarRecords") -> bool:
         """Try to upload ``records`` (after draining the cache).
 
         Returns True when everything (cache included) went out; False when
-        something is still cached for later.
+        something is still cached for later. A full cache evicts its oldest
+        batches — data loss is recorded in :attr:`dropped_batches`, not
+        fatal, matching real devices with bounded storage.
         """
         batch = UploadBatch(self.device_id, self._sequence, records)
         self._sequence += 1
         self._cache.append(batch)
-        if len(self._cache) > self.max_cache_batches:
-            raise UploadError(
-                f"device {self.device_id} cache overflow "
-                f"({len(self._cache)} batches)"
-            )
+        while len(self._cache) > self.max_cache_batches:
+            self._cache.pop(0)
+            self.dropped_batches += 1
         return self.flush()
 
     def flush(self) -> bool:

@@ -32,4 +32,11 @@ class CollectionError(ReproError):
 
 
 class UploadError(CollectionError):
-    """A batch upload to the collection server failed."""
+    """A batch upload to the collection server failed.
+
+    This is the *retryable* transport-level failure: the uploader catches it
+    and caches the batch for a later attempt. Misconfigured collection
+    components (for example an out-of-range failure rate) raise
+    :class:`ConfigurationError` instead — a config mistake is not an upload
+    failure and must not be swallowed by retry logic.
+    """

@@ -4,6 +4,11 @@ from repro.reporting.tables import Table
 from repro.reporting.figures import FigureSeries, Figure, render_ascii_series
 from repro.reporting.svg import SvgChart, Axis, figure_to_svg
 from repro.reporting.context import national_traffic_growth, NationalTraffic
+from repro.reporting.collection import (
+    collection_summary_table,
+    completeness_cdf_table,
+    render_collection_report,
+)
 from repro.reporting.summary import Finding, study_summary, render_markdown
 from repro.reporting.experiments import (
     Experiment,
@@ -23,6 +28,9 @@ __all__ = [
     "figure_to_svg",
     "national_traffic_growth",
     "NationalTraffic",
+    "collection_summary_table",
+    "completeness_cdf_table",
+    "render_collection_report",
     "Experiment",
     "EXPERIMENTS",
     "AnalysisCache",

@@ -1,0 +1,74 @@
+"""Rendering for collection-pipeline reports (completeness accounting).
+
+Turns a :class:`~repro.collection.faults.CollectionReport` into the same
+plain-text tables the rest of the reporting layer emits: a campaign-level
+summary (recruited vs valid devices, batch fates) and the per-device
+completeness CDF at fixed quantiles — the simulated counterpart of Table 1's
+recruited/valid gap.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.collection.faults import CollectionReport
+from repro.reporting.tables import Table
+
+#: Completeness threshold below which a device is not a "valid" user.
+VALID_COMPLETENESS = 0.5
+
+_CDF_QUANTILES = (0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95)
+
+
+def collection_summary_table(
+    report: CollectionReport,
+    title: str = "Collection pipeline summary",
+    min_completeness: float = VALID_COMPLETENESS,
+) -> Table:
+    """Campaign-level collection accounting as a two-column table."""
+    totals = report.totals()
+    table = Table(title, ("metric", "value"))
+    table.add_row("devices recruited", report.recruited)
+    table.add_row(
+        f"devices valid (completeness >= {min_completeness:.0%})",
+        report.n_valid(min_completeness),
+    )
+    table.add_row("batches generated", totals["ticks"])
+    table.add_row("batches delivered", totals["delivered"])
+    table.add_row("batches lost to churn", totals["churned"])
+    table.add_row("batches lost to cache eviction", totals["dropped"])
+    table.add_row("batches stranded in device caches", totals["cached"])
+    table.add_row("duplicate deliveries dropped", report.duplicates_dropped)
+    completeness = report.completeness()
+    if len(completeness):
+        table.add_row("mean completeness", float(completeness.mean()))
+        table.add_row("median completeness", float(np.median(completeness)))
+    return table
+
+
+def completeness_cdf_table(
+    report: CollectionReport,
+    quantiles: Sequence[float] = _CDF_QUANTILES,
+    title: str = "Per-device completeness CDF",
+) -> Table:
+    """The campaign completeness distribution at fixed quantiles."""
+    table = Table(title, ("device quantile", "completeness"))
+    completeness = report.completeness()
+    for q in quantiles:
+        value = float(np.quantile(completeness, q)) if len(completeness) else float("nan")
+        table.add_row(f"p{int(round(q * 100)):02d}", value)
+    return table
+
+
+def render_collection_report(
+    report: CollectionReport,
+    min_completeness: float = VALID_COMPLETENESS,
+) -> str:
+    """Both collection tables as one text block."""
+    return (
+        collection_summary_table(report, min_completeness=min_completeness).render()
+        + "\n\n"
+        + completeness_cdf_table(report).render()
+    )

@@ -6,6 +6,15 @@ every device, and freezes the result into a
 exactly the APs that were actually observed (associated or sighted) — the
 dataset never reveals the full deployed universe, just like the real
 measurement.
+
+By default every device's records flow through the full collection
+substrate (agent → uploader → transport → server) under a
+:class:`~repro.collection.faults.FaultPlan` — zero-fault unless configured
+otherwise, in which case the resulting dataset is identical to the direct
+builder path (``direct_build=True``). A nonzero plan loses data exactly the
+way real campaigns do, and the resulting
+:class:`~repro.collection.faults.CollectionReport` rides along on the
+:class:`CampaignResult`.
 """
 
 from __future__ import annotations
@@ -18,6 +27,9 @@ import numpy as np
 
 from repro.apps.demand import DemandModel
 from repro.apps.updates import UpdateModel
+from repro.collection.faults import CollectionReport, FaultPlan
+from repro.collection.pipeline import CollectionPump
+from repro.collection.server import CollectionServer
 from repro.errors import ConfigurationError
 from repro.net.accesspoint import AccessPoint
 from repro.network_env.deployment import Deployment, DeploymentConfig, build_deployment
@@ -43,12 +55,27 @@ class CampaignConfig:
     appetite_median_mb: float
     appetite_sigma: float = 0.85
     seed: int = 0
+    #: Fault plan for the collection pipeline; None means the lossless
+    #: zero-fault plan (the pipeline still runs end to end).
+    faults: Optional[FaultPlan] = None
+    #: Bypass the collection pipeline and write simulator output straight
+    #: into the builder (legacy fast path; used to verify equivalence).
+    direct_build: bool = False
 
     def __post_init__(self) -> None:
         if self.n_days <= 0:
             raise ConfigurationError("n_days must be positive")
         if self.recruitment.year != self.year or self.deployment.year != self.year:
             raise ConfigurationError("year mismatch between configs")
+        if self.direct_build and self.faults is not None and not self.faults.is_zero:
+            raise ConfigurationError(
+                "direct_build bypasses the collection pipeline; a nonzero "
+                "FaultPlan would be silently ignored"
+            )
+
+    @property
+    def fault_plan(self) -> FaultPlan:
+        return self.faults if self.faults is not None else FaultPlan.zero()
 
     @property
     def axis(self) -> TimeAxis:
@@ -63,6 +90,8 @@ class CampaignResult:
     dataset: CampaignDataset
     profiles: List[UserProfile]
     deployment: Deployment
+    #: Collection accounting (None when the pipeline was bypassed).
+    collection: Optional[CollectionReport] = None
 
 
 def run_campaign(config: CampaignConfig) -> CampaignResult:
@@ -78,24 +107,43 @@ def run_campaign(config: CampaignConfig) -> CampaignResult:
     deployment = build_deployment(profiles, config.deployment, root_rng)
 
     axis = config.axis
-    builder = DatasetBuilder(config.year, axis)
-    for profile in profiles:
-        builder.add_device(
-            DeviceInfo(
-                device_id=profile.user_id,
-                os=profile.os,
-                carrier=profile.carrier.name,
-                technology=profile.technology,
-                recruited=profile.recruited,
-                occupation=profile.occupation.value,
-            )
+    infos = [
+        DeviceInfo(
+            device_id=profile.user_id,
+            os=profile.os,
+            carrier=profile.carrier.name,
+            technology=profile.technology,
+            recruited=profile.recruited,
+            occupation=profile.occupation.value,
         )
+        for profile in profiles
+    ]
+
+    report: Optional[CollectionReport] = None
+    pump: Optional[CollectionPump] = None
+    server: Optional[CollectionServer] = None
+    if config.direct_build:
+        builder = DatasetBuilder(config.year, axis)
+        for info in infos:
+            builder.add_device(info)
+    else:
+        server = CollectionServer(config.year, axis)
+        for info in infos:
+            server.register_device(info)
+        pump = CollectionPump(
+            server,
+            config.fault_plan,
+            n_slots=axis.n_slots,
+            seed=config.seed,
+            year=config.year,
+        )
+        builder = server.builder
 
     update_model: Optional[UpdateModel] = None
     if config.params.update_policy is not None:
         update_model = UpdateModel(config.params.update_policy)
 
-    for profile in profiles:
+    for info, profile in zip(infos, profiles):
         user_rng = np.random.default_rng((config.seed, config.year, profile.user_id))
         simulator = DeviceSimulator(
             profile=profile,
@@ -106,13 +154,21 @@ def run_campaign(config: CampaignConfig) -> CampaignResult:
             update_model=update_model,
             rng=user_rng,
         )
-        simulator.run(builder)
+        if pump is None:
+            simulator.run(builder)
+        else:
+            pump.transmit(info, simulator.collect())
+
+    if pump is not None:
+        server.flush_buffers()
+        report = pump.report()
 
     _register_observed_aps(builder, deployment)
     builder.ground_truth = _ground_truth(profiles, deployment)
     dataset = builder.build()
     return CampaignResult(
-        config=config, dataset=dataset, profiles=profiles, deployment=deployment
+        config=config, dataset=dataset, profiles=profiles,
+        deployment=deployment, collection=report,
     )
 
 

@@ -122,10 +122,21 @@ class DeviceSimulator:
 
     def run(self, builder: DatasetBuilder) -> None:
         """Simulate every campaign day and append records to ``builder``."""
+        for name, columns in self.collect().items():
+            getattr(builder, f"extend_{name}")(**columns)
+
+    def collect(self) -> Dict[str, Dict[str, np.ndarray]]:
+        """Simulate the campaign and return this device's records as columns.
+
+        The result maps table name to named column arrays (the keyword
+        arguments of the matching ``DatasetBuilder.extend_*`` method). This
+        is the raw on-device record store the collection pipeline uploads
+        from; :meth:`run` is the equivalent direct bulk append.
+        """
         cols = _Columns([], [], [], [], [], [], [], [])
         for day in range(self.axis.n_days):
             self._simulate_day(day, cols)
-        self._flush(builder, cols)
+        return self._tables(cols)
 
     # ------------------------------------------------------------------
 
@@ -673,25 +684,29 @@ class DeviceSimulator:
 
     # ------------------------------------------------------------------
 
-    def _flush(self, builder: DatasetBuilder, cols: _Columns) -> None:
-        if cols.traffic:
-            builder.extend_traffic(*_stack(cols.traffic))
-        if cols.wifi:
-            builder.extend_wifi(*_stack(cols.wifi))
-        if cols.geo:
-            builder.extend_geo(*_stack(cols.geo))
-        if cols.scans:
-            builder.extend_scans(*_stack(cols.scans))
-        if cols.sightings:
-            builder.extend_sightings(*_stack(cols.sightings))
-        if cols.apps:
-            builder.extend_apps(*_stack(cols.apps))
-        if cols.battery:
-            builder.extend_battery(*_stack(cols.battery))
-        for t, size in cols.updates:
-            builder.extend_updates(
-                device=[self.profile.user_id], t=[t], bytes=[size]
+    def _tables(self, cols: _Columns) -> Dict[str, Dict[str, np.ndarray]]:
+        tables: Dict[str, Dict[str, np.ndarray]] = {}
+
+        def put(name: str, chunks, *colnames: str) -> None:
+            if chunks:
+                tables[name] = dict(zip(colnames, _stack(chunks)))
+
+        put("traffic", cols.traffic, "device", "t", "iface", "rx", "tx")
+        put("wifi", cols.wifi, "device", "t", "state", "ap_id", "rssi")
+        put("geo", cols.geo, "device", "t", "col", "row")
+        put("scans", cols.scans, "device", "t",
+            "n24_all", "n24_strong", "n5_all", "n5_strong")
+        put("sightings", cols.sightings, "device", "t", "ap_id", "rssi")
+        put("apps", cols.apps, "device", "day", "category", "cellular",
+            "ap_id", "col", "row", "rx", "tx")
+        put("battery", cols.battery, "device", "t", "level", "charging")
+        if cols.updates:
+            t = np.array([slot for slot, _ in cols.updates], dtype=np.int64)
+            size = np.array([size for _, size in cols.updates])
+            tables["updates"] = dict(
+                device=np.full(len(t), self.profile.user_id), t=t, bytes=size
             )
+        return tables
 
 
 def _stack(chunks: List[Tuple[np.ndarray, ...]]) -> Tuple[np.ndarray, ...]:

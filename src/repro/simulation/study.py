@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.collection.faults import FaultPlan
 from repro.errors import ConfigurationError
 from repro.network_env.deployment import DeploymentConfig
 from repro.network_env.home_wifi import HomeWifiConfig
@@ -61,7 +62,10 @@ _APPETITE_MB = {2013: 31.0, 2014: 40.0, 2015: 42.0}
 
 
 def default_campaign_config(
-    year: int, scale: float = 1.0, seed: int = 7
+    year: int,
+    scale: float = 1.0,
+    seed: int = 7,
+    faults: Optional[FaultPlan] = None,
 ) -> CampaignConfig:
     """Calibrated campaign configuration for ``year`` at panel ``scale``."""
     if year not in _PANEL:
@@ -105,6 +109,7 @@ def default_campaign_config(
         params=params,
         appetite_median_mb=_APPETITE_MB[year],
         seed=seed + year,
+        faults=faults,
     )
 
 
@@ -115,6 +120,9 @@ class StudyConfig:
     scale: float = 0.25
     seed: int = 7
     years: tuple = YEARS
+    #: Fault plan applied to every campaign's collection pipeline
+    #: (None = lossless zero-fault plan).
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.scale <= 1.0:
@@ -136,7 +144,8 @@ class Study:
         """Simulate every configured campaign year."""
         for year in self.config.years:
             campaign_config = default_campaign_config(
-                year, scale=self.config.scale, seed=self.config.seed
+                year, scale=self.config.scale, seed=self.config.seed,
+                faults=self.config.faults,
             )
             result = run_campaign(campaign_config)
             self.campaigns[year] = result
@@ -158,7 +167,14 @@ class Study:
         return tuple(sorted(self.campaigns))
 
 
-def run_study(scale: float = 0.25, seed: int = 7, years: Optional[tuple] = None) -> Study:
+def run_study(
+    scale: float = 0.25,
+    seed: int = 7,
+    years: Optional[tuple] = None,
+    faults: Optional[FaultPlan] = None,
+) -> Study:
     """Convenience: run the full study at ``scale`` and return it."""
-    config = StudyConfig(scale=scale, seed=seed, years=years or YEARS)
+    config = StudyConfig(
+        scale=scale, seed=seed, years=years or YEARS, faults=faults
+    )
     return Study(config).run()

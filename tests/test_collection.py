@@ -13,7 +13,7 @@ from repro.collection.uploader import (
     Uploader,
     drain_all,
 )
-from repro.errors import CollectionError, UploadError
+from repro.errors import CollectionError, ConfigurationError, UploadError
 from repro.geo.coords import Coordinate
 from repro.net.cellular import CellularTechnology
 from repro.timeutil import TimeAxis
@@ -144,17 +144,44 @@ class TestUploader:
         uploader.upload(Records())  # retries 0, then 1
         assert received == [0, 1]
 
-    def test_cache_overflow(self):
-        def always_fail(batch):
-            raise UploadError("down")
+    def test_cache_overflow_evicts_oldest(self):
+        received = []
 
-        transport = FlakyTransport(always_fail, failure_rate=0.0)
-        transport.deliver = lambda b: (_ for _ in ()).throw(UploadError("down"))
+        class Down:
+            def __init__(self):
+                self.up = False
+
+            def deliver(self, batch):
+                if not self.up:
+                    raise UploadError("down")
+                received.append(batch.sequence)
+
+        transport = Down()
         uploader = Uploader(device_id=0, transport=transport, max_cache_batches=2)
-        uploader.upload(Records())
-        uploader.upload(Records())
-        with pytest.raises(UploadError, match="overflow"):
+        for _ in range(4):
             uploader.upload(Records())
+        # Bounded storage: the two oldest batches were evicted, recorded as
+        # data loss, and the uploader keeps working.
+        assert uploader.dropped_batches == 2
+        assert uploader.cached_batches == 2
+        transport.up = True
+        assert uploader.flush()
+        assert received == [2, 3]
+
+    def test_flaky_transport_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            FlakyTransport(lambda b: None, failure_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            FlakyTransport(lambda b: None, failure_rate=-0.1)
+
+    def test_flaky_transport_permanent_outage(self):
+        # failure_rate == 1.0 is a valid permanent-outage configuration.
+        transport = FlakyTransport(lambda b: None, failure_rate=1.0)
+        uploader = Uploader(device_id=0, transport=transport)
+        uploader.upload(Records())
+        assert uploader.cached_batches == 1
+        with pytest.raises(UploadError, match="did not drain"):
+            drain_all([uploader], max_rounds=3)
 
     def test_flaky_transport_rate(self, rng):
         transport = FlakyTransport(lambda b: None, failure_rate=0.3, rng=rng)
@@ -235,3 +262,15 @@ class TestServerPipeline:
         server = CollectionServer(2015, axis)
         with pytest.raises(CollectionError):
             server.receive(UploadBatch(3, 0, Records()))
+
+    def test_registration_checked_against_actual_ids(self):
+        # Validation is against the registered id set, not a dense-range
+        # assumption: with two devices enrolled, device 2 is still foreign.
+        axis = TimeAxis(date(2015, 3, 2), 1)
+        server = CollectionServer(2015, axis)
+        server.register_device(_device(0))
+        server.register_device(_device(1))
+        server.receive(UploadBatch(1, 0, Records()))
+        with pytest.raises(CollectionError, match="unregistered device 2"):
+            server.receive(UploadBatch(2, 0, Records()))
+        assert server.received_by_device == {1: 1}

@@ -126,3 +126,84 @@ class TestByzantineTransport:
         server.receive(UploadBatch(0, 0, records))
         with pytest.raises(SchemaError):
             server.build_dataset()  # out-of-range slot caught at freeze
+
+
+class TestFaultPlanScenarios:
+    def test_outage_window_caches_then_recovers(self):
+        from repro.collection.agent import Records
+        from repro.collection.faults import FaultedTransport, FaultPlan, OutageWindow
+        from repro.collection.uploader import Uploader
+        from repro.net.cellular import CellularTechnology
+
+        received = []
+        plan = FaultPlan(outages=(OutageWindow(3, 7),))
+        transport = FaultedTransport(
+            received.append, plan, CellularTechnology.LTE,
+            np.random.default_rng(0),
+        )
+        uploader = Uploader(device_id=0, transport=transport)
+        for t in range(10):
+            transport.now = t
+            uploader.upload(Records())
+            if 3 <= t < 7:
+                assert uploader.cached_batches == t - 3 + 1
+        # Every batch made it out once coverage returned, in order.
+        assert uploader.cached_batches == 0
+        assert [b.sequence for b in received] == list(range(10))
+        assert transport.failures == 4
+
+    def test_outage_covering_campaign_end_strands_cache(self):
+        from repro.collection.agent import Records
+        from repro.collection.faults import FaultedTransport, FaultPlan, OutageWindow
+        from repro.collection.uploader import Uploader
+        from repro.net.cellular import CellularTechnology
+
+        plan = FaultPlan(outages=(OutageWindow(0, 10_000),))
+        transport = FaultedTransport(
+            lambda b: None, plan, CellularTechnology.LTE,
+            np.random.default_rng(0),
+        )
+        uploader = Uploader(device_id=0, transport=transport)
+        for t in range(5):
+            transport.now = t
+            assert not uploader.upload(Records())
+        for _ in range(4):  # bounded final drain: stalls, never raises
+            uploader.flush()
+        assert uploader.cached_batches == 5
+        assert uploader.delivered == 0
+
+    def test_churn_stops_reporting_mid_campaign(self):
+        from repro.collection.faults import FaultPlan
+        from repro.simulation.study import default_campaign_config
+        from repro.simulation.campaign import run_campaign
+
+        plan = FaultPlan(dropout_p=1.0, dropout_min_frac=0.5)
+        config = default_campaign_config(2013, scale=0.003, seed=9, faults=plan)
+        result = run_campaign(config)
+        report = result.collection
+        n_slots = result.dataset.n_slots
+        for stats in report.devices:
+            assert stats.churn_slot is not None
+            assert stats.churn_slot >= n_slots // 2
+            assert stats.churned > 0
+            assert 0.0 < stats.completeness < 1.0
+            # Nothing recorded after the dropout slot reached the server.
+            rows = result.dataset.geo.device == stats.device_id
+            assert result.dataset.geo.t[rows].max() < stats.churn_slot
+        assert report.n_valid(0.99) == 0
+
+    def test_total_blackout_yields_empty_but_valid_dataset(self):
+        from repro.collection.faults import FaultPlan
+        from repro.simulation.study import default_campaign_config
+        from repro.simulation.campaign import run_campaign
+
+        plan = FaultPlan(upload_failure_p=1.0, final_drain_rounds=2)
+        config = default_campaign_config(2013, scale=0.003, seed=9, faults=plan)
+        result = run_campaign(config)  # no exception escapes the campaign
+        assert len(result.dataset.traffic) == 0
+        assert len(result.dataset.geo) == 0
+        report = result.collection
+        assert report.n_valid(0.01) == 0
+        for stats in report.devices:
+            assert stats.delivered == 0
+            assert stats.uploaded == stats.dropped + stats.cached
