@@ -1,0 +1,103 @@
+"""Serial vs. parallel campaign execution wall-time benchmark.
+
+Times ``run_campaign`` through the sharded execution engine at two panel
+scales, once on the :class:`SerialExecutor` and once on the process-pool
+:class:`ParallelExecutor`, and records the results in ``BENCH_engine.json``
+at the repository root — the first data point of the engine's performance
+trajectory. The world cache is cleared before every timed run so each
+measurement pays the full plan → execute → merge cost.
+
+Run standalone (pytest collects this file but it defines no tests)::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--jobs N] [--out PATH]
+
+Speedup is only expected on multi-core hardware; the report records
+``cpu_count`` so single-core numbers are not mistaken for regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.simulation.campaign import clear_world_cache, run_campaign
+from repro.simulation.study import default_campaign_config
+
+#: (small, large) panel scales: ~32 and ~130 devices for the 2015 campaign.
+SCALES = (0.02, 0.08)
+YEAR = 2015
+SEED = 3
+REPEATS = 2
+
+DEFAULT_OUT = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+
+def _time_campaign(scale: float, n_jobs: int) -> dict:
+    """Best-of-``REPEATS`` wall time for one (scale, n_jobs) cell."""
+    config = default_campaign_config(YEAR, scale=scale, seed=SEED)
+    best = float("inf")
+    devices = 0
+    for _ in range(REPEATS):
+        clear_world_cache()
+        start = time.perf_counter()
+        result = run_campaign(config, n_jobs=n_jobs)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        devices = result.dataset.n_devices
+    return {
+        "n_jobs": n_jobs,
+        "executor": "serial" if n_jobs == 1 else "parallel",
+        "devices": devices,
+        "wall_s": round(best, 4),
+        "devices_per_s": round(devices / best, 2),
+    }
+
+
+def run_benchmark(n_jobs: int) -> dict:
+    cells = []
+    for scale in SCALES:
+        serial = _time_campaign(scale, 1)
+        parallel = _time_campaign(scale, n_jobs)
+        cells.append({
+            "scale": scale,
+            "year": YEAR,
+            "seed": SEED,
+            "serial": serial,
+            "parallel": parallel,
+            "speedup": round(serial["wall_s"] / parallel["wall_s"], 3),
+        })
+    return {
+        "benchmark": "engine_serial_vs_parallel",
+        "cpu_count": os.cpu_count(),
+        "parallel_jobs": n_jobs,
+        "repeats_best_of": REPEATS,
+        "scales": cells,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel worker count (default: CPU count, "
+                             "minimum 2 so the pool path is exercised)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+    n_jobs = args.jobs if args.jobs else max(2, os.cpu_count() or 1)
+
+    report = run_benchmark(n_jobs)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    for cell in report["scales"]:
+        print(f"scale {cell['scale']}: serial {cell['serial']['wall_s']}s, "
+              f"parallel({n_jobs}) {cell['parallel']['wall_s']}s "
+              f"-> speedup {cell['speedup']}x")
+    print(f"wrote {args.out} (cpu_count={report['cpu_count']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

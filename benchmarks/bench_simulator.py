@@ -16,6 +16,15 @@ def test_simulate_small_campaign(benchmark):
     assert result.dataset.n_devices > 5
 
 
+def test_simulate_small_campaign_sharded(benchmark):
+    # Same campaign through the process-pool executor; tracks the engine's
+    # shard/merge overhead relative to the serial path above.
+    config = default_campaign_config(2015, scale=0.01, seed=3)
+    result = benchmark(run_campaign, config, n_jobs=2)
+    assert result.dataset.n_devices > 5
+    assert result.execution.executor == "parallel"
+
+
 def test_classify_aps_speed(bench_cache, benchmark):
     dataset = bench_cache.clean(2015)
     result = benchmark(classify_aps, dataset)

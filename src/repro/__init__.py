@@ -24,7 +24,16 @@ from repro.errors import (
     DatasetError,
     AnalysisError,
     CollectionError,
+    EngineError,
     UploadError,
+)
+from repro.engine import (
+    ExecutionInfo,
+    ParallelExecutor,
+    SerialExecutor,
+    ShardPlanner,
+    make_executor,
+    resolve_jobs,
 )
 from repro.simulation.study import (
     Study,
@@ -61,7 +70,14 @@ __all__ = [
     "DatasetError",
     "AnalysisError",
     "CollectionError",
+    "EngineError",
     "UploadError",
+    "ExecutionInfo",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "ShardPlanner",
+    "make_executor",
+    "resolve_jobs",
     "Study",
     "StudyConfig",
     "run_study",

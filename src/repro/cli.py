@@ -20,6 +20,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.collection.faults import FaultPlan, OutageWindow
+from repro.engine.executor import resolve_jobs
 from repro.errors import ConfigurationError, ReproError
 from repro.reporting.collection import render_collection_report
 from repro.reporting.experiments import (
@@ -47,6 +48,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=7)
     simulate.add_argument("--out", type=Path, required=True,
                           help="output directory for campaign datasets")
+    simulate.add_argument("--jobs", type=int, default=None, metavar="N",
+                          help="worker processes for campaign simulation "
+                               "(default: $REPRO_JOBS, else one per CPU; "
+                               "1 disables the pool; results are identical "
+                               "for any value)")
     faults = simulate.add_argument_group(
         "fault injection", "route campaigns through a lossy collection "
         "pipeline and report completeness")
@@ -150,12 +156,18 @@ def _fault_plan_from_args(args: argparse.Namespace) -> Optional[FaultPlan]:
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     faults = _fault_plan_from_args(args)
-    study = run_study(scale=args.scale, seed=args.seed, faults=faults)
+    n_jobs = resolve_jobs(args.jobs, default=0)  # default: auto (CPU count)
+    study = run_study(scale=args.scale, seed=args.seed, faults=faults,
+                      n_jobs=n_jobs)
     args.out.mkdir(parents=True, exist_ok=True)
+    if study.execution is not None:
+        print(f"executor: {study.execution.describe()}")
     for year in study.years:
         path = args.out / f"campaign{year}"
         save_dataset(study.dataset(year), path)
-        print(f"saved {path} ({study.dataset(year).n_devices} devices)")
+        info = study.campaigns[year].execution
+        shards = f", {info.n_shards} shards" if info is not None else ""
+        print(f"saved {path} ({study.dataset(year).n_devices} devices{shards})")
         report = study.campaigns[year].collection
         if report is not None and faults is not None:
             print(f"\ncampaign {year} collection:")

@@ -1,0 +1,50 @@
+"""Sharded campaign execution engine.
+
+Campaign execution is split into three orthogonal pieces:
+
+- :mod:`repro.engine.planner` — deterministic partition of the device panel
+  into shards (shard membership can never change results, because every
+  device keeps its own ``(seed, year, user_id)`` RNG stream);
+- :mod:`repro.engine.executor` — pluggable execution of shard work units,
+  serially or over a process pool with timeout and serial fallback;
+- :mod:`repro.engine.merge` — canonical-order reassembly of shard-local
+  dataset chunks and collection accounting.
+
+The hard guarantee: for any valid configuration (including nonzero
+``FaultPlan``\\ s), ``n_jobs=1`` and ``n_jobs=k`` produce bit-for-bit
+identical ``CampaignDataset``\\ s and equal ``CollectionReport``\\ s.
+"""
+
+from repro.engine.executor import (
+    JOBS_ENV_VAR,
+    ExecutionInfo,
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+    resolve_jobs,
+)
+from repro.engine.merge import (
+    ShardOutput,
+    merge_chunks,
+    merge_reports,
+    ordered_outputs,
+)
+from repro.engine.planner import Shard, ShardPlan, ShardPlanner
+
+__all__ = [
+    "JOBS_ENV_VAR",
+    "ExecutionInfo",
+    "Executor",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "make_executor",
+    "resolve_jobs",
+    "ShardOutput",
+    "merge_chunks",
+    "merge_reports",
+    "ordered_outputs",
+    "Shard",
+    "ShardPlan",
+    "ShardPlanner",
+]

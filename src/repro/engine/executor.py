@@ -1,0 +1,197 @@
+"""Pluggable shard executors.
+
+An executor runs a picklable work function over a list of work units and
+returns the results **in unit order** — determinism lives in the planner and
+the merge layer, so the executor is free to schedule however it likes.
+
+Two implementations:
+
+- :class:`SerialExecutor` runs units inline in the calling process.
+- :class:`ParallelExecutor` fans units out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` with a per-shard timeout.
+  Any worker failure (crash, timeout, broken pool, unpicklable unit) makes
+  that unit **fall back to serial execution in the parent** — a flaky pool
+  degrades throughput, never results.
+
+``resolve_jobs`` turns a requested worker count into an effective one,
+honouring the ``REPRO_JOBS`` environment variable so whole test suites can
+be routed through the parallel path without touching call sites.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.errors import ConfigurationError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable consulted when no explicit worker count is given.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+@dataclass(frozen=True)
+class ExecutionInfo:
+    """How a campaign (or study) was executed, for run summaries."""
+
+    executor: str
+    n_jobs: int
+    n_shards: int
+
+    def describe(self) -> str:
+        jobs = "job" if self.n_jobs == 1 else "jobs"
+        shards = "shard" if self.n_shards == 1 else "shards"
+        return (f"{self.executor} ({self.n_jobs} {jobs}, "
+                f"{self.n_shards} {shards})")
+
+
+def resolve_jobs(n_jobs: Optional[int] = None, default: int = 1) -> int:
+    """Resolve a worker count.
+
+    ``None`` consults ``$REPRO_JOBS`` and falls back to ``default``; any
+    value ``<= 0`` (requested, from the environment, or as the default)
+    means "auto": one worker per CPU.
+    """
+    if n_jobs is None:
+        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if raw:
+            try:
+                n_jobs = int(raw)
+            except ValueError:
+                raise ConfigurationError(
+                    f"${JOBS_ENV_VAR} must be an integer: {raw!r}"
+                ) from None
+        else:
+            n_jobs = default
+    if n_jobs <= 0:
+        n_jobs = os.cpu_count() or 1
+    return n_jobs
+
+
+def make_executor(
+    n_jobs: int, shard_timeout_s: Optional[float] = None
+) -> "Executor":
+    """The executor for ``n_jobs`` workers (1 disables the pool)."""
+    if n_jobs <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(n_jobs, shard_timeout_s=shard_timeout_s)
+
+
+class SerialExecutor:
+    """Runs every unit inline in the calling process."""
+
+    name = "serial"
+    n_jobs = 1
+
+    def __init__(self) -> None:
+        self.fallbacks = 0
+
+    def run(self, fn: Callable[[T], R], units: Sequence[T]) -> List[R]:
+        return [fn(unit) for unit in units]
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class ParallelExecutor:
+    """Process-pool executor with per-shard timeout and serial fallback.
+
+    The pool is created lazily on the first :meth:`run` and reused across
+    calls (a study's years share one pool), so :meth:`close` must be called
+    when done — or use the executor as a context manager.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self, n_jobs: int, shard_timeout_s: Optional[float] = None
+    ) -> None:
+        if n_jobs < 2:
+            raise ConfigurationError(
+                f"ParallelExecutor needs n_jobs >= 2: {n_jobs}"
+            )
+        if shard_timeout_s is not None and shard_timeout_s <= 0:
+            raise ConfigurationError(
+                f"shard_timeout_s must be positive: {shard_timeout_s}"
+            )
+        self.n_jobs = n_jobs
+        self.shard_timeout_s = shard_timeout_s
+        #: Units re-run serially after a worker failure (lifetime count).
+        self.fallbacks = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def run(self, fn: Callable[[T], R], units: Sequence[T]) -> List[R]:
+        if not units:
+            return []
+        futures = None
+        try:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.n_jobs)
+            futures = [self._pool.submit(fn, unit) for unit in units]
+        except Exception:
+            # The pool could not even be built or fed (fork failure,
+            # unpicklable unit): run everything serially.
+            self._discard_pool()
+            self.fallbacks += len(units)
+            return [fn(unit) for unit in units]
+
+        results: List[Optional[R]] = [None] * len(units)
+        failed: List[int] = []
+        poisoned = False
+        for i, future in enumerate(futures):
+            try:
+                results[i] = future.result(timeout=self.shard_timeout_s)
+            except Exception:
+                # Worker crash, timeout, or broken pool: remember the unit
+                # and keep draining so healthy results are not discarded.
+                future.cancel()
+                failed.append(i)
+                poisoned = True
+        if poisoned:
+            # A pool that timed out or broke may still hold stragglers;
+            # don't block on them — replace the pool on the next run.
+            self._discard_pool()
+        for i in failed:
+            results[i] = fn(units[i])
+        self.fallbacks += len(failed)
+        return results  # type: ignore[return-value]
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+try:  # pragma: no cover - typing nicety only
+    from typing import Protocol
+
+    class Executor(Protocol):
+        """Structural contract every executor satisfies."""
+
+        name: str
+        n_jobs: int
+        fallbacks: int
+
+        def run(self, fn: Callable[[T], R], units: Sequence[T]) -> List[R]:
+            ...
+
+        def close(self) -> None:
+            ...
+
+except ImportError:  # pragma: no cover - Python < 3.8
+    Executor = object  # type: ignore[assignment,misc]

@@ -1,0 +1,108 @@
+"""Deterministic merge of shard-local results.
+
+Workers return :class:`ShardOutput`s — picklable bundles of
+:class:`~repro.traces.dataset.DatasetBuilder` column chunks plus
+:class:`~repro.collection.pipeline.CollectionPump` accounting. The merge
+layer reassembles them **in canonical shard order** (shard 0's devices
+first, then shard 1's, …), which together with the builder's stable
+(device, t) sort makes the frozen dataset bit-for-bit independent of how
+many workers produced the pieces, or in what order they finished.
+
+Merging validates engine invariants hard: every shard present exactly once,
+device coverage matching the plan. A violated invariant raises
+:class:`~repro.errors.EngineError` — a merge that silently dropped or
+reordered a shard would corrupt results while looking healthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.collection.faults import CollectionReport, DeviceCollectionStats
+from repro.engine.planner import ShardPlan
+from repro.errors import EngineError
+from repro.traces.dataset import DatasetBuilder
+
+#: table -> list of column chunks, as exported by DatasetBuilder.
+ChunkMap = Dict[str, List[Dict[str, np.ndarray]]]
+
+
+@dataclass
+class ShardOutput:
+    """Everything one shard's worker sends back to the merge layer."""
+
+    shard_index: int
+    device_ids: Tuple[int, ...]
+    chunks: ChunkMap
+    #: Per-device collection accounting in canonical device order
+    #: (empty when the campaign bypassed the collection pipeline).
+    stats: List[DeviceCollectionStats] = field(default_factory=list)
+    batches_received: int = 0
+    duplicates_dropped: int = 0
+
+
+def ordered_outputs(
+    outputs: Sequence[ShardOutput], plan: ShardPlan
+) -> List[ShardOutput]:
+    """Outputs sorted into canonical shard order, validated against ``plan``."""
+    if len(outputs) != plan.n_shards:
+        raise EngineError(
+            f"expected {plan.n_shards} shard outputs, got {len(outputs)}"
+        )
+    by_index = sorted(outputs, key=lambda out: out.shard_index)
+    for out, shard in zip(by_index, plan.shards):
+        if out.shard_index != shard.index:
+            raise EngineError(
+                f"missing or duplicate shard: expected index {shard.index}, "
+                f"got {out.shard_index}"
+            )
+        if tuple(out.device_ids) != shard.device_ids:
+            raise EngineError(
+                f"shard {shard.index} covered devices {out.device_ids}, "
+                f"plan expected {shard.device_ids}"
+            )
+    return by_index
+
+
+def merge_chunks(
+    builder: DatasetBuilder,
+    outputs: Sequence[ShardOutput],
+    plan: ShardPlan,
+) -> None:
+    """Append every shard's column chunks to ``builder`` canonically."""
+    for out in ordered_outputs(outputs, plan):
+        builder.merge_chunks(out.chunks)
+
+
+def merge_reports(
+    outputs: Sequence[ShardOutput],
+    plan: ShardPlan,
+    n_slots: int,
+) -> CollectionReport:
+    """Roll shard-local collection accounting into one campaign report.
+
+    Device stats are concatenated in canonical shard order — identical to
+    the order a serial run records them in — and the server-side counters
+    are summed.
+    """
+    devices: List[DeviceCollectionStats] = []
+    batches_received = 0
+    duplicates_dropped = 0
+    for out in ordered_outputs(outputs, plan):
+        if len(out.stats) != len(out.device_ids):
+            raise EngineError(
+                f"shard {out.shard_index} returned {len(out.stats)} device "
+                f"stats for {len(out.device_ids)} devices"
+            )
+        devices.extend(out.stats)
+        batches_received += out.batches_received
+        duplicates_dropped += out.duplicates_dropped
+    return CollectionReport(
+        n_slots=n_slots,
+        devices=devices,
+        batches_received=batches_received,
+        duplicates_dropped=duplicates_dropped,
+    )

@@ -1,0 +1,94 @@
+"""Deterministic shard planning.
+
+A :class:`ShardPlanner` partitions a campaign's device panel into
+contiguous, balanced shards. Shard membership is a pure function of the
+device-id list and the requested shard count — never of worker count,
+scheduling, or timing — so moving a campaign between executors (or between
+serial and parallel runs) cannot change which RNG stream any device uses or
+the canonical order the merge layer reassembles results in.
+
+Every device keeps its existing per-user stream seeded by
+``(seed, year, user_id)``; the planner only decides *where* a device is
+simulated, not *how*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice of the device panel."""
+
+    index: int
+    device_ids: Tuple[int, ...]
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.device_ids)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The full, ordered partition of a panel into shards.
+
+    Shards are in canonical order: concatenating their ``device_ids``
+    reproduces the input panel order exactly.
+    """
+
+    n_devices: int
+    shards: Tuple[Shard, ...]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def device_order(self) -> Tuple[int, ...]:
+        """All device ids in canonical (merge) order."""
+        return tuple(d for shard in self.shards for d in shard.device_ids)
+
+
+class ShardPlanner:
+    """Plans contiguous, balanced shards over a device panel.
+
+    ``max_shard_devices`` optionally caps shard size, producing more shards
+    than requested when the panel is large — finer units queue better on a
+    busy pool and bound per-worker memory.
+    """
+
+    def __init__(self, max_shard_devices: int = 0) -> None:
+        if max_shard_devices < 0:
+            raise ConfigurationError(
+                f"max_shard_devices must be >= 0: {max_shard_devices}"
+            )
+        self.max_shard_devices = max_shard_devices
+
+    def plan(self, device_ids: Sequence[int], n_shards: int) -> ShardPlan:
+        """Partition ``device_ids`` into at most ``n_shards`` shards."""
+        if n_shards < 1:
+            raise ConfigurationError(f"n_shards must be >= 1: {n_shards}")
+        ids = tuple(int(d) for d in device_ids)
+        if any(b <= a for a, b in zip(ids, ids[1:])):
+            raise ConfigurationError(
+                "device_ids must be strictly increasing (canonical order)"
+            )
+        n = len(ids)
+        if n == 0:
+            return ShardPlan(n_devices=0, shards=())
+        k = min(n_shards, n)
+        if self.max_shard_devices:
+            k = max(k, -(-n // self.max_shard_devices))  # ceil division
+            k = min(k, n)
+        # Balanced contiguous split: the first n % k shards get one extra.
+        base, extra = divmod(n, k)
+        shards = []
+        lo = 0
+        for index in range(k):
+            hi = lo + base + (1 if index < extra else 0)
+            shards.append(Shard(index=index, device_ids=ids[lo:hi]))
+            lo = hi
+        return ShardPlan(n_devices=n, shards=tuple(shards))

@@ -31,6 +31,15 @@ class CollectionError(ReproError):
     """The measurement-collection substrate hit an unrecoverable error."""
 
 
+class EngineError(ReproError):
+    """The sharded execution engine produced an invalid or incomplete run.
+
+    Raised when shard outputs cannot be merged (missing/duplicate shards,
+    device coverage mismatch) — an engine invariant violation, never a
+    recoverable worker failure (those fall back to serial execution).
+    """
+
+
 class UploadError(CollectionError):
     """A batch upload to the collection server failed.
 

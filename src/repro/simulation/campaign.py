@@ -15,13 +15,21 @@ builder path (``direct_build=True``). A nonzero plan loses data exactly the
 way real campaigns do, and the resulting
 :class:`~repro.collection.faults.CollectionReport` rides along on the
 :class:`CampaignResult`.
+
+Execution is sharded through :mod:`repro.engine`: ``plan_campaign`` splits
+the panel into deterministic work units, an executor (serial or a process
+pool, see ``n_jobs``) runs :func:`simulate_shard` over them, and
+``merge_campaign`` reassembles the shard outputs in canonical order. Every
+device keeps its own ``(seed, year, user_id)`` RNG stream, so ``n_jobs=1``
+and ``n_jobs=k`` are bit-for-bit identical.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from datetime import date
-from typing import List, Optional, Set
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -30,7 +38,15 @@ from repro.apps.updates import UpdateModel
 from repro.collection.faults import CollectionReport, FaultPlan
 from repro.collection.pipeline import CollectionPump
 from repro.collection.server import CollectionServer
-from repro.errors import ConfigurationError
+from repro.engine.executor import (
+    ExecutionInfo,
+    Executor,
+    make_executor,
+    resolve_jobs,
+)
+from repro.engine.merge import ShardOutput, merge_chunks, merge_reports
+from repro.engine.planner import ShardPlan, ShardPlanner
+from repro.errors import ConfigurationError, EngineError
 from repro.net.accesspoint import AccessPoint
 from repro.network_env.deployment import Deployment, DeploymentConfig, build_deployment
 from repro.population.profiles import UserProfile
@@ -92,10 +108,59 @@ class CampaignResult:
     deployment: Deployment
     #: Collection accounting (None when the pipeline was bypassed).
     collection: Optional[CollectionReport] = None
+    #: How the campaign was executed (None for reloaded datasets).
+    execution: Optional[ExecutionInfo] = None
 
 
-def run_campaign(config: CampaignConfig) -> CampaignResult:
-    """Simulate one campaign and return its dataset and context."""
+@dataclass
+class _World:
+    """The deterministic campaign prelude shared by every shard.
+
+    Everything here is treated as read-only during simulation (the update
+    model, which accumulates per-device decisions, is deliberately NOT part
+    of the world — each shard builds its own fresh instance).
+    """
+
+    demand: DemandModel
+    profiles: List[UserProfile]
+    deployment: Deployment
+    infos: List[DeviceInfo]
+
+
+@dataclass
+class ShardWork:
+    """Picklable work unit: one shard of one campaign."""
+
+    config: CampaignConfig
+    shard_index: int
+    device_ids: tuple
+
+
+@dataclass
+class CampaignPlan:
+    """A campaign decomposed into shard work units, ready to execute."""
+
+    config: CampaignConfig
+    world: _World = field(repr=False)
+    shard_plan: ShardPlan
+    work: List[ShardWork]
+
+
+#: Process-local cache of built worlds, keyed by the config's canonical
+#: repr. Workers forked from the parent inherit it, so shards reuse the
+#: parent's world instead of rebuilding; spawn-based (or cold) workers
+#: rebuild deterministically from the same seed.
+_WORLD_CACHE: "OrderedDict[str, _World]" = OrderedDict()
+_WORLD_CACHE_MAX = 8
+
+
+def _build_world(config: CampaignConfig) -> _World:
+    """Build the panel and deployment exactly as a serial run would.
+
+    This replays the historical ``run_campaign`` prelude verbatim (same
+    root-RNG draw order), so shard workers that rebuild the world get
+    bit-identical profiles and deployment.
+    """
     root_rng = np.random.default_rng(config.seed)
     demand = DemandModel(
         year_index=config.params.year_index,
@@ -105,8 +170,6 @@ def run_campaign(config: CampaignConfig) -> CampaignResult:
     )
     profiles = recruit(config.recruitment, demand, root_rng)
     deployment = build_deployment(profiles, config.deployment, root_rng)
-
-    axis = config.axis
     infos = [
         DeviceInfo(
             device_id=profile.user_id,
@@ -118,17 +181,66 @@ def run_campaign(config: CampaignConfig) -> CampaignResult:
         )
         for profile in profiles
     ]
+    return _World(
+        demand=demand, profiles=profiles, deployment=deployment, infos=infos,
+    )
 
-    report: Optional[CollectionReport] = None
+
+def clear_world_cache() -> None:
+    """Drop cached campaign worlds (benchmarks use this for fair timing)."""
+    _WORLD_CACHE.clear()
+
+
+def _world_for(config: CampaignConfig) -> _World:
+    key = repr(config)
+    world = _WORLD_CACHE.get(key)
+    if world is None:
+        world = _build_world(config)
+        _WORLD_CACHE[key] = world
+        while len(_WORLD_CACHE) > _WORLD_CACHE_MAX:
+            _WORLD_CACHE.popitem(last=False)
+    else:
+        _WORLD_CACHE.move_to_end(key)
+    return world
+
+
+def plan_campaign(config: CampaignConfig, n_jobs: int = 1) -> CampaignPlan:
+    """Build the world and partition the panel into shard work units."""
+    world = _world_for(config)
+    shard_plan = ShardPlanner().plan(
+        [info.device_id for info in world.infos], max(1, n_jobs)
+    )
+    work = [
+        ShardWork(
+            config=config, shard_index=shard.index,
+            device_ids=shard.device_ids,
+        )
+        for shard in shard_plan.shards
+    ]
+    return CampaignPlan(
+        config=config, world=world, shard_plan=shard_plan, work=work
+    )
+
+
+def simulate_shard(work: ShardWork) -> ShardOutput:
+    """Simulate one shard's devices and return their records and accounting.
+
+    Module-level so process-pool workers can import it; reuses the parent's
+    cached world when forked, rebuilds it deterministically otherwise.
+    """
+    config = work.config
+    world = _world_for(config)
+    axis = config.axis
+
     pump: Optional[CollectionPump] = None
     server: Optional[CollectionServer] = None
     if config.direct_build:
         builder = DatasetBuilder(config.year, axis)
-        for info in infos:
+        for info in world.infos:
             builder.add_device(info)
     else:
         server = CollectionServer(config.year, axis)
-        for info in infos:
+        for info in world.infos:
             server.register_device(info)
         pump = CollectionPump(
             server,
@@ -139,17 +251,27 @@ def run_campaign(config: CampaignConfig) -> CampaignResult:
         )
         builder = server.builder
 
+    # Fresh per shard: the model remembers which devices already updated,
+    # and every check is per-device, so shard placement cannot change a
+    # decision — but reusing one instance across runs would.
     update_model: Optional[UpdateModel] = None
     if config.params.update_policy is not None:
         update_model = UpdateModel(config.params.update_policy)
 
-    for info, profile in zip(infos, profiles):
-        user_rng = np.random.default_rng((config.seed, config.year, profile.user_id))
+    stats = []
+    for device_id in work.device_ids:
+        profile = world.profiles[device_id]
+        if profile.user_id != device_id:
+            raise EngineError(
+                f"panel is not dense: profile {profile.user_id} at "
+                f"position {device_id}"
+            )
+        user_rng = np.random.default_rng((config.seed, config.year, device_id))
         simulator = DeviceSimulator(
             profile=profile,
             axis=axis,
-            deployment=deployment,
-            demand=demand,
+            deployment=world.deployment,
+            demand=world.demand,
             params=config.params,
             update_model=update_model,
             rng=user_rng,
@@ -157,33 +279,78 @@ def run_campaign(config: CampaignConfig) -> CampaignResult:
         if pump is None:
             simulator.run(builder)
         else:
-            pump.transmit(info, simulator.collect())
+            stats.append(pump.transmit(world.infos[device_id], simulator.collect()))
 
-    if pump is not None:
+    if server is not None:
         server.flush_buffers()
-        report = pump.report()
+    return ShardOutput(
+        shard_index=work.shard_index,
+        device_ids=tuple(work.device_ids),
+        chunks=builder.export_chunks(),
+        stats=stats,
+        batches_received=server.batches_received if server else 0,
+        duplicates_dropped=server.duplicates_dropped if server else 0,
+    )
 
-    _register_observed_aps(builder, deployment)
-    builder.ground_truth = _ground_truth(profiles, deployment)
+
+def merge_campaign(
+    plan: CampaignPlan,
+    outputs: Sequence[ShardOutput],
+    execution: Optional[ExecutionInfo] = None,
+) -> CampaignResult:
+    """Reassemble shard outputs into a finished campaign, canonically."""
+    config = plan.config
+    world = plan.world
+    builder = DatasetBuilder(config.year, config.axis)
+    for info in world.infos:
+        builder.add_device(info)
+    merge_chunks(builder, outputs, plan.shard_plan)
+
+    report: Optional[CollectionReport] = None
+    if not config.direct_build:
+        report = merge_reports(outputs, plan.shard_plan, config.axis.n_slots)
+
+    _register_observed_aps(builder, world.deployment)
+    builder.ground_truth = _ground_truth(world.profiles, world.deployment)
     dataset = builder.build()
     return CampaignResult(
-        config=config, dataset=dataset, profiles=profiles,
-        deployment=deployment, collection=report,
+        config=config, dataset=dataset, profiles=world.profiles,
+        deployment=world.deployment, collection=report, execution=execution,
     )
+
+
+def run_campaign(
+    config: CampaignConfig,
+    n_jobs: Optional[int] = None,
+    executor: Optional[Executor] = None,
+) -> CampaignResult:
+    """Simulate one campaign and return its dataset and context.
+
+    ``n_jobs`` selects the executor: ``None`` consults ``$REPRO_JOBS`` and
+    defaults to 1 (serial); values ``<= 0`` mean one worker per CPU. A
+    caller-supplied ``executor`` is reused as-is (and not closed here).
+    """
+    n_jobs = resolve_jobs(n_jobs)
+    plan = plan_campaign(config, n_jobs)
+    own_executor = executor is None
+    if executor is None:
+        executor = make_executor(n_jobs)
+    try:
+        outputs = executor.run(simulate_shard, plan.work)
+    finally:
+        if own_executor:
+            executor.close()
+    execution = ExecutionInfo(
+        executor=executor.name,
+        n_jobs=executor.n_jobs,
+        n_shards=plan.shard_plan.n_shards,
+    )
+    return merge_campaign(plan, outputs, execution=execution)
 
 
 def _register_observed_aps(builder: DatasetBuilder, deployment: Deployment) -> None:
     """Put only APs the panel actually observed into the directory."""
-    observed: Set[int] = set()
-    for chunk in builder._chunks["wifi"]:
-        ap_ids = chunk["ap_id"]
-        observed.update(int(a) for a in np.unique(ap_ids) if a >= 0)
-    for chunk in builder._chunks["sightings"]:
-        observed.update(int(a) for a in np.unique(chunk["ap_id"]))
-    for chunk in builder._chunks["apps"]:
-        ap_ids = chunk["ap_id"]
-        observed.update(int(a) for a in np.unique(ap_ids) if a >= 0)
-    for ap_id in sorted(observed):
+    for ap_id in sorted(builder.observed_ap_ids()):
         ap: AccessPoint = deployment.ap(ap_id)
         builder.add_ap(
             ApDirectoryEntry(

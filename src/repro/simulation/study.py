@@ -19,13 +19,25 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.collection.faults import FaultPlan
+from repro.engine.executor import (
+    ExecutionInfo,
+    Executor,
+    make_executor,
+    resolve_jobs,
+)
 from repro.errors import ConfigurationError
 from repro.network_env.deployment import DeploymentConfig
 from repro.network_env.home_wifi import HomeWifiConfig
 from repro.network_env.public_wifi import PublicWifiConfig
 from repro.population.recruitment import RecruitmentConfig
 from repro.population.survey import SurveyResponse, run_survey
-from repro.simulation.campaign import CampaignConfig, CampaignResult, run_campaign
+from repro.simulation.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    merge_campaign,
+    plan_campaign,
+    simulate_shard,
+)
 from repro.simulation.params import default_params
 
 YEARS = (2013, 2014, 2015)
@@ -139,18 +151,64 @@ class Study:
     config: StudyConfig = field(default_factory=StudyConfig)
     campaigns: Dict[int, CampaignResult] = field(default_factory=dict)
     surveys: Dict[int, List[SurveyResponse]] = field(default_factory=dict)
+    #: How the most recent :meth:`run` executed (None before running).
+    execution: Optional[ExecutionInfo] = None
 
-    def run(self) -> "Study":
-        """Simulate every configured campaign year."""
-        for year in self.config.years:
-            campaign_config = default_campaign_config(
-                year, scale=self.config.scale, seed=self.config.seed,
-                faults=self.config.faults,
+    def run(
+        self,
+        n_jobs: Optional[int] = None,
+        executor: Optional[Executor] = None,
+    ) -> "Study":
+        """Simulate every configured campaign year.
+
+        All years' shard work units fan out across one shared executor
+        (``n_jobs=None`` consults ``$REPRO_JOBS``, defaulting to serial;
+        ``<= 0`` means one worker per CPU), so a process pool is paid for
+        once and stays saturated across year boundaries. Results are merged
+        per year in canonical shard order — worker count never changes
+        results. A caller-supplied ``executor`` is reused and not closed.
+        """
+        n_jobs = resolve_jobs(n_jobs)
+        plans = [
+            plan_campaign(
+                default_campaign_config(
+                    year, scale=self.config.scale, seed=self.config.seed,
+                    faults=self.config.faults,
+                ),
+                n_jobs,
             )
-            result = run_campaign(campaign_config)
+            for year in self.config.years
+        ]
+        units = [work for plan in plans for work in plan.work]
+        own_executor = executor is None
+        if executor is None:
+            executor = make_executor(n_jobs)
+        try:
+            outputs = executor.run(simulate_shard, units)
+        finally:
+            if own_executor:
+                executor.close()
+        offset = 0
+        for year, plan in zip(self.config.years, plans):
+            n_units = len(plan.work)
+            result = merge_campaign(
+                plan,
+                outputs[offset:offset + n_units],
+                execution=ExecutionInfo(
+                    executor=executor.name,
+                    n_jobs=executor.n_jobs,
+                    n_shards=plan.shard_plan.n_shards,
+                ),
+            )
+            offset += n_units
             self.campaigns[year] = result
             survey_rng = np.random.default_rng((self.config.seed, year, 99))
             self.surveys[year] = run_survey(result.profiles, year, survey_rng)
+        self.execution = ExecutionInfo(
+            executor=executor.name,
+            n_jobs=executor.n_jobs,
+            n_shards=len(units),
+        )
         return self
 
     def dataset(self, year: int):
@@ -172,9 +230,11 @@ def run_study(
     seed: int = 7,
     years: Optional[tuple] = None,
     faults: Optional[FaultPlan] = None,
+    n_jobs: Optional[int] = None,
+    executor: Optional[Executor] = None,
 ) -> Study:
     """Convenience: run the full study at ``scale`` and return it."""
     config = StudyConfig(
         scale=scale, seed=seed, years=years or YEARS, faults=faults
     )
-    return Study(config).run()
+    return Study(config).run(n_jobs=n_jobs, executor=executor)

@@ -13,7 +13,7 @@ exists so tests can score the inference algorithms against it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -332,6 +332,54 @@ class DatasetBuilder:
         if len(lengths) > 1:
             raise SchemaError(f"ragged chunk for table {table!r}")
         self._chunks[table].append(columns)
+
+    # -- chunk introspection & merge (engine merge layer) -----------------
+
+    def table_names(self) -> Tuple[str, ...]:
+        """Names of every table this builder accumulates."""
+        return tuple(self._chunks)
+
+    def iter_chunks(self, table: str) -> Iterator[Mapping[str, np.ndarray]]:
+        """Yield ``table``'s accumulated column chunks in append order."""
+        try:
+            chunks = self._chunks[table]
+        except KeyError:
+            raise SchemaError(f"unknown table {table!r}") from None
+        yield from chunks
+
+    def export_chunks(self) -> Dict[str, List[Dict[str, np.ndarray]]]:
+        """Snapshot every table's chunks (picklable; arrays not copied)."""
+        return {
+            table: [dict(chunk) for chunk in chunks]
+            for table, chunks in self._chunks.items()
+        }
+
+    def merge_chunks(
+        self, chunks: Mapping[str, Sequence[Mapping[str, np.ndarray]]]
+    ) -> None:
+        """Append another builder's exported chunks, table by table.
+
+        Chunk order is preserved, so merging shard-local builders in
+        canonical shard order reproduces the row order a single builder
+        would have seen.
+        """
+        for table, chunk_list in chunks.items():
+            if table not in self._chunks:
+                raise SchemaError(f"unknown table {table!r}")
+            for chunk in chunk_list:
+                self._extend(table, **chunk)
+
+    def observed_ap_ids(self) -> Set[int]:
+        """AP ids observed in any accumulated chunk (negative = no AP)."""
+        observed: Set[int] = set()
+        for chunks in self._chunks.values():
+            for chunk in chunks:
+                ap_ids = chunk.get("ap_id")
+                if ap_ids is None:
+                    continue
+                unique = np.unique(np.asarray(ap_ids))
+                observed.update(int(a) for a in unique if a >= 0)
+        return observed
 
     # -- freeze -----------------------------------------------------------
 
