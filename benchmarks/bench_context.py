@@ -1,0 +1,91 @@
+"""Cold vs. warm experiment-sweep benchmark for the AnalysisContext memo.
+
+Runs the full experiment registry twice over one simulated study: the cold
+sweep hands every experiment a fresh :class:`AnalysisContext` (nothing
+shared, every artifact recomputed per experiment), the warm sweep reuses
+one shared context the way the CLI and the test suite do. Results land in
+``BENCH_context.json`` at the repository root, including the per-artifact
+:class:`CacheStats` of the warm context so the hit rates that produce the
+speedup are visible next to the wall times.
+
+Run standalone (pytest collects this file but it defines no tests)::
+
+    PYTHONPATH=src python benchmarks/bench_context.py [--scale S] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro import AnalysisContext, run_study
+from repro.reporting.experiments import list_experiments, run_experiment
+
+SCALE = 0.08
+SEED = 7
+REPEATS = 2
+
+DEFAULT_OUT = Path(__file__).resolve().parents[1] / "BENCH_context.json"
+
+
+def _time_sweep(study, shared: bool) -> tuple:
+    """Best-of-``REPEATS`` wall time for one full experiment sweep."""
+    best = float("inf")
+    stats = None
+    for _ in range(REPEATS):
+        context = AnalysisContext(study) if shared else None
+        start = time.perf_counter()
+        for experiment in list_experiments():
+            cache = context if shared else AnalysisContext(study)
+            run_experiment(experiment.experiment_id, cache)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+            stats = context.stats if shared else None
+    return best, stats
+
+
+def run_benchmark(scale: float, seed: int) -> dict:
+    study = run_study(scale=scale, seed=seed)
+    n_experiments = len(list_experiments())
+    cold, _ = _time_sweep(study, shared=False)
+    warm, stats = _time_sweep(study, shared=True)
+    return {
+        "benchmark": "context_cold_vs_warm_sweep",
+        "scale": scale,
+        "seed": seed,
+        "repeats_best_of": REPEATS,
+        "n_experiments": n_experiments,
+        "cold_sweep_s": round(cold, 4),
+        "warm_sweep_s": round(warm, 4),
+        "speedup": round(cold / warm, 3),
+        "warm_cache_stats": stats.as_dict(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=SCALE,
+                        help=f"study scale (default {SCALE})")
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.scale, args.seed)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"cold sweep (fresh context per experiment): "
+          f"{report['cold_sweep_s']}s")
+    print(f"warm sweep (one shared context):           "
+          f"{report['warm_sweep_s']}s")
+    print(f"speedup {report['speedup']}x over "
+          f"{report['n_experiments']} experiments")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,7 @@ from pathlib import Path
 
 import pytest
 
-from repro import AnalysisCache, run_study
+from repro import AnalysisContext, run_study
 
 OUTPUT_DIR = Path(__file__).parent / "output"
 
@@ -25,7 +25,7 @@ def bench_scale() -> float:
 @pytest.fixture(scope="session")
 def bench_cache():
     study = run_study(scale=bench_scale(), seed=7)
-    return AnalysisCache(study)
+    return AnalysisContext(study)
 
 
 @pytest.fixture(scope="session")

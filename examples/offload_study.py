@@ -15,7 +15,7 @@ import sys
 import numpy as np
 
 import repro.analysis as analysis
-from repro import AnalysisCache, run_study
+from repro import AnalysisContext, run_study
 from repro.reporting.tables import Table
 
 
@@ -34,15 +34,15 @@ def peak_and_trough(folded: np.ndarray) -> str:
 def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.08
     study = run_study(scale=scale, seed=11)
-    cache = AnalysisCache(study)
+    context = AnalysisContext(study)
 
     types = Table(
         "User types per device-day (Figure 5)",
         ["year", "cellular-intensive", "wifi-intensive", "mixed",
          "mixed offloading (above diagonal)"],
     )
-    for year in cache.years:
-        heat = analysis.wifi_cell_heatmap(cache.clean(year))
+    for year in context.years:
+        heat = analysis.wifi_cell_heatmap(context.campaign(year))
         types.add_row(
             year, f"{heat.cellular_intensive_fraction:.0%}",
             f"{heat.wifi_intensive_fraction:.0%}",
@@ -57,8 +57,8 @@ def main() -> None:
         ["year", "traffic all", "traffic light", "traffic heavy",
          "users all", "users light", "users heavy"],
     )
-    for year in cache.years:
-        ratios = analysis.wifi_ratios(cache.clean(year), cache.user_classes(year))
+    for year in context.years:
+        ratios = analysis.wifi_ratios(context.campaign(year))
         ratios_table.add_row(
             year,
             *[f"{ratios.traffic(s).mean:.2f}" for s in ("all", "light", "heavy")],
@@ -67,7 +67,7 @@ def main() -> None:
     print(ratios_table.render())
     print()
 
-    ratios15 = analysis.wifi_ratios(cache.clean(2015), cache.user_classes(2015))
+    ratios15 = analysis.wifi_ratios(context.campaign(2015))
     print("2015 WiFi-traffic ratio weekly shape:",
           peak_and_trough(ratios15.traffic("all").folded_week()))
     print("2015 WiFi-user ratio weekly shape:   ",
@@ -79,8 +79,8 @@ def main() -> None:
         ["year", "median cell MB", "median wifi MB", "wifi:cell",
          "offload share of broadband", "one phone's share of home volume"],
     )
-    for year in cache.years:
-        estimate = analysis.offload_impact(cache.clean(year))
+    for year in context.years:
+        estimate = analysis.offload_impact(context.campaign(year))
         impact.add_row(
             year, f"{estimate.median_cell_mb:.1f}",
             f"{estimate.median_wifi_mb:.1f}",

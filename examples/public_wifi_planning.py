@@ -14,26 +14,24 @@ Usage::
 import sys
 
 import repro.analysis as analysis
-from repro import AnalysisCache, run_study
+from repro import AnalysisContext, run_study
 from repro.reporting.tables import Table
 
 
 def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.08
     study = run_study(scale=scale, seed=23)
-    cache = AnalysisCache(study)
+    context = AnalysisContext(study)
 
     coverage = Table(
         "Public-AP coverage (Figure 10 / §3.5 style cell counts)",
         ["year", "public APs seen", "cells with >=1", "cells with >=10",
          "densest cell"],
     )
-    for year in cache.years:
-        maps = analysis.association_density_maps(
-            cache.clean(year), cache.classification(year)
-        )
+    for year in context.years:
+        maps = analysis.association_density_maps(context.campaign(year))
         grid = maps.grid("public")
-        counts = cache.classification(year).counts()
+        counts = context.classification(year).counts()
         coverage.add_row(
             year, counts["public"], grid.n_cells_with_at_least(1),
             grid.n_cells_with_at_least(10), grid.max_count(),
@@ -48,13 +46,12 @@ def main() -> None:
     )
     from repro.errors import AnalysisError
 
-    for year in cache.years:
-        classification = cache.classification(year)
-        clean = cache.clean(year)
-        bands = analysis.band_fractions(clean, classification)
-        rssi = analysis.rssi_distributions(clean, classification)
+    for year in context.years:
+        campaign = context.campaign(year)
+        bands = analysis.band_fractions(campaign)
+        rssi = analysis.rssi_distributions(campaign)
         try:
-            channels = analysis.channel_distributions(clean, classification)
+            channels = analysis.channel_distributions(campaign)
             trio = (
                 f"{channels.trio_share('public'):.0%}"
                 if "public" in channels.pdf else "n/a"
@@ -75,9 +72,9 @@ def main() -> None:
         ["year", "available devices", "see >=1 strong public",
          "offloadable cellular share"],
     )
-    for year in cache.years:
-        estimate = analysis.offload_estimate(cache.clean(year))
-        availability = analysis.public_availability(cache.clean(year))
+    for year in context.years:
+        estimate = analysis.offload_estimate(context.campaign(year))
+        availability = analysis.public_availability(context.campaign(year))
         offload.add_row(
             year, estimate.n_available_devices,
             f"{estimate.devices_with_opportunity:.0%}",

@@ -10,7 +10,7 @@ Usage::
 
 import sys
 
-from repro import AnalysisCache, run_experiment, run_study
+from repro import AnalysisContext, run_experiment, run_study
 import repro.analysis as analysis
 
 
@@ -18,37 +18,37 @@ def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.08
     print(f"Simulating the 2013/2014/2015 campaigns at scale {scale}...")
     study = run_study(scale=scale, seed=7)
-    cache = AnalysisCache(study)
+    context = AnalysisContext(study)
 
     print()
-    print(run_experiment("table1", cache).render())
+    print(run_experiment("table1", context).render())
     print()
-    print(run_experiment("table3", cache).render())
+    print(run_experiment("table3", context).render())
     print()
 
     print("Headline findings (paper -> this run):")
     shares = {
-        year: analysis.aggregate_traffic(cache.clean(year)).wifi_share
-        for year in cache.years
+        year: analysis.aggregate_traffic(context.campaign(year)).wifi_share
+        for year in context.years
     }
     print(
         f"  WiFi share of total volume: 59% -> 67% (paper) | "
         f"{shares[2013]:.0%} -> {shares[2015]:.0%} (measured)"
     )
-    heat13 = analysis.wifi_cell_heatmap(cache.clean(2013))
-    heat15 = analysis.wifi_cell_heatmap(cache.clean(2015))
+    heat13 = analysis.wifi_cell_heatmap(context.campaign(2013))
+    heat15 = analysis.wifi_cell_heatmap(context.campaign(2015))
     print(
         f"  Cellular-intensive user-days: 35% -> 22% (paper) | "
         f"{heat13.cellular_intensive_fraction:.0%} -> "
         f"{heat15.cellular_intensive_fraction:.0%} (measured)"
     )
     for year in (2013, 2015):
-        cls = cache.classification(year)
-        frac = cls.fraction_devices_with_home_ap(cache.clean(year).n_devices)
+        cls = context.classification(year)
+        frac = cls.fraction_devices_with_home_ap(context.clean(year).n_devices)
         print(f"  Users with inferred home AP in {year}: {frac:.0%}")
 
     print()
-    print(run_experiment("fig05", cache).render())
+    print(run_experiment("fig05", context).render())
 
 
 if __name__ == "__main__":

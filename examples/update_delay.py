@@ -15,16 +15,16 @@ import sys
 import numpy as np
 
 import repro.analysis as analysis
-from repro import AnalysisCache, run_study
+from repro import AnalysisContext, run_study
 from repro.reporting.figures import render_ascii_series
 
 
 def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.08
     study = run_study(scale=scale, seed=31)
-    cache = AnalysisCache(study)
+    context = AnalysisContext(study)
 
-    timing = analysis.update_timing(cache.raw(2015), cache.classification(2015))
+    timing = analysis.update_timing(context.raw(2015), context.classification(2015))
     print("iOS 8.2 rollout (2015 campaign)")
     print(f"  release day: campaign day {timing.release_day}")
     print(f"  updated within the window: {timing.updated_fraction:.0%}"

@@ -11,10 +11,10 @@ The public API has three layers:
 
 Quickstart::
 
-    from repro import run_study, AnalysisCache, run_experiment
+    from repro import run_study, AnalysisContext, run_experiment
     study = run_study(scale=0.1)
-    cache = AnalysisCache(study)
-    print(run_experiment("table3", cache))
+    context = AnalysisContext(study)
+    print(run_experiment("table3", context))
 """
 
 from repro.errors import (
@@ -53,6 +53,7 @@ from repro.traces.io import save_dataset, load_dataset
 from repro.traces.cleaning import clean_for_main_analysis
 from repro.traces.validate import validate_dataset
 from repro.whatif import Scenario, WhatIfResult, compare as whatif_compare
+from repro.analysis.context import AnalysisContext, CacheStats
 from repro.reporting.experiments import (
     AnalysisCache,
     EXPERIMENTS,
@@ -95,6 +96,8 @@ __all__ = [
     "load_dataset",
     "clean_for_main_analysis",
     "validate_dataset",
+    "AnalysisContext",
+    "CacheStats",
     "AnalysisCache",
     "EXPERIMENTS",
     "Experiment",

@@ -1,5 +1,10 @@
 """The paper's analysis pipeline: one module per figure/table family."""
 
+from repro.analysis.context import (
+    AnalysisContext,
+    CacheStats,
+    DatasetOrContext,
+)
 from repro.analysis.users import UserDayClasses, classify_user_days
 from repro.analysis.aggregate import (
     AggregateTraffic,
@@ -71,6 +76,7 @@ from repro.analysis.evolution import (
 )
 
 __all__ = [
+    "AnalysisContext", "CacheStats", "DatasetOrContext",
     "UserDayClasses", "classify_user_days",
     "AggregateTraffic", "aggregate_traffic", "peak_hours",
     "weekend_weekday_ratio", "diurnal_peaks",

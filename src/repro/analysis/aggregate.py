@@ -12,9 +12,10 @@ from typing import Dict
 
 import numpy as np
 
+from repro.analysis.context import AnalysisContext, DatasetOrContext
+from repro.constants import SAMPLES_PER_DAY
 from repro.errors import AnalysisError
 from repro.stats.timeseries import HourlySeries, bytes_to_mbps
-from repro.traces.dataset import CampaignDataset
 
 
 @dataclass(frozen=True)
@@ -36,8 +37,10 @@ class AggregateTraffic:
             ) from None
 
 
-def aggregate_traffic(dataset: CampaignDataset) -> AggregateTraffic:
+def aggregate_traffic(data: DatasetOrContext) -> AggregateTraffic:
     """Compute the Figure 2 series and headline shares."""
+    ctx = AnalysisContext.of(data)
+    dataset = ctx.dataset()
     start_weekday = dataset.axis.start.weekday()
     series = {}
     for kind, direction, key in (
@@ -46,17 +49,17 @@ def aggregate_traffic(dataset: CampaignDataset) -> AggregateTraffic:
         ("wifi", "rx", "wifi_rx"),
         ("wifi", "tx", "wifi_tx"),
     ):
-        hourly = dataset.hourly_series(kind, direction)
+        hourly = ctx.hourly_series(kind, direction)
         series[key] = HourlySeries(bytes_to_mbps(hourly), start_weekday)
 
-    wifi_total = dataset.daily_matrix("wifi", "rx").sum() + (
-        dataset.daily_matrix("wifi", "tx").sum()
+    wifi_total = ctx.daily_matrix("wifi", "rx").sum() + (
+        ctx.daily_matrix("wifi", "tx").sum()
     )
-    cell_total = dataset.daily_matrix("cell", "rx").sum() + (
-        dataset.daily_matrix("cell", "tx").sum()
+    cell_total = ctx.daily_matrix("cell", "rx").sum() + (
+        ctx.daily_matrix("cell", "tx").sum()
     )
-    lte_total = dataset.daily_matrix("lte", "rx").sum() + (
-        dataset.daily_matrix("lte", "tx").sum()
+    lte_total = ctx.daily_matrix("lte", "rx").sum() + (
+        ctx.daily_matrix("lte", "tx").sum()
     )
     total = wifi_total + cell_total
     if total <= 0:
@@ -69,16 +72,19 @@ def aggregate_traffic(dataset: CampaignDataset) -> AggregateTraffic:
     )
 
 
-def weekend_weekday_ratio(dataset: CampaignDataset, kind: str) -> float:
+def weekend_weekday_ratio(data: DatasetOrContext, kind: str) -> float:
     """Mean daily volume on weekends divided by weekdays, for one interface.
 
     §3.1: "Cellular traffic on weekends is smaller than that on weekdays,
     while WiFi traffic is the opposite" — so this ratio should sit below 1
     for ``kind="cell"`` and above 1 for ``kind="wifi"``.
     """
-    daily = dataset.daily_matrix(kind, "rx").sum(axis=0)
+    ctx = AnalysisContext.of(data)
+    dataset = ctx.dataset()
+    daily = ctx.daily_matrix(kind, "rx").sum(axis=0)
     weekdays = np.array([
-        int(dataset.axis.weekday_of(day * 144)) for day in range(dataset.n_days)
+        int(dataset.axis.weekday_of(day * SAMPLES_PER_DAY))
+        for day in range(dataset.n_days)
     ])
     weekend = weekdays >= 5
     if not weekend.any() or weekend.all():
@@ -90,14 +96,15 @@ def weekend_weekday_ratio(dataset: CampaignDataset, kind: str) -> float:
     return float(weekend_mean / weekday_mean)
 
 
-def diurnal_peaks(dataset: CampaignDataset, kind: str, top_n: int = 3) -> np.ndarray:
+def diurnal_peaks(data: DatasetOrContext, kind: str, top_n: int = 3) -> np.ndarray:
     """Hours of day (0-23) with the highest mean download volume.
 
     §3.1 reports cellular RX peaks at 8:00, noon, and 19:00-21:00 driven by
     commutes, and WiFi peaking 23:00-01:00 at home.
     """
-    hourly = dataset.hourly_series(kind, "rx")
-    by_hour = hourly.reshape(dataset.n_days, 24).mean(axis=0)
+    ctx = AnalysisContext.of(data)
+    hourly = ctx.hourly_series(kind, "rx")
+    by_hour = hourly.reshape(ctx.dataset().n_days, 24).mean(axis=0)
     return np.argsort(by_hour)[::-1][:top_n]
 
 

@@ -26,18 +26,19 @@ from typing import Dict, Set, Tuple
 
 import numpy as np
 
+from repro.analysis.context import AnalysisContext, DatasetOrContext
 from repro.constants import (
     HOME_NIGHT_END_HOUR,
     HOME_NIGHT_FRACTION,
     HOME_NIGHT_START_HOUR,
     OFFICE_END_HOUR,
     OFFICE_START_HOUR,
-    SAMPLES_PER_DAY,
     SAMPLES_PER_HOUR,
 )
 from repro.errors import AnalysisError
 from repro.net.identifiers import is_fon_public_essid, is_public_essid
 from repro.traces.dataset import CampaignDataset
+from repro.traces.query import device_day_of, hour_of_day
 from repro.traces.records import WifiStateCode
 
 #: Minimum associated night slots for a home-AP call (1 hour of evidence).
@@ -90,8 +91,10 @@ class APClassification:
         return "other" if cls == "mobile" else cls
 
 
-def classify_aps(dataset: CampaignDataset) -> APClassification:
+def classify_aps(data: DatasetOrContext) -> APClassification:
     """Run the full §3.4.1 classification for one campaign."""
+    ctx = AnalysisContext.of(data)
+    dataset = ctx.dataset()
     result = APClassification()
     wifi = dataset.wifi
     assoc_mask = wifi.state == int(WifiStateCode.ASSOCIATED)
@@ -102,15 +105,15 @@ def classify_aps(dataset: CampaignDataset) -> APClassification:
     ap_id = wifi.ap_id[assoc_mask].astype(np.int64)
     result.wifi_devices = {int(d) for d in np.unique(device)}
 
-    hour = (t % SAMPLES_PER_DAY) // SAMPLES_PER_HOUR
-    day = t // SAMPLES_PER_DAY
+    hour = hour_of_day(t)
+    day = device_day_of(t)
     weekday = dataset.axis.weekday_of(t)
 
     home_of_device = _infer_home_aps(device, day, hour, ap_id)
     home_aps = set(home_of_device.values())
     fon_home_aps = _fon_reclassification(dataset, device, ap_id)
     home_aps |= fon_home_aps
-    mobile_aps = _infer_mobile_aps(dataset, device, t, ap_id)
+    mobile_aps = _infer_mobile_aps(ctx, device, t, ap_id)
 
     in_window = (
         (hour >= OFFICE_START_HOUR) & (hour < OFFICE_END_HOUR) & (weekday < 5)
@@ -213,23 +216,16 @@ def _fon_reclassification(
 
 
 def _infer_mobile_aps(
-    dataset: CampaignDataset, device: np.ndarray, t: np.ndarray, ap_id: np.ndarray
+    ctx: AnalysisContext, device: np.ndarray, t: np.ndarray, ap_id: np.ndarray
 ) -> Set[int]:
     """APs observed (by one device) from many distinct 5 km cells."""
+    dataset = ctx.dataset()
     geo = dataset.geo
     if len(geo) == 0:
         return set()
-    # Fast (device, t) -> cell lookup via a sorted composite key.
-    n_slots = dataset.n_slots
-    geo_key = geo.device.astype(np.int64) * n_slots + geo.t.astype(np.int64)
-    order = np.argsort(geo_key)
-    geo_key_sorted = geo_key[order]
-    cols = geo.col[order]
-    rows = geo.row[order]
-    want = device * n_slots + t
-    pos = np.searchsorted(geo_key_sorted, want)
-    pos = np.clip(pos, 0, len(geo_key_sorted) - 1)
-    found = geo_key_sorted[pos] == want
+    # Fast (device, t) -> cell lookup via the shared sorted geo index.
+    index = ctx.geo_index()
+    pos, found = index.lookup(device, t)
 
     idx = np.flatnonzero(found)
     if idx.size == 0:
@@ -237,7 +233,8 @@ def _infer_mobile_aps(
     quads = np.stack(
         [
             device[idx], ap_id[idx],
-            cols[pos[idx]].astype(np.int64), rows[pos[idx]].astype(np.int64),
+            index.gather(geo.col, pos[idx]).astype(np.int64),
+            index.gather(geo.row, pos[idx]).astype(np.int64),
         ],
         axis=1,
     )

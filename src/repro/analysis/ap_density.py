@@ -12,7 +12,8 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.analysis.ap_classification import APClassification, classify_aps
+from repro.analysis.ap_classification import APClassification
+from repro.analysis.context import AnalysisContext, DatasetOrContext
 from repro.constants import STRONG_RSSI_DBM
 from repro.errors import AnalysisError
 from repro.geo.coords import cell_center
@@ -40,12 +41,14 @@ class DensityMaps:
 
 
 def association_density_maps(
-    dataset: CampaignDataset,
+    data: DatasetOrContext,
     classification: Optional[APClassification] = None,
 ) -> DensityMaps:
     """Figure 10: unique associated APs per 5 km cell, home vs public."""
+    ctx = AnalysisContext.of(data)
+    dataset = ctx.dataset()
     if classification is None:
-        classification = classify_aps(dataset)
+        classification = ctx.classification()
     wifi = dataset.wifi
     assoc = wifi.state == int(WifiStateCode.ASSOCIATED)
     if not assoc.any():
@@ -54,7 +57,7 @@ def association_density_maps(
     t = wifi.t[assoc].astype(np.int64)
     ap_id = wifi.ap_id[assoc].astype(np.int64)
 
-    cols, rows, found = _lookup_cells(dataset, device, t)
+    cols, rows, found = _lookup_cells(ctx, device, t)
     grids = {name: DensityGrid() for name in ("home", "public", "office", "other")}
     seen = set()
     for i in np.flatnonzero(found):
@@ -89,14 +92,16 @@ class DetectedCoverage:
             raise AnalysisError(f"unknown coverage key {key!r}") from None
 
 
-def detected_coverage(dataset: CampaignDataset) -> DetectedCoverage:
+def detected_coverage(data: DatasetOrContext) -> DetectedCoverage:
     """Count detected public networks per cell from scan sightings."""
+    ctx = AnalysisContext.of(data)
+    dataset = ctx.dataset()
     sightings = dataset.sightings
     if len(sightings) == 0:
         raise AnalysisError("dataset has no scan sightings")
     device = sightings.device.astype(np.int64)
     t = sightings.t.astype(np.int64)
-    cols, rows, found = _lookup_cells(dataset, device, t)
+    cols, rows, found = _lookup_cells(ctx, device, t)
 
     grids = {
         "24_all": DensityGrid(), "24_strong": DensityGrid(),
@@ -116,14 +121,13 @@ def detected_coverage(dataset: CampaignDataset) -> DetectedCoverage:
     return DetectedCoverage(year=dataset.year, grids=grids)
 
 
-def _lookup_cells(dataset: CampaignDataset, device: np.ndarray, t: np.ndarray):
-    """(device, t) -> geo cell join via the shared slot index."""
-    from repro.traces.query import geo_cell_index
-
-    index = geo_cell_index(dataset)
+def _lookup_cells(ctx: AnalysisContext, device: np.ndarray, t: np.ndarray):
+    """(device, t) -> geo cell join via the shared memoized slot index."""
+    geo = ctx.dataset().geo
+    index = ctx.geo_index()
     pos, found = index.lookup(device, t)
     return (
-        index.gather(dataset.geo.col, pos),
-        index.gather(dataset.geo.row, pos),
+        index.gather(geo.col, pos),
+        index.gather(geo.row, pos),
         found,
     )

@@ -16,17 +16,14 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.analysis.ap_classification import APClassification, classify_aps
+from repro.analysis.ap_classification import APClassification
+from repro.analysis.context import AnalysisContext, DatasetOrContext
 from repro.analysis.users import UserDayClasses
 from repro.apps.categories import CATEGORIES, category_name
-from repro.constants import (
-    HOME_NIGHT_END_HOUR,
-    HOME_NIGHT_START_HOUR,
-    SAMPLES_PER_DAY,
-    SAMPLES_PER_HOUR,
-)
+from repro.constants import HOME_NIGHT_END_HOUR, HOME_NIGHT_START_HOUR
 from repro.errors import AnalysisError
 from repro.traces.dataset import CampaignDataset
+from repro.traces.query import hour_of_day
 
 CONTEXTS = ("cell_home", "cell_other", "wifi_home", "wifi_public")
 
@@ -71,7 +68,7 @@ def infer_home_cells(dataset: CampaignDataset) -> Dict[int, Tuple[int, int]]:
     geo = dataset.geo
     if len(geo) == 0:
         return {}
-    hour = (geo.t % SAMPLES_PER_DAY) // SAMPLES_PER_HOUR
+    hour = hour_of_day(geo.t)
     night = (hour >= HOME_NIGHT_START_HOUR) | (hour < HOME_NIGHT_END_HOUR)
     counts: Dict[int, Counter] = defaultdict(Counter)
     for d, c, r in zip(geo.device[night], geo.col[night], geo.row[night]):
@@ -80,7 +77,7 @@ def infer_home_cells(dataset: CampaignDataset) -> Dict[int, Tuple[int, int]]:
 
 
 def app_breakdown(
-    dataset: CampaignDataset,
+    data: DatasetOrContext,
     classification: Optional[APClassification] = None,
     classes: Optional[UserDayClasses] = None,
     subset: str = "all",
@@ -91,8 +88,10 @@ def app_breakdown(
     which case ``classes`` must cover the dataset (§3.6 also reports the
     light-user view).
     """
+    ctx = AnalysisContext.of(data)
+    dataset = ctx.dataset()
     if classification is None:
-        classification = classify_aps(dataset)
+        classification = ctx.classification()
     apps = dataset.apps
     if len(apps) == 0:
         raise AnalysisError("dataset has no app-traffic records (Android only)")

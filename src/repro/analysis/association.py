@@ -15,12 +15,14 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.analysis.ap_classification import APClassification, classify_aps
-from repro.analysis.users import UserDayClasses, classify_user_days
-from repro.constants import SAMPLES_PER_DAY, SAMPLES_PER_HOUR
+from repro.analysis.ap_classification import APClassification
+from repro.analysis.context import AnalysisContext, DatasetOrContext
+from repro.analysis.users import UserDayClasses
+from repro.constants import SAMPLES_PER_HOUR
 from repro.errors import AnalysisError
 from repro.stats.distributions import Ecdf, ccdf
 from repro.traces.dataset import CampaignDataset
+from repro.traces.query import device_day_of
 from repro.traces.records import WifiStateCode
 
 
@@ -57,7 +59,7 @@ def _device_day_aps(
     assoc = wifi.state == int(WifiStateCode.ASSOCIATED)
     out: Dict[Tuple[int, int], set] = defaultdict(set)
     device = wifi.device[assoc]
-    day = wifi.t[assoc] // SAMPLES_PER_DAY
+    day = device_day_of(wifi.t[assoc])
     ap = wifi.ap_id[assoc]
     for d, dy, a in zip(device, day, ap):
         out[(int(d), int(dy))].add(int(a))
@@ -65,12 +67,14 @@ def _device_day_aps(
 
 
 def aps_per_day(
-    dataset: CampaignDataset,
+    data: DatasetOrContext,
     classes: Optional[UserDayClasses] = None,
 ) -> ApsPerDay:
     """Figure 12 breakdown for all/heavy/light device-days."""
+    ctx = AnalysisContext.of(data)
+    dataset = ctx.dataset()
     if classes is None:
-        classes = classify_user_days(dataset)
+        classes = ctx.user_classes()
     per_day = _device_day_aps(dataset)
     if not per_day:
         raise AnalysisError("no associations in dataset")
@@ -92,12 +96,14 @@ def aps_per_day(
 
 
 def hpo_breakdown(
-    dataset: CampaignDataset,
+    data: DatasetOrContext,
     classification: Optional[APClassification] = None,
 ) -> HpoBreakdown:
     """Table 5: home/public/other combination percentages per device-day."""
+    ctx = AnalysisContext.of(data)
+    dataset = ctx.dataset()
     if classification is None:
-        classification = classify_aps(dataset)
+        classification = ctx.classification()
     per_day = _device_day_aps(dataset)
     if not per_day:
         raise AnalysisError("no associations in dataset")
@@ -136,12 +142,14 @@ class AssociationDurations:
 
 
 def association_durations(
-    dataset: CampaignDataset,
+    data: DatasetOrContext,
     classification: Optional[APClassification] = None,
 ) -> AssociationDurations:
     """Compute per-class CCDFs of consecutive association time."""
+    ctx = AnalysisContext.of(data)
+    dataset = ctx.dataset()
     if classification is None:
-        classification = classify_aps(dataset)
+        classification = ctx.classification()
     wifi = dataset.wifi
     assoc = wifi.state == int(WifiStateCode.ASSOCIATED)
     if not assoc.any():

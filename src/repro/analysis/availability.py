@@ -17,6 +17,7 @@ from typing import Dict
 
 import numpy as np
 
+from repro.analysis.context import AnalysisContext, DatasetOrContext
 from repro.errors import AnalysisError
 from repro.stats.distributions import Ecdf, ccdf
 from repro.traces.dataset import CampaignDataset
@@ -67,8 +68,9 @@ def _available_scan_mask(dataset: CampaignDataset) -> np.ndarray:
     return avail_keys[pos] == scan_keys
 
 
-def public_availability(dataset: CampaignDataset) -> PublicAvailability:
+def public_availability(data: DatasetOrContext) -> PublicAvailability:
     """Figure 17: detected public networks per available device-slot."""
+    dataset = AnalysisContext.of(data).dataset()
     scans = dataset.scans
     if len(scans) == 0:
         raise AnalysisError("dataset has no scan summaries")
@@ -99,8 +101,9 @@ class OffloadEstimate:
     n_available_devices: int
 
 
-def offload_estimate(dataset: CampaignDataset) -> OffloadEstimate:
+def offload_estimate(data: DatasetOrContext) -> OffloadEstimate:
     """Estimate offloadable cellular volume for WiFi-available users."""
+    dataset = AnalysisContext.of(data).dataset()
     scans = dataset.scans
     if len(scans) == 0:
         raise AnalysisError("dataset has no scan summaries")

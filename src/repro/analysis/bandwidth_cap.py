@@ -14,10 +14,10 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analysis.context import AnalysisContext, DatasetOrContext
 from repro.constants import CAP_THRESHOLD_BYTES, CAP_WINDOW_DAYS
 from repro.errors import AnalysisError
 from repro.stats.distributions import Ecdf, ecdf
-from repro.traces.dataset import CampaignDataset
 
 
 @dataclass(frozen=True)
@@ -38,7 +38,7 @@ class CapEffect:
 
 
 def cap_effect(
-    dataset: CampaignDataset,
+    data: DatasetOrContext,
     threshold_bytes: float = float(CAP_THRESHOLD_BYTES),
     window_days: int = CAP_WINDOW_DAYS,
     min_window_mb: float = 1.0,
@@ -46,7 +46,8 @@ def cap_effect(
     """Detect potentially capped device-days and measure the throttle."""
     if window_days < 1:
         raise AnalysisError("window must be >= 1 day")
-    cell = dataset.daily_matrix("cell", "rx")
+    ctx = AnalysisContext.of(data)
+    cell = ctx.daily_matrix("cell", "rx")
     n_devices, n_days = cell.shape
     if n_days <= window_days:
         raise AnalysisError("campaign too short for the cap window")
@@ -74,7 +75,7 @@ def cap_effect(
     if capped_all.size == 0 or others_all.size == 0:
         raise AnalysisError("not enough capped/other device-days to compare")
     return CapEffect(
-        year=dataset.year,
+        year=ctx.dataset().year,
         capped_ratio_cdf=ecdf(capped_all),
         others_ratio_cdf=ecdf(others_all),
         potentially_capped_fraction=n_capped_days / max(n_eval_days, 1),
@@ -84,13 +85,13 @@ def cap_effect(
 
 
 def capped_users_without_home_ap(
-    dataset: CampaignDataset,
+    data: DatasetOrContext,
     home_devices: set,
     threshold_bytes: float = float(CAP_THRESHOLD_BYTES),
     window_days: int = CAP_WINDOW_DAYS,
 ) -> Optional[float]:
     """§3.8: fraction of ever-capped devices lacking an inferred home AP."""
-    cell = dataset.daily_matrix("cell", "rx")
+    cell = AnalysisContext.of(data).daily_matrix("cell", "rx")
     n_days = cell.shape[1]
     ever_capped = np.zeros(cell.shape[0], dtype=bool)
     for day in range(window_days, n_days):

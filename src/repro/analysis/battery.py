@@ -14,8 +14,10 @@ from typing import Dict
 
 import numpy as np
 
+from repro.analysis.context import AnalysisContext, DatasetOrContext
+from repro.constants import SAMPLES_PER_HOUR
 from repro.errors import AnalysisError
-from repro.traces.dataset import CampaignDataset
+from repro.traces.query import SlotIndex
 from repro.traces.records import WifiStateCode
 
 _STATE_NAMES = {
@@ -48,8 +50,9 @@ class BatteryDrain:
         return float(np.mean(on_states)) - off
 
 
-def battery_drain(dataset: CampaignDataset) -> BatteryDrain:
+def battery_drain(data: DatasetOrContext) -> BatteryDrain:
     """Per-WiFi-state battery discharge rates (Android devices)."""
+    dataset = AnalysisContext.of(data).dataset()
     battery = dataset.battery
     if len(battery) == 0:
         raise AnalysisError("dataset has no battery samples")
@@ -67,24 +70,15 @@ def battery_drain(dataset: CampaignDataset) -> BatteryDrain:
     same_device = device[1:] == device[:-1]
     gap = t[1:] - t[:-1]
     usable = same_device & (gap > 0) & ~charging[1:] & ~charging[:-1]
-    drain_per_hour = (level[:-1] - level[1:]) / (gap / 6.0)
+    drain_per_hour = (level[:-1] - level[1:]) / (gap / SAMPLES_PER_HOUR)
 
-    # WiFi state of the *later* sample, joined via composite keys.
-    wifi_key = np.sort(
-        wifi.device.astype(np.int64) * n_slots + wifi.t.astype(np.int64)
-    )
-    order = np.argsort(
-        wifi.device.astype(np.int64) * n_slots + wifi.t.astype(np.int64)
-    )
-    wifi_states_sorted = wifi.state[order]
-    sample_key = device[1:] * n_slots + t[1:]
-    pos = np.searchsorted(wifi_key, sample_key)
-    pos = np.clip(pos, 0, len(wifi_key) - 1)
-    matched = wifi_key[pos] == sample_key
+    # WiFi state of the *later* sample, joined via the sorted slot index.
+    index = SlotIndex.build(wifi.device, wifi.t, n_slots)
+    pos, matched = index.lookup(device[1:], t[1:])
 
     drains: Dict[str, list] = {name: [] for name in _STATE_NAMES.values()}
     idx = np.flatnonzero(usable & matched)
-    states = wifi_states_sorted[pos[idx]]
+    states = index.gather(wifi.state, pos[idx])
     values = drain_per_hour[idx]
     for code, name in _STATE_NAMES.items():
         sel = states == code

@@ -1,0 +1,398 @@
+"""The memoized derived-artifact layer every figure/table sits on.
+
+~19 figures and 9 tables all derive from the same handful of per-campaign
+intermediates: the cleaned dataset, (device, day) traffic matrices, hourly
+series, the sorted (device, t) join indexes from :mod:`repro.traces.query`,
+per-day user classes and the AP classification. :class:`AnalysisContext`
+computes each of those exactly once per campaign and hands out the cached
+value everywhere else, with per-artifact instrumentation (hits, misses,
+compute seconds, cached bytes) exposed as a :class:`CacheStats` report.
+
+Every analysis entry point accepts either a plain
+:class:`~repro.traces.dataset.CampaignDataset` or an ``AnalysisContext``
+through :meth:`AnalysisContext.of`, so callers that hold a context share
+its memo while one-off calls keep working unchanged. Cached numpy arrays
+are returned read-only (``setflags(write=False)``): a consumer that tries
+to mutate a shared matrix raises instead of silently corrupting every
+later reader. Cached artifacts are pure functions of the source dataset,
+so the cached and uncached paths are bit-identical (pinned by
+``tests/test_analysis_context.py``).
+
+Layering: this module may call :func:`clean_for_main_analysis`,
+:func:`classify_user_days` and :func:`classify_aps`; the rest of
+``repro.analysis`` must go through the context (enforced by
+``tests/test_layering.py``).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field, fields as _dataclass_fields, is_dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.traces.cleaning import clean_for_main_analysis
+from repro.traces.dataset import CampaignDataset
+from repro.traces.query import SlotIndex, association_index, geo_cell_index
+
+__all__ = ["AnalysisContext", "ArtifactStats", "CacheStats", "DatasetOrContext"]
+
+
+# ----------------------------------------------------------------------
+# Instrumentation
+# ----------------------------------------------------------------------
+
+@dataclass
+class ArtifactStats:
+    """Counters for one artifact family (e.g. all ``daily_matrix`` keys)."""
+
+    artifact: str
+    hits: int = 0
+    misses: int = 0
+    compute_seconds: float = 0.0
+    cached_bytes: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class CacheStats:
+    """Per-artifact cache instrumentation for one :class:`AnalysisContext`."""
+
+    def __init__(self) -> None:
+        self._by_artifact: Dict[str, ArtifactStats] = {}
+
+    def _entry(self, artifact: str) -> ArtifactStats:
+        if artifact not in self._by_artifact:
+            self._by_artifact[artifact] = ArtifactStats(artifact)
+        return self._by_artifact[artifact]
+
+    def record_hit(self, artifact: str) -> None:
+        self._entry(artifact).hits += 1
+
+    def record_miss(self, artifact: str, seconds: float, nbytes: int) -> None:
+        entry = self._entry(artifact)
+        entry.misses += 1
+        entry.compute_seconds += seconds
+        entry.cached_bytes += nbytes
+
+    def artifact(self, name: str) -> ArtifactStats:
+        """Counters for one artifact family (zeros if never requested)."""
+        return self._by_artifact.get(name, ArtifactStats(name))
+
+    def per_artifact(self) -> List[ArtifactStats]:
+        return [self._by_artifact[k] for k in sorted(self._by_artifact)]
+
+    @property
+    def hits(self) -> int:
+        return sum(s.hits for s in self._by_artifact.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(s.misses for s in self._by_artifact.values())
+
+    @property
+    def compute_seconds(self) -> float:
+        return sum(s.compute_seconds for s in self._by_artifact.values())
+
+    @property
+    def cached_bytes(self) -> int:
+        return sum(s.cached_bytes for s in self._by_artifact.values())
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        return {
+            s.artifact: {
+                "hits": s.hits,
+                "misses": s.misses,
+                "compute_seconds": round(s.compute_seconds, 6),
+                "cached_bytes": s.cached_bytes,
+            }
+            for s in self.per_artifact()
+        }
+
+    def render(self) -> str:
+        """Aligned plain-text report, one row per artifact family."""
+        header = ("artifact", "hits", "misses", "hit%", "compute_s", "cached")
+        rows = [
+            (s.artifact, str(s.hits), str(s.misses),
+             f"{100 * s.hit_rate:.0f}%", f"{s.compute_seconds:.3f}",
+             _fmt_bytes(s.cached_bytes))
+            for s in self.per_artifact()
+        ]
+        rows.append(("total", str(self.hits), str(self.misses),
+                     f"{100 * self.hits / max(self.hits + self.misses, 1):.0f}%",
+                     f"{self.compute_seconds:.3f}",
+                     _fmt_bytes(self.cached_bytes)))
+        widths = [max(len(r[i]) for r in [header] + rows) for i in range(len(header))]
+        lines = ["analysis cache", "-" * 14]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def _fmt_bytes(n: int) -> str:
+    if n >= 1 << 20:
+        return f"{n / (1 << 20):.1f}MB"
+    if n >= 1 << 10:
+        return f"{n / (1 << 10):.1f}kB"
+    return f"{n}B"
+
+
+def _cached_nbytes(value: object) -> int:
+    """Approximate retained size of a cached artifact (arrays dominate)."""
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, SlotIndex):
+        return int(value.keys.nbytes) + int(value.order.nbytes)
+    if isinstance(value, (tuple, list, set, frozenset)):
+        return sum(_cached_nbytes(v) for v in value)
+    if isinstance(value, dict):
+        return sum(_cached_nbytes(k) + _cached_nbytes(v) for k, v in value.items())
+    if is_dataclass(value) and not isinstance(value, type):
+        return sum(
+            _cached_nbytes(getattr(value, f.name, None))
+            for f in _dataclass_fields(value)
+        )
+    if isinstance(value, (bool, int, float, str, bytes)):
+        return sys.getsizeof(value)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Per-campaign memo
+# ----------------------------------------------------------------------
+
+class _CampaignState:
+    """One campaign's source dataset plus its memoized artifacts."""
+
+    __slots__ = ("raw", "raw_is_analysis", "artifacts")
+
+    def __init__(self, raw: CampaignDataset, raw_is_analysis: bool) -> None:
+        self.raw = raw
+        #: True when the caller handed us the dataset to analyze verbatim
+        #: (``AnalysisContext.of(dataset)``); False when the raw capture
+        #: still needs :func:`clean_for_main_analysis` (study campaigns).
+        self.raw_is_analysis = raw_is_analysis
+        self.artifacts: Dict[tuple, object] = {}
+
+
+DatasetOrContext = Union[CampaignDataset, "AnalysisContext"]
+
+
+class AnalysisContext:
+    """Memoized derived artifacts for one or more campaigns.
+
+    Construct from a :class:`~repro.simulation.study.Study` (or any object
+    with ``campaigns`` and ``dataset(year)``) for the multi-campaign
+    reporting path — per-campaign artifacts are then derived from the
+    *cleaned* dataset, like the old ``AnalysisCache``. Construct via
+    :meth:`of` from a single :class:`CampaignDataset` for the analysis
+    path — the dataset is analyzed verbatim (no implicit cleaning), which
+    keeps ``fn(dataset)`` and ``fn(AnalysisContext.of(dataset))``
+    bit-identical.
+    """
+
+    def __init__(self, source: object) -> None:
+        self.study = None
+        self._stats = CacheStats()
+        self._focus: Optional[int] = None
+        if isinstance(source, CampaignDataset):
+            self._states = {source.year: _CampaignState(source, True)}
+            self._focus = source.year
+        elif isinstance(source, dict):
+            if not source:
+                raise AnalysisError("no campaign datasets to analyze")
+            self._states = {
+                int(year): _CampaignState(dataset, False)
+                for year, dataset in source.items()
+            }
+        elif hasattr(source, "campaigns") and hasattr(source, "dataset"):
+            if not source.campaigns:
+                raise AnalysisError("study has not been run")
+            self.study = source
+            self._states = {
+                year: _CampaignState(source.dataset(year), False)
+                for year in sorted(source.campaigns)
+            }
+        else:
+            raise AnalysisError(
+                f"cannot build an AnalysisContext from "
+                f"{type(source).__name__}; expected a Study, a "
+                f"CampaignDataset or a {{year: dataset}} mapping"
+            )
+
+    @classmethod
+    def of(cls, data: DatasetOrContext) -> "AnalysisContext":
+        """Coerce an analysis-function argument to a context.
+
+        An existing context is returned as-is (shared memo); a dataset
+        gets a fresh single-campaign context over it, verbatim.
+        """
+        if isinstance(data, AnalysisContext):
+            return data
+        if isinstance(data, CampaignDataset):
+            return cls(data)
+        raise AnalysisError(
+            f"expected a CampaignDataset or AnalysisContext, "
+            f"got {type(data).__name__}"
+        )
+
+    # -- campaign selection ------------------------------------------------
+
+    @property
+    def years(self) -> tuple:
+        return tuple(sorted(self._states))
+
+    def campaign(self, year: int) -> "AnalysisContext":
+        """A view of this context focused on one campaign.
+
+        The view shares the memo and the :class:`CacheStats`, so analysis
+        functions handed a view still populate (and benefit from) the
+        parent's cache; its year-optional accessors resolve to ``year``.
+        """
+        year = self._resolve_year(year)
+        view = object.__new__(AnalysisContext)
+        view.study = self.study
+        view._stats = self._stats
+        view._states = self._states
+        view._focus = year
+        return view
+
+    def _resolve_year(self, year: Optional[int]) -> int:
+        if year is None:
+            if self._focus is not None:
+                return self._focus
+            if len(self._states) == 1:
+                return next(iter(self._states))
+            raise AnalysisError(
+                f"year is required for a multi-campaign context; "
+                f"have {list(self.years)} — use .campaign(year)"
+            )
+        if year not in self._states:
+            raise AnalysisError(
+                f"no campaign for year {year}; have {list(self.years)}"
+            )
+        return year
+
+    def _state(self, year: Optional[int]) -> _CampaignState:
+        return self._states[self._resolve_year(year)]
+
+    # -- memo core ---------------------------------------------------------
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._stats
+
+    def _artifact(
+        self, year: Optional[int], key: tuple, compute: Callable[[], object]
+    ) -> object:
+        state = self._state(year)
+        if key in state.artifacts:
+            self._stats.record_hit(key[0])
+            return state.artifacts[key]
+        start = time.perf_counter()
+        value = compute()
+        elapsed = time.perf_counter() - start
+        state.artifacts[key] = value
+        self._stats.record_miss(key[0], elapsed, _cached_nbytes(value))
+        return value
+
+    # -- artifacts ---------------------------------------------------------
+
+    def raw(self, year: Optional[int] = None) -> CampaignDataset:
+        """The source dataset exactly as captured (never cleaned)."""
+        return self._state(year).raw
+
+    def clean(self, year: Optional[int] = None) -> CampaignDataset:
+        """The campaign after §2 cleaning (memoized)."""
+        state = self._state(year)
+        return self._artifact(
+            year, ("clean",), lambda: clean_for_main_analysis(state.raw)
+        )
+
+    def dataset(self, year: Optional[int] = None) -> CampaignDataset:
+        """The dataset analyses run on.
+
+        For ``of(dataset)`` contexts this is the source verbatim; for
+        study-backed contexts it is the cleaned campaign.
+        """
+        state = self._state(year)
+        if state.raw_is_analysis:
+            return state.raw
+        return self.clean(year)
+
+    def daily_matrix(
+        self, kind: str = "all", direction: str = "rx",
+        year: Optional[int] = None,
+    ) -> np.ndarray:
+        """Memoized read-only (n_devices, n_days) byte matrix."""
+        def compute() -> np.ndarray:
+            matrix = self.dataset(year).daily_matrix(kind, direction)
+            matrix.setflags(write=False)
+            return matrix
+        return self._artifact(year, ("daily_matrix", kind, direction), compute)
+
+    def hourly_series(
+        self, kind: str = "all", direction: str = "rx",
+        year: Optional[int] = None,
+    ) -> np.ndarray:
+        """Memoized read-only per-campaign-hour byte totals."""
+        def compute() -> np.ndarray:
+            series = self.dataset(year).hourly_series(kind, direction)
+            series.setflags(write=False)
+            return series
+        return self._artifact(year, ("hourly_series", kind, direction), compute)
+
+    def geo_index(self, year: Optional[int] = None) -> SlotIndex:
+        """Memoized sorted (device, t) index over the geolocation table."""
+        def compute() -> SlotIndex:
+            index = geo_cell_index(self.dataset(year))
+            index.keys.setflags(write=False)
+            index.order.setflags(write=False)
+            return index
+        return self._artifact(year, ("geo_index",), compute)
+
+    def association_index(
+        self, year: Optional[int] = None
+    ) -> Tuple[SlotIndex, np.ndarray]:
+        """Memoized (index, sorted ap ids) over associated wifi rows."""
+        def compute() -> Tuple[SlotIndex, np.ndarray]:
+            index, ap_sorted = association_index(self.dataset(year))
+            index.keys.setflags(write=False)
+            index.order.setflags(write=False)
+            ap_sorted.setflags(write=False)
+            return index, ap_sorted
+        return self._artifact(year, ("association_index",), compute)
+
+    def user_classes(self, year: Optional[int] = None):
+        """Memoized §2 light/heavy per-(device, day) classification."""
+        from repro.analysis.users import classify_user_days
+
+        year = self._resolve_year(year)
+        return self._artifact(
+            year, ("user_classes",),
+            lambda: classify_user_days(self.campaign(year)),
+        )
+
+    def classification(self, year: Optional[int] = None):
+        """Memoized §3.4.1 AP classification."""
+        from repro.analysis.ap_classification import classify_aps
+
+        year = self._resolve_year(year)
+        return self._artifact(
+            year, ("classification",),
+            lambda: classify_aps(self.campaign(year)),
+        )

@@ -12,21 +12,27 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from repro.analysis.context import AnalysisContext, DatasetOrContext
 from repro.constants import MIN_DAILY_VOLUME_MB
 from repro.errors import AnalysisError
 from repro.stats.distributions import Ecdf, ecdf
 from repro.stats.growth import annual_growth_rate
-from repro.traces.dataset import CampaignDataset
 
 
 @dataclass(frozen=True)
 class DailyVolumeDistributions:
-    """Per-(device, day) volume CDFs for one campaign (values in MB)."""
+    """Per-(device, day) volume CDFs for one campaign (values in MB).
+
+    ``zero_fractions`` maps ``"{kind}_{direction}_zero_fraction"`` keys to
+    the fraction of valid device-days with no traffic on that interface
+    class; use :meth:`zero_fraction` for checked access.
+    """
 
     year: int
     total_rx: Ecdf
     total_tx: Ecdf
     cdf_by_type: Dict[str, Ecdf]
+    zero_fractions: Dict[str, float]
 
     def zero_fraction(self, kind: str, direction: str = "rx") -> float:
         """Fraction of device-days with no traffic on an interface class.
@@ -36,15 +42,16 @@ class DailyVolumeDistributions:
         """
         key = f"{kind}_{direction}_zero_fraction"
         try:
-            return self._zero_fractions[key]
-        except (AttributeError, KeyError):
+            return self.zero_fractions[key]
+        except KeyError:
             raise AnalysisError(f"no zero-fraction recorded for {key}") from None
 
 
-def daily_volume_distributions(dataset: CampaignDataset) -> DailyVolumeDistributions:
+def daily_volume_distributions(data: DatasetOrContext) -> DailyVolumeDistributions:
     """Figure 3/4 distributions for one campaign."""
-    rx_all = dataset.daily_matrix("all", "rx").ravel() / 1e6
-    tx_all = dataset.daily_matrix("all", "tx").ravel() / 1e6
+    ctx = AnalysisContext.of(data)
+    rx_all = ctx.daily_matrix("all", "rx").ravel() / 1e6
+    tx_all = ctx.daily_matrix("all", "tx").ravel() / 1e6
     valid = rx_all >= MIN_DAILY_VOLUME_MB
     if not valid.any():
         raise AnalysisError("no device-days above the volume floor")
@@ -53,7 +60,7 @@ def daily_volume_distributions(dataset: CampaignDataset) -> DailyVolumeDistribut
     zero_fractions = {}
     for kind in ("cell", "wifi"):
         for direction in ("rx", "tx"):
-            values = dataset.daily_matrix(kind, direction).ravel() / 1e6
+            values = ctx.daily_matrix(kind, direction).ravel() / 1e6
             values = values[valid]
             zero_fractions[f"{kind}_{direction}_zero_fraction"] = float(
                 (values <= 0.0).mean()
@@ -62,14 +69,13 @@ def daily_volume_distributions(dataset: CampaignDataset) -> DailyVolumeDistribut
             if positive.size:
                 cdf_by_type[f"{kind}_{direction}"] = ecdf(positive)
 
-    result = DailyVolumeDistributions(
-        year=dataset.year,
+    return DailyVolumeDistributions(
+        year=ctx.dataset().year,
         total_rx=ecdf(rx_all[valid]),
         total_tx=ecdf(tx_all[valid]),
         cdf_by_type=cdf_by_type,
+        zero_fractions=zero_fractions,
     )
-    object.__setattr__(result, "_zero_fractions", zero_fractions)
-    return result
 
 
 @dataclass(frozen=True)
@@ -87,20 +93,21 @@ class VolumeGrowthTable:
         return table[kind]
 
 
-def volume_growth_table(datasets: Sequence[CampaignDataset]) -> VolumeGrowthTable:
+def volume_growth_table(datasets: Sequence[DatasetOrContext]) -> VolumeGrowthTable:
     """Build Table 3 from the three campaign datasets."""
     if len(datasets) < 2:
         raise AnalysisError("growth table needs at least two campaigns")
-    years = [ds.year for ds in datasets]
+    contexts = [AnalysisContext.of(ds) for ds in datasets]
+    years = [ctx.dataset().year for ctx in contexts]
     median: Dict[str, Dict[int, float]] = {k: {} for k in ("all", "cell", "wifi")}
     mean: Dict[str, Dict[int, float]] = {k: {} for k in ("all", "cell", "wifi")}
-    for ds in datasets:
-        rx_all = ds.daily_matrix("all", "rx").ravel()
+    for ctx, year in zip(contexts, years):
+        rx_all = ctx.daily_matrix("all", "rx").ravel()
         valid = rx_all >= MIN_DAILY_VOLUME_MB * 1e6
         for kind in ("all", "cell", "wifi"):
-            values = ds.daily_matrix(kind, "rx").ravel()[valid] / 1e6
-            median[kind][ds.year] = float(np.median(values))
-            mean[kind][ds.year] = float(values.mean())
+            values = ctx.daily_matrix(kind, "rx").ravel()[valid] / 1e6
+            median[kind][year] = float(np.median(values))
+            mean[kind][year] = float(values.mean())
     agr_median = {
         kind: annual_growth_rate(years, [median[kind][y] for y in years])
         for kind in median

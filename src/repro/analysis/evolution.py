@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Mapping, Sequence
 
 from repro.analysis.aggregate import aggregate_traffic
+from repro.analysis.context import AnalysisContext, DatasetOrContext
 from repro.errors import AnalysisError
 from repro.traces.dataset import CampaignDataset
 from repro.traces.records import DeviceOS
@@ -29,13 +30,15 @@ class CampaignOverview:
     lte_share: float
 
 
-def campaign_overview(dataset: CampaignDataset) -> CampaignOverview:
+def campaign_overview(data: DatasetOrContext) -> CampaignOverview:
     """Table 1 row for one campaign (panel sizes and LTE share)."""
+    ctx = AnalysisContext.of(data)
+    dataset = ctx.dataset()
     n_android = sum(1 for d in dataset.devices if d.os is DeviceOS.ANDROID)
     n_ios = len(dataset.devices) - n_android
     if not dataset.devices:
         raise AnalysisError("dataset has no devices")
-    agg = aggregate_traffic(dataset)
+    agg = aggregate_traffic(ctx)
     start = dataset.axis.slot_datetime(0).date()
     end = dataset.axis.slot_datetime(dataset.n_slots - 1).date()
     return CampaignOverview(

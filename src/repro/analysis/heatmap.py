@@ -13,9 +13,9 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.analysis.context import AnalysisContext, DatasetOrContext
 from repro.constants import MIN_DAILY_VOLUME_MB
 from repro.errors import AnalysisError
-from repro.traces.dataset import CampaignDataset
 
 #: Below this daily volume an interface counts as unused (log-plot floor).
 INTENSIVE_FLOOR_MB = 0.01
@@ -41,16 +41,17 @@ class WifiCellHeatmap:
 
 
 def wifi_cell_heatmap(
-    dataset: CampaignDataset,
+    data: DatasetOrContext,
     bins: int = 60,
     log_range: Tuple[float, float] = (-2.0, 3.0),
 ) -> WifiCellHeatmap:
     """Build the per-user-day heat map for one campaign."""
     if bins < 2:
         raise AnalysisError("need at least 2 bins")
-    cell = dataset.daily_matrix("cell", "rx").ravel() / 1e6
-    wifi = dataset.daily_matrix("wifi", "rx").ravel() / 1e6
-    total = dataset.daily_matrix("all", "rx").ravel() / 1e6
+    ctx = AnalysisContext.of(data)
+    cell = ctx.daily_matrix("cell", "rx").ravel() / 1e6
+    wifi = ctx.daily_matrix("wifi", "rx").ravel() / 1e6
+    total = ctx.daily_matrix("all", "rx").ravel() / 1e6
     valid = total >= MIN_DAILY_VOLUME_MB
     cell, wifi = cell[valid], wifi[valid]
     if cell.size == 0:
@@ -76,7 +77,7 @@ def wifi_cell_heatmap(
     )
 
     return WifiCellHeatmap(
-        year=dataset.year,
+        year=ctx.dataset().year,
         cell_mb=cell,
         wifi_mb=wifi,
         histogram=histogram,

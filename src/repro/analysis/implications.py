@@ -18,9 +18,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.context import AnalysisContext, DatasetOrContext
 from repro.constants import MIN_DAILY_VOLUME_MB
 from repro.errors import AnalysisError
-from repro.traces.dataset import CampaignDataset
 
 #: Nationwide cellular / residential-broadband volume ratio (Figure 1, [34]).
 CELLULAR_SHARE_OF_BROADBAND = 0.20
@@ -45,7 +45,7 @@ class OffloadImpact:
 
 
 def offload_impact(
-    dataset: CampaignDataset,
+    data: DatasetOrContext,
     home_wifi_fraction: float = 0.95,
     cellular_share_of_broadband: float = CELLULAR_SHARE_OF_BROADBAND,
     broadband_median_mb: float = BROADBAND_MEDIAN_MB_PER_DAY,
@@ -53,12 +53,13 @@ def offload_impact(
     """Derive the §4.1 impact estimates from a campaign's medians."""
     if not 0 < home_wifi_fraction <= 1:
         raise AnalysisError("home_wifi_fraction must be in (0, 1]")
-    total = dataset.daily_matrix("all", "rx").ravel()
+    ctx = AnalysisContext.of(data)
+    total = ctx.daily_matrix("all", "rx").ravel()
     valid = total >= MIN_DAILY_VOLUME_MB * 1e6
     if not valid.any():
         raise AnalysisError("no valid device-days")
-    cell = dataset.daily_matrix("cell", "rx").ravel()[valid] / 1e6
-    wifi = dataset.daily_matrix("wifi", "rx").ravel()[valid] / 1e6
+    cell = ctx.daily_matrix("cell", "rx").ravel()[valid] / 1e6
+    wifi = ctx.daily_matrix("wifi", "rx").ravel()[valid] / 1e6
     median_cell = float(np.median(cell))
     median_wifi = float(np.median(wifi))
     if median_cell <= 0:
@@ -66,7 +67,7 @@ def offload_impact(
     ratio = median_wifi / median_cell
     wifi_share = median_wifi / (median_wifi + median_cell)
     return OffloadImpact(
-        year=dataset.year,
+        year=ctx.dataset().year,
         median_cell_mb=median_cell,
         median_wifi_mb=median_wifi,
         wifi_to_cell_ratio=ratio,

@@ -13,10 +13,10 @@ from typing import Dict
 
 import numpy as np
 
-from repro.constants import SAMPLES_PER_HOUR
+from repro.analysis.context import AnalysisContext, DatasetOrContext
 from repro.errors import AnalysisError
 from repro.stats.timeseries import HourlySeries
-from repro.traces.dataset import CampaignDataset
+from repro.traces.query import hour_of
 from repro.traces.records import WifiStateCode
 
 
@@ -40,8 +40,9 @@ class InterfaceStateRatios:
             raise AnalysisError(f"unknown state key {key!r}") from None
 
 
-def interface_state_ratios(dataset: CampaignDataset) -> InterfaceStateRatios:
+def interface_state_ratios(data: DatasetOrContext) -> InterfaceStateRatios:
     """Compute the Figure 9 ratio series."""
+    dataset = AnalysisContext.of(data).dataset()
     n_hours = dataset.n_days * 24
     start_weekday = dataset.axis.start.weekday()
     os_codes = dataset.device_os()
@@ -53,7 +54,7 @@ def interface_state_ratios(dataset: CampaignDataset) -> InterfaceStateRatios:
         raise AnalysisError("dataset has no devices")
 
     wifi = dataset.wifi
-    hour = wifi.t // SAMPLES_PER_HOUR
+    hour = hour_of(wifi.t)
     is_android = os_codes[wifi.device] == 0
 
     android_series: Dict[str, HourlySeries] = {}

@@ -16,12 +16,12 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.analysis.ap_classification import APClassification, classify_aps
+from repro.analysis.ap_classification import APClassification
 from repro.analysis.ap_density import _lookup_cells
+from repro.analysis.context import AnalysisContext, DatasetOrContext
 from repro.errors import AnalysisError
 from repro.radio.bands import Band
 from repro.radio.channels import cross_channel_interference_fraction
-from repro.traces.dataset import CampaignDataset
 from repro.traces.records import WifiStateCode
 
 
@@ -45,13 +45,15 @@ class InterferenceSummary:
 
 
 def channel_interference(
-    dataset: CampaignDataset,
+    data: DatasetOrContext,
     classification: Optional[APClassification] = None,
     classes: Tuple[str, ...] = ("home", "public"),
 ) -> InterferenceSummary:
     """Compute neighbourhood interference for observed 2.4 GHz APs."""
+    ctx = AnalysisContext.of(data)
+    dataset = ctx.dataset()
     if classification is None:
-        classification = classify_aps(dataset)
+        classification = ctx.classification()
     wifi = dataset.wifi
     assoc = wifi.state == int(WifiStateCode.ASSOCIATED)
     if not assoc.any():
@@ -59,7 +61,7 @@ def channel_interference(
     device = wifi.device[assoc].astype(np.int64)
     t = wifi.t[assoc].astype(np.int64)
     ap_id = wifi.ap_id[assoc].astype(np.int64)
-    cols, rows, found = _lookup_cells(dataset, device, t)
+    cols, rows, found = _lookup_cells(ctx, device, t)
 
     # AP -> the cell it was (first) observed in.
     ap_cell: Dict[int, Tuple[int, int]] = {}

@@ -12,12 +12,12 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.analysis.ap_classification import APClassification, classify_aps
-from repro.constants import SAMPLES_PER_HOUR
+from repro.analysis.ap_classification import APClassification
+from repro.analysis.context import AnalysisContext, DatasetOrContext
 from repro.errors import AnalysisError
 from repro.stats.timeseries import HourlySeries, bytes_to_mbps
-from repro.traces.dataset import CampaignDataset
-from repro.traces.records import IfaceKind, WifiStateCode
+from repro.traces.query import hour_of
+from repro.traces.records import IfaceKind
 
 
 @dataclass(frozen=True)
@@ -38,45 +38,30 @@ class LocationTraffic:
 
 
 def location_traffic(
-    dataset: CampaignDataset,
+    data: DatasetOrContext,
     classification: Optional[APClassification] = None,
 ) -> LocationTraffic:
     """Split WiFi traffic into home/public/office/other hourly series."""
+    ctx = AnalysisContext.of(data)
+    dataset = ctx.dataset()
     if classification is None:
-        classification = classify_aps(dataset)
+        classification = ctx.classification()
 
     # Join traffic slots to the AP associated in the same slot.
-    wifi_obs = dataset.wifi
-    assoc = wifi_obs.state == int(WifiStateCode.ASSOCIATED)
-    n_slots = dataset.n_slots
-    obs_key = (
-        wifi_obs.device[assoc].astype(np.int64) * n_slots
-        + wifi_obs.t[assoc].astype(np.int64)
-    )
-    obs_ap = wifi_obs.ap_id[assoc].astype(np.int64)
-    order = np.argsort(obs_key)
-    obs_key = obs_key[order]
-    obs_ap = obs_ap[order]
+    index, obs_ap = ctx.association_index()
+    if len(index.keys) == 0:
+        raise AnalysisError("no WiFi associations to attribute traffic to")
 
     traffic = dataset.traffic
     wifi_rows = traffic.iface == int(IfaceKind.WIFI)
-    t_key = (
-        traffic.device[wifi_rows].astype(np.int64) * n_slots
-        + traffic.t[wifi_rows].astype(np.int64)
-    )
-    pos = np.searchsorted(obs_key, t_key)
-    pos = np.clip(pos, 0, max(len(obs_key) - 1, 0))
-    found = len(obs_key) > 0 and obs_key[pos] == t_key
-    if isinstance(found, bool):
-        raise AnalysisError("no WiFi associations to attribute traffic to")
-
+    pos, found = index.lookup(traffic.device[wifi_rows], traffic.t[wifi_rows])
     ap_of_row = obs_ap[pos]
     classes = np.array(
         [classification.wifi_class_of(int(a)) for a in ap_of_row], dtype=object
     )
     rx = traffic.rx[wifi_rows]
     tx = traffic.tx[wifi_rows]
-    hour = traffic.t[wifi_rows] // SAMPLES_PER_HOUR
+    hour = hour_of(traffic.t[wifi_rows])
 
     n_hours = dataset.n_days * 24
     start_weekday = dataset.axis.start.weekday()

@@ -15,9 +15,9 @@ from typing import Optional
 
 import numpy as np
 
-from repro.analysis.users import UserDayClasses, classify_user_days
+from repro.analysis.context import AnalysisContext, DatasetOrContext
+from repro.analysis.users import UserDayClasses
 from repro.errors import AnalysisError
-from repro.traces.dataset import CampaignDataset
 from repro.traces.query import device_day_of, distinct_cells_per_device_day
 from repro.traces.records import WifiStateCode
 
@@ -39,12 +39,14 @@ class MobilityStats:
 
 
 def mobility_stats(
-    dataset: CampaignDataset,
+    data: DatasetOrContext,
     classes: Optional[UserDayClasses] = None,
 ) -> MobilityStats:
     """Compute the §3.4.2 mobility/traffic (non-)correlation."""
+    ctx = AnalysisContext.of(data)
+    dataset = ctx.dataset()
     if classes is None:
-        classes = classify_user_days(dataset)
+        classes = ctx.user_classes()
     cells = distinct_cells_per_device_day(dataset)
     volumes = classes.volumes
     valid = classes.valid

@@ -16,11 +16,11 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.analysis.users import UserDayClasses, classify_user_days
-from repro.constants import SAMPLES_PER_DAY, SAMPLES_PER_HOUR
+from repro.analysis.context import AnalysisContext, DatasetOrContext
+from repro.analysis.users import UserDayClasses
 from repro.errors import AnalysisError
 from repro.stats.timeseries import HourlySeries
-from repro.traces.dataset import CampaignDataset
+from repro.traces.query import device_day_of, hour_of
 from repro.traces.records import IfaceKind, WifiStateCode
 
 
@@ -51,26 +51,28 @@ class WifiRatios:
 
 
 def wifi_ratios(
-    dataset: CampaignDataset,
+    data: DatasetOrContext,
     classes: Optional[UserDayClasses] = None,
 ) -> WifiRatios:
     """Compute WiFi-traffic and WiFi-user ratios for all/light/heavy."""
+    ctx = AnalysisContext.of(data)
+    dataset = ctx.dataset()
     if classes is None:
-        classes = classify_user_days(dataset)
+        classes = ctx.user_classes()
     start_weekday = dataset.axis.start.weekday()
     n_hours = dataset.n_days * 24
 
     traffic = dataset.traffic
-    t_hour = traffic.t // SAMPLES_PER_HOUR
-    t_day = traffic.t // SAMPLES_PER_DAY
+    t_hour = hour_of(traffic.t)
+    t_day = device_day_of(traffic.t)
     is_wifi = traffic.iface == int(IfaceKind.WIFI)
     rx = traffic.rx
 
     wifi_tab = dataset.wifi
     assoc = wifi_tab.state == int(WifiStateCode.ASSOCIATED)
     a_dev = wifi_tab.device[assoc]
-    a_hour = wifi_tab.t[assoc] // SAMPLES_PER_HOUR
-    a_day = wifi_tab.t[assoc] // SAMPLES_PER_DAY
+    a_hour = hour_of(wifi_tab.t[assoc])
+    a_day = device_day_of(wifi_tab.t[assoc])
 
     subsets = {
         "all": classes.valid,

@@ -15,9 +15,9 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.analysis.context import AnalysisContext, DatasetOrContext
 from repro.errors import AnalysisError
 from repro.net.identifiers import bssid_prefix, is_public_essid
-from repro.traces.dataset import CampaignDataset
 from repro.traces.records import WifiStateCode
 
 
@@ -53,13 +53,14 @@ class SharedInfrastructure:
 
 
 def shared_infrastructure(
-    dataset: CampaignDataset, include_sightings: bool = True
+    data: DatasetOrContext, include_sightings: bool = True
 ) -> SharedInfrastructure:
     """Find shared multi-provider hardware among observed public APs.
 
     Observed = associated, plus (optionally) scan-sighted APs; detection uses
     only data a passive analyst has: BSSIDs and ESSIDs in the directory.
     """
+    dataset = AnalysisContext.of(data).dataset()
     observed = set()
     wifi = dataset.wifi
     assoc = wifi.state == int(WifiStateCode.ASSOCIATED)

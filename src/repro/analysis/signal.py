@@ -12,7 +12,8 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.analysis.ap_classification import APClassification, classify_aps
+from repro.analysis.ap_classification import APClassification
+from repro.analysis.context import AnalysisContext, DatasetOrContext
 from repro.constants import STRONG_RSSI_DBM
 from repro.errors import AnalysisError
 from repro.radio.bands import Band
@@ -39,14 +40,16 @@ class RssiDistributions:
 
 
 def rssi_distributions(
-    dataset: CampaignDataset,
+    data: DatasetOrContext,
     classification: Optional[APClassification] = None,
     classes: tuple = ("home", "public", "office"),
     weak_threshold: float = STRONG_RSSI_DBM,
 ) -> RssiDistributions:
     """Figure 15: per-AP max RSSI distributions by class (2.4 GHz only)."""
+    ctx = AnalysisContext.of(data)
+    dataset = ctx.dataset()
     if classification is None:
-        classification = classify_aps(dataset)
+        classification = ctx.classification()
     wifi = dataset.wifi
     assoc = wifi.state == int(WifiStateCode.ASSOCIATED)
     if not assoc.any():

@@ -14,11 +14,11 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.analysis.ap_classification import APClassification, classify_aps
-from repro.constants import SAMPLES_PER_DAY
+from repro.analysis.ap_classification import APClassification
+from repro.analysis.context import AnalysisContext, DatasetOrContext
 from repro.errors import AnalysisError
-from repro.traces.dataset import CampaignDataset
-from repro.traces.records import DeviceOS, WifiStateCode
+from repro.traces.query import device_day_of
+from repro.traces.records import DeviceOS
 
 
 @dataclass(frozen=True)
@@ -38,26 +38,30 @@ class UpdateTiming:
     median_delay_days_no_home: float
     #: Updated-without-home devices by the AP class used for the download.
     no_home_update_network: Dict[str, int]
+    #: Size of the iOS panel the CDF denominators are taken over.
+    n_ios: int
 
     def cdf_curve(self) -> "tuple[np.ndarray, np.ndarray]":
         """(days since release, cumulative fraction of the iOS panel)."""
         if self.update_days.size == 0:
             raise AnalysisError("no updates observed")
         days = np.sort(self.update_days)
-        frac = np.arange(1, len(days) + 1) / max(self._n_ios, 1)
+        frac = np.arange(1, len(days) + 1) / max(self.n_ios, 1)
         return days, frac
 
 
 def update_timing(
-    dataset: CampaignDataset,
+    data: DatasetOrContext,
     classification: Optional[APClassification] = None,
 ) -> UpdateTiming:
     """Analyze the campaign's OS update events."""
+    ctx = AnalysisContext.of(data)
+    dataset = ctx.dataset()
     updates = dataset.updates
     if len(updates) == 0:
         raise AnalysisError("campaign has no update events")
     if classification is None:
-        classification = classify_aps(dataset)
+        classification = ctx.classification()
 
     ios_devices = {
         d.device_id for d in dataset.devices if d.os is DeviceOS.IOS
@@ -72,7 +76,7 @@ def update_timing(
     update_day_of: Dict[int, int] = {}
     update_slot_of: Dict[int, int] = {}
     for device, t in zip(updates.device, updates.t):
-        day = int(t) // SAMPLES_PER_DAY
+        day = int(device_day_of(int(t)))
         if int(device) not in update_day_of or day < update_day_of[int(device)]:
             update_day_of[int(device)] = day
             update_slot_of[int(device)] = int(t)
@@ -86,27 +90,22 @@ def update_timing(
     )
 
     network_used: Dict[str, int] = {}
-    wifi = dataset.wifi
-    assoc = wifi.state == int(WifiStateCode.ASSOCIATED)
-    n_slots = dataset.n_slots
-    keys = (
-        wifi.device[assoc].astype(np.int64) * n_slots + wifi.t[assoc].astype(np.int64)
-    )
-    order = np.argsort(keys)
-    keys_sorted = keys[order]
-    aps_sorted = wifi.ap_id[assoc][order]
-    for device in no_home_ios:
-        if device not in update_slot_of:
-            continue
-        want = device * n_slots + update_slot_of[device]
-        pos = int(np.clip(np.searchsorted(keys_sorted, want), 0, len(keys_sorted) - 1))
-        if len(keys_sorted) and keys_sorted[pos] == want:
-            cls = classification.wifi_class_of(int(aps_sorted[pos]))
-        else:
-            cls = "unknown"
-        network_used[cls] = network_used.get(cls, 0) + 1
+    index, aps_sorted = ctx.association_index()
+    lookup_devices = sorted(d for d in no_home_ios if d in update_slot_of)
+    if lookup_devices:
+        devs = np.array(lookup_devices, dtype=np.int64)
+        slots = np.array(
+            [update_slot_of[d] for d in lookup_devices], dtype=np.int64
+        )
+        pos, found = index.lookup(devs, slots)
+        for i in range(len(lookup_devices)):
+            if found[i]:
+                cls = classification.wifi_class_of(int(aps_sorted[pos[i]]))
+            else:
+                cls = "unknown"
+            network_used[cls] = network_used.get(cls, 0) + 1
 
-    result = UpdateTiming(
+    return UpdateTiming(
         year=dataset.year,
         release_day=release_day,
         update_days=all_days,
@@ -121,6 +120,5 @@ def update_timing(
             float(np.median(no_home_days)) if no_home_days.size else float("nan")
         ),
         no_home_update_network=network_used,
+        n_ios=n_ios,
     )
-    object.__setattr__(result, "_n_ios", n_ios)
-    return result

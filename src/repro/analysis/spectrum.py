@@ -13,7 +13,8 @@ from typing import Dict, Optional, Set
 
 import numpy as np
 
-from repro.analysis.ap_classification import APClassification, classify_aps
+from repro.analysis.ap_classification import APClassification
+from repro.analysis.context import AnalysisContext, DatasetOrContext
 from repro.constants import NUM_24GHZ_CHANNELS
 from repro.errors import AnalysisError
 from repro.radio.bands import Band
@@ -43,12 +44,14 @@ class BandFractions:
 
 
 def band_fractions(
-    dataset: CampaignDataset,
+    data: DatasetOrContext,
     classification: Optional[APClassification] = None,
 ) -> BandFractions:
     """Per-class 5 GHz fractions over associated unique APs."""
+    ctx = AnalysisContext.of(data)
+    dataset = ctx.dataset()
     if classification is None:
-        classification = classify_aps(dataset)
+        classification = ctx.classification()
     aps = _associated_aps(dataset)
     if not aps:
         raise AnalysisError("no associated APs")
@@ -96,13 +99,15 @@ class ChannelDistributions:
 
 
 def channel_distributions(
-    dataset: CampaignDataset,
+    data: DatasetOrContext,
     classification: Optional[APClassification] = None,
     classes: tuple = ("home", "public"),
 ) -> ChannelDistributions:
     """Channel PDFs over associated unique 2.4 GHz APs per class."""
+    ctx = AnalysisContext.of(data)
+    dataset = ctx.dataset()
     if classification is None:
-        classification = classify_aps(dataset)
+        classification = ctx.classification()
     aps = _associated_aps(dataset)
     counts = {cls: np.zeros(NUM_24GHZ_CHANNELS) for cls in classes}
     for ap_id in aps:

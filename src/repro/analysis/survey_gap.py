@@ -15,10 +15,10 @@ from typing import Dict, List, Optional, Set
 
 import numpy as np
 
-from repro.analysis.ap_classification import APClassification, classify_aps
+from repro.analysis.ap_classification import APClassification
+from repro.analysis.context import AnalysisContext, DatasetOrContext
 from repro.errors import AnalysisError
 from repro.population.survey import SurveyResponse
-from repro.traces.dataset import CampaignDataset
 from repro.traces.records import WifiStateCode
 
 LOCATION_CLASSES = {"home": ("home",), "office": ("office",), "public": ("public",)}
@@ -45,15 +45,17 @@ class SurveyGap:
 
 
 def survey_gap(
-    dataset: CampaignDataset,
+    data: DatasetOrContext,
     responses: List[SurveyResponse],
     classification: Optional[APClassification] = None,
 ) -> SurveyGap:
     """Compare Table 8 claims against measured association behaviour."""
     if not responses:
         raise AnalysisError("no survey responses")
+    ctx = AnalysisContext.of(data)
+    dataset = ctx.dataset()
     if classification is None:
-        classification = classify_aps(dataset)
+        classification = ctx.classification()
 
     wifi = dataset.wifi
     assoc = wifi.state == int(WifiStateCode.ASSOCIATED)

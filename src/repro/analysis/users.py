@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.context import AnalysisContext, DatasetOrContext
 from repro.constants import (
     HEAVY_PCTL,
     LIGHT_PCTL_HIGH,
@@ -20,7 +21,6 @@ from repro.constants import (
     MIN_DAILY_VOLUME_MB,
 )
 from repro.errors import AnalysisError
-from repro.traces.dataset import CampaignDataset
 
 
 @dataclass(frozen=True)
@@ -49,7 +49,7 @@ class UserDayClasses:
 
 
 def classify_user_days(
-    dataset: CampaignDataset,
+    data: DatasetOrContext,
     light_low: float = LIGHT_PCTL_LOW,
     light_high: float = LIGHT_PCTL_HIGH,
     heavy_pctl: float = HEAVY_PCTL,
@@ -58,7 +58,7 @@ def classify_user_days(
     """Classify every device-day of a campaign by download volume."""
     if not 0 <= light_low < light_high <= 100 or not 0 < heavy_pctl <= 100:
         raise AnalysisError("bad percentile configuration")
-    volumes = dataset.daily_matrix("all", "rx")
+    volumes = AnalysisContext.of(data).daily_matrix("all", "rx")
     valid = volumes >= min_volume_mb * 1e6
     light = np.zeros_like(valid)
     heavy = np.zeros_like(valid)

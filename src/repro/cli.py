@@ -23,9 +23,9 @@ from repro.collection.faults import FaultPlan, OutageWindow
 from repro.engine.executor import resolve_jobs
 from repro.errors import ConfigurationError, ReproError
 from repro.reporting.collection import render_collection_report
+from repro.analysis.context import AnalysisContext
 from repro.reporting.experiments import (
     EXPERIMENTS,
-    AnalysisCache,
     list_experiments,
     run_experiment,
 )
@@ -80,6 +80,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "(from `repro simulate`); simulates if absent")
     analyze.add_argument("--out", type=Path, default=None,
                          help="also write rendered artifacts here")
+    analyze.add_argument("--cache-stats", action="store_true",
+                         help="print per-artifact analysis-cache statistics "
+                              "(hits, misses, compute time, cached bytes) "
+                              "after the experiments")
 
     sub.add_parser("list", help="list available experiments")
 
@@ -186,7 +190,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             names = [n for n in names if n not in _SURVEY_EXPERIMENTS]
     else:
         study = run_study(scale=args.scale, seed=args.seed)
-    cache = AnalysisCache(study)
+    cache = AnalysisContext(study)
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
     for name in names:
@@ -196,6 +200,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         print()
         if args.out is not None:
             (args.out / f"{name}.txt").write_text(text + "\n")
+    if args.cache_stats:
+        print(cache.stats.render())
     return 0
 
 
@@ -203,7 +209,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     from repro.reporting.summary import render_markdown, study_summary
 
     study = run_study(scale=args.scale, seed=args.seed)
-    findings = study_summary(AnalysisCache(study))
+    findings = study_summary(AnalysisContext(study))
     text = render_markdown(
         findings,
         title=f"Study summary (scale {args.scale}, seed {args.seed})",

@@ -14,6 +14,7 @@ from repro.reporting.experiments import (
     Experiment,
     EXPERIMENTS,
     AnalysisCache,
+    AnalysisContext,
     run_experiment,
     list_experiments,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "Experiment",
     "EXPERIMENTS",
     "AnalysisCache",
+    "AnalysisContext",
     "run_experiment",
     "list_experiments",
     "Finding",

@@ -1,7 +1,7 @@
 """Experiment registry: one entry per paper table/figure.
 
-Each experiment takes an :class:`AnalysisCache` (a study plus memoized
-intermediate analyses) and returns a renderable
+Each experiment takes an :class:`~repro.analysis.context.AnalysisContext`
+(a study plus memoized derived artifacts) and returns a renderable
 :class:`~repro.reporting.tables.Table` or
 :class:`~repro.reporting.figures.Figure`. The benchmark harness calls these
 through :func:`run_experiment`.
@@ -16,48 +16,17 @@ import numpy as np
 
 import repro.analysis as A
 from repro.analysis.app_breakdown import CONTEXTS
+from repro.analysis.context import AnalysisContext
 from repro.errors import AnalysisError
 from repro.population.survey import LOCATIONS, REASONS, tabulate_survey
 from repro.reporting.context import national_traffic_growth
 from repro.reporting.figures import Figure
 from repro.reporting.tables import Table
-from repro.simulation.study import Study
-from repro.traces.cleaning import clean_for_main_analysis
-from repro.traces.dataset import CampaignDataset
 
-
-class AnalysisCache:
-    """A study plus memoized per-year analysis intermediates."""
-
-    def __init__(self, study: Study) -> None:
-        if not study.campaigns:
-            raise AnalysisError("study has not been run")
-        self.study = study
-        self._clean: Dict[int, CampaignDataset] = {}
-        self._classification: Dict[int, A.APClassification] = {}
-        self._classes: Dict[int, A.UserDayClasses] = {}
-
-    @property
-    def years(self) -> tuple:
-        return tuple(sorted(self.study.campaigns))
-
-    def raw(self, year: int) -> CampaignDataset:
-        return self.study.dataset(year)
-
-    def clean(self, year: int) -> CampaignDataset:
-        if year not in self._clean:
-            self._clean[year] = clean_for_main_analysis(self.raw(year))
-        return self._clean[year]
-
-    def classification(self, year: int) -> A.APClassification:
-        if year not in self._classification:
-            self._classification[year] = A.classify_aps(self.clean(year))
-        return self._classification[year]
-
-    def user_classes(self, year: int) -> A.UserDayClasses:
-        if year not in self._classes:
-            self._classes[year] = A.classify_user_days(self.clean(year))
-        return self._classes[year]
+#: Deprecated alias, kept for one release. The memoized per-study cache that
+#: used to live here is now the first-class
+#: :class:`repro.analysis.context.AnalysisContext`.
+AnalysisCache = AnalysisContext
 
 
 @dataclass(frozen=True)
@@ -67,9 +36,9 @@ class Experiment:
     experiment_id: str
     paper_item: str
     title: str
-    fn: Callable[[AnalysisCache], object]
+    fn: Callable[[AnalysisContext], object]
 
-    def run(self, cache: AnalysisCache) -> object:
+    def run(self, cache: AnalysisContext) -> object:
         return self.fn(cache)
 
 
@@ -87,7 +56,7 @@ def list_experiments() -> List[Experiment]:
     return [EXPERIMENTS[k] for k in sorted(EXPERIMENTS)]
 
 
-def run_experiment(experiment_id: str, cache: AnalysisCache) -> object:
+def run_experiment(experiment_id: str, cache: AnalysisContext) -> object:
     try:
         experiment = EXPERIMENTS[experiment_id]
     except KeyError:
@@ -103,7 +72,7 @@ def run_experiment(experiment_id: str, cache: AnalysisCache) -> object:
 # ----------------------------------------------------------------------
 
 @_register("table1", "Table 1", "Overview of datasets")
-def table1(cache: AnalysisCache) -> Table:
+def table1(cache: AnalysisContext) -> Table:
     table = Table("Table 1: Overview of datasets",
                   ["year", "duration", "#And", "#iOS", "#total", "%LTE"])
     for year in cache.years:
@@ -116,7 +85,7 @@ def table1(cache: AnalysisCache) -> Table:
 
 
 @_register("table2", "Table 2", "User survey: user demographics")
-def table2(cache: AnalysisCache) -> Table:
+def table2(cache: AnalysisContext) -> Table:
     tabs = {
         year: tabulate_survey(cache.study.surveys[year], year)
         for year in cache.years
@@ -130,8 +99,8 @@ def table2(cache: AnalysisCache) -> Table:
 
 
 @_register("table3", "Table 3", "Daily download volume per user and AGR")
-def table3(cache: AnalysisCache) -> Table:
-    datasets = [cache.clean(y) for y in cache.years]
+def table3(cache: AnalysisContext) -> Table:
+    datasets = [cache.campaign(y) for y in cache.years]
     growth = A.volume_growth_table(datasets)
     table = Table(
         "Table 3: Daily download traffic volume per user (MB/day) and AGR",
@@ -150,7 +119,7 @@ def table3(cache: AnalysisCache) -> Table:
 
 
 @_register("table4", "Table 4", "Number of estimated APs")
-def table4(cache: AnalysisCache) -> Table:
+def table4(cache: AnalysisContext) -> Table:
     table = Table("Table 4: Number of estimated APs",
                   ["type"] + [str(y) for y in cache.years])
     counts = {y: cache.classification(y).counts() for y in cache.years}
@@ -161,14 +130,13 @@ def table4(cache: AnalysisCache) -> Table:
 
 
 @_register("table5", "Table 5", "Breakdown of associated APs (HPO)")
-def table5(cache: AnalysisCache) -> Table:
+def table5(cache: AnalysisContext) -> Table:
     table = Table(
         "Table 5: Breakdown of number of associated APs (home/public/other)",
         ["HPO"] + [str(y) for y in cache.years],
     )
     breakdowns = {
-        y: A.hpo_breakdown(cache.clean(y), cache.classification(y))
-        for y in cache.years
+        y: A.hpo_breakdown(cache.campaign(y)) for y in cache.years
     }
     combos = sorted(
         {c for b in breakdowns.values() for c in b.combos},
@@ -183,12 +151,10 @@ def table5(cache: AnalysisCache) -> Table:
     return table
 
 
-def _app_table(cache: AnalysisCache, direction: str, title: str) -> Table:
+def _app_table(cache: AnalysisContext, direction: str, title: str) -> Table:
     table = Table(title, ["year", "context", "rank", "category", "%"])
     for year in cache.years:
-        breakdown = A.app_breakdown(
-            cache.clean(year), cache.classification(year)
-        )
+        breakdown = A.app_breakdown(cache.campaign(year))
         for context in CONTEXTS:
             for rank, (name, pct) in enumerate(
                 breakdown.top(context, n=5, direction=direction), start=1
@@ -201,17 +167,17 @@ def _app_table(cache: AnalysisCache, direction: str, title: str) -> Table:
 
 
 @_register("table6", "Table 6", "Top app categories by RX volume")
-def table6(cache: AnalysisCache) -> Table:
+def table6(cache: AnalysisContext) -> Table:
     return _app_table(cache, "rx", "Table 6: Top application categories (RX)")
 
 
 @_register("table7", "Table 7", "Top app categories by TX volume")
-def table7(cache: AnalysisCache) -> Table:
+def table7(cache: AnalysisContext) -> Table:
     return _app_table(cache, "tx", "Table 7: Top application categories (TX)")
 
 
 @_register("table8", "Table 8", "Survey: associated WiFi APs by location")
-def table8(cache: AnalysisCache) -> Table:
+def table8(cache: AnalysisContext) -> Table:
     table = Table(
         "Table 8: Survey - associated WiFi APs during measurements (%)",
         ["location", "answer"] + [str(y) for y in cache.years],
@@ -230,7 +196,7 @@ def table8(cache: AnalysisCache) -> Table:
 
 
 @_register("table9", "Table 9", "Survey: reasons for unavailability of WiFi")
-def table9(cache: AnalysisCache) -> Table:
+def table9(cache: AnalysisContext) -> Table:
     table = Table(
         "Table 9: Survey - reasons for unavailability of WiFi APs (%)",
         ["reason", "location"] + [str(y) for y in cache.years],
@@ -253,7 +219,7 @@ def table9(cache: AnalysisCache) -> Table:
 # ----------------------------------------------------------------------
 
 @_register("fig01", "Figure 1", "National RBB vs cellular traffic growth")
-def fig01(cache: AnalysisCache) -> Figure:
+def fig01(cache: AnalysisContext) -> Figure:
     figure = Figure("Figure 1", "Growth in residential broadband and cellular traffic")
     national = national_traffic_growth()
     years = sorted(national)
@@ -266,9 +232,9 @@ def fig01(cache: AnalysisCache) -> Figure:
 
 
 @_register("fig02", "Figure 2", "Aggregated traffic volume")
-def fig02(cache: AnalysisCache) -> Figure:
+def fig02(cache: AnalysisContext) -> Figure:
     year = max(cache.years)
-    agg = A.aggregate_traffic(cache.clean(year))
+    agg = A.aggregate_traffic(cache.campaign(year))
     figure = Figure("Figure 2", f"Aggregated traffic volume, {year} (Mbps, Sat->Sat)")
     hours = np.arange(168)
     for key in ("cellular_tx", "cellular_rx", "wifi_tx", "wifi_rx"):
@@ -277,19 +243,19 @@ def fig02(cache: AnalysisCache) -> Figure:
 
 
 @_register("fig03", "Figure 3", "CDFs of daily total traffic volume per user")
-def fig03(cache: AnalysisCache) -> Figure:
+def fig03(cache: AnalysisContext) -> Figure:
     figure = Figure("Figure 3", "CDFs of daily total traffic per user (MB)")
     for year in cache.years:
-        dist = A.daily_volume_distributions(cache.clean(year))
+        dist = A.daily_volume_distributions(cache.campaign(year))
         figure.add(f"RX {year}", dist.total_rx.values, dist.total_rx.probs)
         figure.add(f"TX {year}", dist.total_tx.values, dist.total_tx.probs)
     return figure
 
 
 @_register("fig04", "Figure 4", "CDFs of daily traffic volume per type")
-def fig04(cache: AnalysisCache) -> Figure:
+def fig04(cache: AnalysisContext) -> Figure:
     year = max(cache.years)
-    dist = A.daily_volume_distributions(cache.clean(year))
+    dist = A.daily_volume_distributions(cache.campaign(year))
     figure = Figure("Figure 4", f"CDFs of daily traffic per type, {year} (MB)")
     for key in ("wifi_rx", "wifi_tx", "cell_rx", "cell_tx"):
         cdf = dist.cdf_by_type[key]
@@ -298,13 +264,13 @@ def fig04(cache: AnalysisCache) -> Figure:
 
 
 @_register("fig05", "Figure 5", "Daily traffic volume per user (heat map)")
-def fig05(cache: AnalysisCache) -> Table:
+def fig05(cache: AnalysisContext) -> Table:
     table = Table(
         "Figure 5: cellular vs WiFi user types (fractions of device-days)",
         ["year", "cellular-intensive", "wifi-intensive", "mixed", "mixed above diag"],
     )
     for year in cache.years:
-        hm = A.wifi_cell_heatmap(cache.clean(year))
+        hm = A.wifi_cell_heatmap(cache.campaign(year))
         table.add_row(
             year, hm.cellular_intensive_fraction, hm.wifi_intensive_fraction,
             hm.mixed_fraction, hm.mixed_above_diagonal_fraction,
@@ -313,21 +279,21 @@ def fig05(cache: AnalysisCache) -> Table:
 
 
 @_register("fig06", "Figure 6", "WiFi-traffic ratio and WiFi-user ratio")
-def fig06(cache: AnalysisCache) -> Figure:
+def fig06(cache: AnalysisContext) -> Figure:
     figure = Figure("Figure 6", "WiFi-traffic ratio (a) and WiFi-user ratio (b)")
     hours = np.arange(168)
     for year in (min(cache.years), max(cache.years)):
-        ratios = A.wifi_ratios(cache.clean(year), cache.user_classes(year))
+        ratios = A.wifi_ratios(cache.campaign(year))
         figure.add(f"traffic-ratio {year}", hours, ratios.traffic("all").folded_week())
         figure.add(f"user-ratio {year}", hours, ratios.users("all").folded_week())
     return figure
 
 
-def _subset_ratio_figure(cache: AnalysisCache, which: str, caption: str) -> Figure:
+def _subset_ratio_figure(cache: AnalysisContext, which: str, caption: str) -> Figure:
     figure = Figure(caption.split(":")[0], caption)
     hours = np.arange(168)
     for year in (min(cache.years), max(cache.years)):
-        ratios = A.wifi_ratios(cache.clean(year), cache.user_classes(year))
+        ratios = A.wifi_ratios(cache.campaign(year))
         for subset in ("heavy", "light"):
             series = (
                 ratios.traffic(subset) if which == "traffic" else ratios.users(subset)
@@ -337,27 +303,27 @@ def _subset_ratio_figure(cache: AnalysisCache, which: str, caption: str) -> Figu
 
 
 @_register("fig07", "Figure 7", "WiFi-traffic ratio of heavy/light users")
-def fig07(cache: AnalysisCache) -> Figure:
+def fig07(cache: AnalysisContext) -> Figure:
     return _subset_ratio_figure(
         cache, "traffic", "Figure 7: WiFi-traffic ratio, heavy vs light"
     )
 
 
 @_register("fig08", "Figure 8", "WiFi-user ratio of heavy/light users")
-def fig08(cache: AnalysisCache) -> Figure:
+def fig08(cache: AnalysisContext) -> Figure:
     return _subset_ratio_figure(
         cache, "users", "Figure 8: WiFi-user ratio, heavy vs light"
     )
 
 
 @_register("fig09", "Figure 9", "Android WiFi interface states and iOS")
-def fig09(cache: AnalysisCache) -> Figure:
+def fig09(cache: AnalysisContext) -> Figure:
     figure = Figure(
         "Figure 9", "Ratio of users: Android states (a)(b) and iOS (c)"
     )
     hours = np.arange(168)
     for year in (min(cache.years), max(cache.years)):
-        ratios = A.interface_state_ratios(cache.clean(year))
+        ratios = A.interface_state_ratios(cache.campaign(year))
         for key in ("wifi_user", "wifi_off", "wifi_available"):
             figure.add(f"android {key} {year}", hours, ratios.folded(key))
         figure.add(f"ios wifi_user {year}", hours, ratios.folded("ios"))
@@ -365,15 +331,13 @@ def fig09(cache: AnalysisCache) -> Figure:
 
 
 @_register("fig10", "Figure 10", "Associated AP density per 5km cell")
-def fig10(cache: AnalysisCache) -> Table:
+def fig10(cache: AnalysisContext) -> Table:
     table = Table(
         "Figure 10: associated unique APs per 5km cell",
         ["year", "class", "cells>=1", "cells>=10", "cells with >=100", "max cell"],
     )
     for year in (min(cache.years), max(cache.years)):
-        maps = A.association_density_maps(
-            cache.clean(year), cache.classification(year)
-        )
+        maps = A.association_density_maps(cache.campaign(year))
         for cls in ("home", "public"):
             grid = maps.grid(cls)
             table.add_row(
@@ -385,24 +349,24 @@ def fig10(cache: AnalysisCache) -> Table:
 
 
 @_register("fig11", "Figure 11", "WiFi traffic volume by location")
-def fig11(cache: AnalysisCache) -> Figure:
+def fig11(cache: AnalysisContext) -> Figure:
     figure = Figure("Figure 11", "WiFi traffic by location class (Mbps, Sat->Sat)")
     hours = np.arange(168)
     for year in (min(cache.years), max(cache.years)):
-        lt = A.location_traffic(cache.clean(year), cache.classification(year))
+        lt = A.location_traffic(cache.campaign(year))
         for cls in ("home", "public", "office"):
             figure.add(f"{cls} rx {year}", hours, lt.folded_week(f"{cls}_rx"))
     return figure
 
 
 @_register("fig12", "Figure 12", "Number of associated APs per day")
-def fig12(cache: AnalysisCache) -> Table:
+def fig12(cache: AnalysisContext) -> Table:
     table = Table(
         "Figure 12: associated APs per device-day (%)",
         ["year", "subset", "1", "2", "3", "4+"],
     )
     for year in cache.years:
-        result = A.aps_per_day(cache.clean(year), cache.user_classes(year))
+        result = A.aps_per_day(cache.campaign(year))
         for subset in ("all", "heavy", "light"):
             table.add_row(
                 year, subset,
@@ -412,12 +376,10 @@ def fig12(cache: AnalysisCache) -> Table:
 
 
 @_register("fig13", "Figure 13", "CCDFs of WiFi association duration")
-def fig13(cache: AnalysisCache) -> Figure:
+def fig13(cache: AnalysisContext) -> Figure:
     figure = Figure("Figure 13", "CCDF of consecutive association time (hours)")
     for year in (min(cache.years), max(cache.years)):
-        durations = A.association_durations(
-            cache.clean(year), cache.classification(year)
-        )
+        durations = A.association_durations(cache.campaign(year))
         for cls in ("home", "office", "public"):
             if cls not in durations.ccdf_by_class:
                 continue
@@ -427,14 +389,13 @@ def fig13(cache: AnalysisCache) -> Figure:
 
 
 @_register("fig14", "Figure 14", "Fraction of associated unique 5GHz APs")
-def fig14(cache: AnalysisCache) -> Table:
+def fig14(cache: AnalysisContext) -> Table:
     table = Table(
         "Figure 14: fraction of associated unique 5GHz APs",
         ["class"] + [str(y) for y in cache.years],
     )
     fractions = {
-        y: A.band_fractions(cache.clean(y), cache.classification(y))
-        for y in cache.years
+        y: A.band_fractions(cache.campaign(y)) for y in cache.years
     }
     for cls in ("home", "office", "public"):
         table.add_row(cls, *[fractions[y].fraction(cls) for y in cache.years])
@@ -442,9 +403,9 @@ def fig14(cache: AnalysisCache) -> Table:
 
 
 @_register("fig15", "Figure 15", "PDFs of WiFi RSSI for associated APs")
-def fig15(cache: AnalysisCache) -> Figure:
+def fig15(cache: AnalysisContext) -> Figure:
     year = max(cache.years)
-    dist = A.rssi_distributions(cache.clean(year), cache.classification(year))
+    dist = A.rssi_distributions(cache.campaign(year))
     figure = Figure("Figure 15", f"PDFs of max RSSI per associated AP, {year}")
     for cls in ("home", "public"):
         centers, density = dist.pdf(cls)
@@ -453,11 +414,11 @@ def fig15(cache: AnalysisCache) -> Figure:
 
 
 @_register("fig16", "Figure 16", "Associated 2.4GHz channels")
-def fig16(cache: AnalysisCache) -> Figure:
+def fig16(cache: AnalysisContext) -> Figure:
     figure = Figure("Figure 16", "PDF of associated 2.4GHz channels")
     channels = np.arange(1, 14)
     for year in (min(cache.years), max(cache.years)):
-        dist = A.channel_distributions(cache.clean(year), cache.classification(year))
+        dist = A.channel_distributions(cache.campaign(year))
         for cls in ("home", "public"):
             if cls in dist.pdf:
                 figure.add(f"{cls} {year}", channels, dist.pdf[cls])
@@ -465,9 +426,9 @@ def fig16(cache: AnalysisCache) -> Figure:
 
 
 @_register("fig17", "Figure 17", "CCDFs of detected public WiFi networks")
-def fig17(cache: AnalysisCache) -> Figure:
+def fig17(cache: AnalysisContext) -> Figure:
     year = max(cache.years)
-    availability = A.public_availability(cache.clean(year))
+    availability = A.public_availability(cache.campaign(year))
     figure = Figure(
         "Figure 17",
         f"CCDF of detected public networks per available device/10min, {year}",
@@ -479,7 +440,7 @@ def fig17(cache: AnalysisCache) -> Figure:
 
 
 @_register("fig18", "Figure 18", "Software update timing")
-def fig18(cache: AnalysisCache) -> Figure:
+def fig18(cache: AnalysisContext) -> Figure:
     year = max(cache.years)
     timing = A.update_timing(cache.raw(year), cache.classification(year))
     figure = Figure("Figure 18", f"iOS update timing, {year}")
@@ -495,14 +456,14 @@ def fig18(cache: AnalysisCache) -> Figure:
 
 
 @_register("fig19", "Figure 19", "Effect of soft bandwidth cap")
-def fig19(cache: AnalysisCache) -> Figure:
+def fig19(cache: AnalysisContext) -> Figure:
     figure = Figure(
         "Figure 19", "CDF of daily cellular RX / previous-3-day mean"
     )
     for year in cache.years:
         if year == min(cache.years):
             continue  # the paper shows 2014 and 2015
-        effect = A.cap_effect(cache.clean(year))
+        effect = A.cap_effect(cache.campaign(year))
         figure.add(
             f"potentially capped {year}",
             effect.capped_ratio_cdf.values, effect.capped_ratio_cdf.probs,
@@ -519,13 +480,13 @@ def fig19(cache: AnalysisCache) -> Figure:
 # ----------------------------------------------------------------------
 
 @_register("sec35", "Section 3.5", "Offloadable cellular traffic")
-def sec35(cache: AnalysisCache) -> Table:
+def sec35(cache: AnalysisContext) -> Table:
     table = Table(
         "Section 3.5: public-WiFi offload potential for WiFi-available users",
         ["year", "devices w/ opportunity", "offloadable fraction"],
     )
     for year in cache.years:
-        estimate = A.offload_estimate(cache.clean(year))
+        estimate = A.offload_estimate(cache.campaign(year))
         table.add_row(
             year, estimate.devices_with_opportunity, estimate.offloadable_fraction
         )
@@ -533,14 +494,14 @@ def sec35(cache: AnalysisCache) -> Table:
 
 
 @_register("sec41", "Section 4.1", "Impact of home WiFi offload")
-def sec41(cache: AnalysisCache) -> Table:
+def sec41(cache: AnalysisContext) -> Table:
     table = Table(
         "Section 4.1: offload impact estimates",
         ["year", "median cell MB", "median wifi MB", "wifi:cell",
          "offload share of broadband", "share of home broadband"],
     )
     for year in cache.years:
-        impact = A.offload_impact(cache.clean(year))
+        impact = A.offload_impact(cache.campaign(year))
         table.add_row(
             year, impact.median_cell_mb, impact.median_wifi_mb,
             impact.wifi_to_cell_ratio, impact.offload_share_of_broadband,

@@ -13,7 +13,7 @@ from typing import List, Optional
 
 import repro.analysis as A
 from repro.errors import AnalysisError
-from repro.reporting.experiments import AnalysisCache
+from repro.analysis.context import AnalysisContext
 
 
 @dataclass(frozen=True)
@@ -33,7 +33,7 @@ class Finding:
         return "ok" if self.holds else "CHECK"
 
 
-def study_summary(cache: AnalysisCache) -> List[Finding]:
+def study_summary(cache: AnalysisContext) -> List[Finding]:
     """Compute every headline finding for a finished study."""
     if len(cache.years) < 2:
         raise AnalysisError("summary needs at least two campaign years")
@@ -43,7 +43,7 @@ def study_summary(cache: AnalysisCache) -> List[Finding]:
     def add(section, claim, paper, measured, holds=None):
         findings.append(Finding(section, claim, paper, measured, holds))
 
-    agg = {y: A.aggregate_traffic(cache.clean(y)) for y in cache.years}
+    agg = {y: A.aggregate_traffic(cache.campaign(y)) for y in cache.years}
     add(
         "§3.1", "WiFi share of total volume grows", "59% -> 67%",
         f"{agg[first].wifi_share:.0%} -> {agg[last].wifi_share:.0%}",
@@ -55,8 +55,8 @@ def study_summary(cache: AnalysisCache) -> List[Finding]:
         f"{agg[last].lte_share_of_cellular:.0%}",
         agg[last].lte_share_of_cellular > agg[first].lte_share_of_cellular,
     )
-    wk_cell = A.weekend_weekday_ratio(cache.clean(last), "cell")
-    wk_wifi = A.weekend_weekday_ratio(cache.clean(last), "wifi")
+    wk_cell = A.weekend_weekday_ratio(cache.campaign(last), "cell")
+    wk_wifi = A.weekend_weekday_ratio(cache.campaign(last), "wifi")
     add(
         "§3.1", "Weekends: cellular down, WiFi up",
         "opposite weekend directions",
@@ -64,7 +64,7 @@ def study_summary(cache: AnalysisCache) -> List[Finding]:
         wk_wifi > wk_cell,
     )
 
-    growth = A.volume_growth_table([cache.clean(y) for y in cache.years])
+    growth = A.volume_growth_table([cache.campaign(y) for y in cache.years])
     add(
         "§3.2", "Median WiFi overtakes median cellular",
         "9.2<19.5 (2013) -> 50.7>35.6 (2015)",
@@ -84,7 +84,7 @@ def study_summary(cache: AnalysisCache) -> List[Finding]:
         growth.agr_median["wifi"] > growth.agr_median["cell"],
     )
 
-    heat = {y: A.wifi_cell_heatmap(cache.clean(y)) for y in (first, last)}
+    heat = {y: A.wifi_cell_heatmap(cache.campaign(y)) for y in (first, last)}
     add(
         "§3.3.1", "Cellular-intensive user-days shrink", "35% -> 22%",
         f"{heat[first].cellular_intensive_fraction:.0%} -> "
@@ -99,10 +99,7 @@ def study_summary(cache: AnalysisCache) -> List[Finding]:
         heat[last].wifi_intensive_fraction < 0.2,
     )
 
-    ratios = {
-        y: A.wifi_ratios(cache.clean(y), cache.user_classes(y))
-        for y in (first, last)
-    }
+    ratios = {y: A.wifi_ratios(cache.campaign(y)) for y in (first, last)}
     add(
         "§3.3.2", "Mean WiFi-traffic ratio grows", "0.58 -> 0.71",
         f"{ratios[first].traffic('all').mean:.2f} -> "
@@ -117,7 +114,7 @@ def study_summary(cache: AnalysisCache) -> List[Finding]:
         ratios[last].traffic("heavy").mean > ratios[last].traffic("light").mean,
     )
 
-    states = {y: A.interface_state_ratios(cache.clean(y)) for y in (first, last)}
+    states = {y: A.interface_state_ratios(cache.campaign(y)) for y in (first, last)}
     add(
         "§3.3.4", "Android WiFi-off share declines", "50% -> 40% (daytime)",
         f"{states[first].android_means['wifi_off']:.0%} -> "
@@ -148,20 +145,20 @@ def study_summary(cache: AnalysisCache) -> List[Finding]:
         f"{home_frac[first]:.0%} -> {home_frac[last]:.0%}",
         home_frac[last] > home_frac[first],
     )
-    location = A.location_traffic(cache.clean(last), cache.classification(last))
+    location = A.location_traffic(cache.campaign(last))
     add(
         "§3.4.1", "Home carries almost all WiFi volume", "95%",
         f"{location.volume_share['home']:.0%}",
         location.volume_share["home"] > 0.8,
     )
 
-    bands = A.band_fractions(cache.clean(last), cache.classification(last))
+    bands = A.band_fractions(cache.campaign(last))
     add(
         "§3.4.3", "Public 5GHz rollout outpaces home", ">50% vs <20% (2015)",
         f"{bands.fraction('public'):.0%} vs {bands.fraction('home'):.0%}",
         bands.fraction("public") > bands.fraction("home"),
     )
-    rssi = A.rssi_distributions(cache.clean(last), cache.classification(last))
+    rssi = A.rssi_distributions(cache.campaign(last))
     add(
         "§3.4.4", "Public RSSI weaker, ~12% below -70 dBm",
         "-60 dBm mean, 12% weak",
@@ -169,7 +166,7 @@ def study_summary(cache: AnalysisCache) -> List[Finding]:
         rssi.mean["public"] < rssi.mean["home"],
     )
 
-    estimate = A.offload_estimate(cache.clean(last))
+    estimate = A.offload_estimate(cache.campaign(last))
     add(
         "§3.5", "Offloadable cellular share for available users", "15-20%",
         f"{estimate.offloadable_fraction:.0%}",
@@ -194,8 +191,8 @@ def study_summary(cache: AnalysisCache) -> List[Finding]:
 
     if first != last and (last - 1) in cache.years:
         try:
-            gap_prev = A.cap_effect(cache.clean(last - 1)).median_gap()
-            gap_last = A.cap_effect(cache.clean(last)).median_gap()
+            gap_prev = A.cap_effect(cache.campaign(last - 1)).median_gap()
+            gap_last = A.cap_effect(cache.campaign(last)).median_gap()
             add(
                 "§3.8", "Cap gap narrows after the 2015 relaxation",
                 "0.29 -> 0.15",
@@ -206,7 +203,7 @@ def study_summary(cache: AnalysisCache) -> List[Finding]:
             add("§3.8", "Soft-cap effect", "gap 0.29 -> 0.15",
                 "too few capped device-days at this scale", None)
 
-    impact = A.offload_impact(cache.clean(last))
+    impact = A.offload_impact(cache.campaign(last))
     add(
         "§4.1", "One smartphone's share of home broadband", "12%",
         f"{impact.smartphone_share_of_home_broadband:.0%}",

@@ -17,7 +17,7 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.constants import SAMPLES_PER_DAY
+from repro.constants import SAMPLES_PER_DAY, SAMPLES_PER_HOUR
 from repro.errors import DatasetError, SchemaError
 from repro.net.accesspoint import APType
 from repro.timeutil import TimeAxis
@@ -170,7 +170,7 @@ class CampaignDataset:
         """Total bytes per hour of the campaign (length ``n_days * 24``)."""
         mask = self._iface_mask(kind)
         values = self._direction_column(direction)[mask]
-        hour = self.traffic.t[mask] // 6
+        hour = self.traffic.t[mask] // SAMPLES_PER_HOUR
         out = np.zeros(self.n_days * 24)
         np.add.at(out, hour, values)
         return out

@@ -13,7 +13,7 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.constants import SAMPLES_PER_DAY
+from repro.constants import SAMPLES_PER_DAY, SAMPLES_PER_HOUR
 from repro.errors import AnalysisError
 from repro.traces.dataset import CampaignDataset
 from repro.traces.records import WifiStateCode
@@ -76,6 +76,16 @@ def association_index(dataset: CampaignDataset) -> Tuple[SlotIndex, np.ndarray]:
 def device_day_of(t: np.ndarray) -> np.ndarray:
     """Campaign-day index for slot column ``t``."""
     return t // SAMPLES_PER_DAY
+
+
+def hour_of(t: np.ndarray) -> np.ndarray:
+    """Absolute campaign-hour index (0..n_days*24-1) for slot column ``t``."""
+    return t // SAMPLES_PER_HOUR
+
+
+def hour_of_day(t: np.ndarray) -> np.ndarray:
+    """Hour of day (0..23) for slot column ``t``."""
+    return (t % SAMPLES_PER_DAY) // SAMPLES_PER_HOUR
 
 
 def distinct_cells_per_device_day(dataset: CampaignDataset) -> np.ndarray:

@@ -30,7 +30,6 @@ from repro.simulation.campaign import CampaignConfig, run_campaign
 from repro.simulation.cap import SoftCapPolicy
 from repro.simulation.study import default_campaign_config
 from repro.traces.cleaning import clean_for_main_analysis
-from repro.traces.dataset import CampaignDataset
 
 ConfigTransform = Callable[[CampaignConfig], CampaignConfig]
 
@@ -128,19 +127,19 @@ class ScenarioMetrics:
     offloadable_fraction: float
 
     @classmethod
-    def measure(cls, dataset: CampaignDataset) -> "ScenarioMetrics":
+    def measure(cls, data: "analysis.DatasetOrContext") -> "ScenarioMetrics":
         import numpy as np
 
-        agg = analysis.aggregate_traffic(dataset)
-        heat = analysis.wifi_cell_heatmap(dataset)
-        classification = analysis.classify_aps(dataset)
-        location = analysis.location_traffic(dataset, classification)
-        rx_all = dataset.daily_matrix("all", "rx").ravel()
+        ctx = analysis.AnalysisContext.of(data)
+        agg = analysis.aggregate_traffic(ctx)
+        heat = analysis.wifi_cell_heatmap(ctx)
+        location = analysis.location_traffic(ctx)
+        rx_all = ctx.daily_matrix("all", "rx").ravel()
         valid = rx_all >= 0.1e6
-        wifi = dataset.daily_matrix("wifi", "rx").ravel()[valid]
-        cell = dataset.daily_matrix("cell", "rx").ravel()[valid]
+        wifi = ctx.daily_matrix("wifi", "rx").ravel()[valid]
+        cell = ctx.daily_matrix("cell", "rx").ravel()[valid]
         try:
-            offloadable = analysis.offload_estimate(dataset).offloadable_fraction
+            offloadable = analysis.offload_estimate(ctx).offloadable_fraction
         except AnalysisError:
             offloadable = float("nan")
         return cls(

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import AnalysisCache, clean_for_main_analysis, run_study
+from repro import AnalysisContext, clean_for_main_analysis, run_study
 
 
 @pytest.fixture(scope="session")
@@ -16,7 +16,7 @@ def study():
 
 @pytest.fixture(scope="session")
 def cache(study):
-    return AnalysisCache(study)
+    return AnalysisContext(study)
 
 
 @pytest.fixture(scope="session")

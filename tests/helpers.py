@@ -11,7 +11,7 @@ from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
-from repro.constants import SAMPLES_PER_DAY
+from repro.constants import SAMPLES_PER_DAY, SAMPLES_PER_HOUR
 from repro.net.cellular import CellularTechnology
 from repro.radio.bands import Band
 from repro.timeutil import TimeAxis
@@ -69,7 +69,12 @@ def add_ap(
 
 def slot(day: int, hour: int, minute: int = 0) -> int:
     """Slot index for day/hour/minute."""
-    return day * SAMPLES_PER_DAY + hour * 6 + minute // 10
+    minutes_per_sample = 60 // SAMPLES_PER_HOUR
+    return (
+        day * SAMPLES_PER_DAY
+        + hour * SAMPLES_PER_HOUR
+        + minute // minutes_per_sample
+    )
 
 
 def add_association_span(

@@ -1,0 +1,52 @@
+"""Layering guard: analysis modules must go through the AnalysisContext.
+
+Only ``repro.analysis.context`` may call the expensive derivation entry
+points directly (cleaning, user-day classification, AP classification);
+every other analysis module gets them memoized from the context. A direct
+call re-introduces the scattered ``classification=None`` recompute
+fallbacks this layer removed, so the guard greps the source tree.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+ANALYSIS_DIR = (
+    Path(__file__).resolve().parents[1] / "src" / "repro" / "analysis"
+)
+
+#: Callables only context.py may invoke directly.
+GUARDED_CALLS = re.compile(
+    r"\b(clean_for_main_analysis|classify_user_days|classify_aps)\("
+)
+
+
+def _violations():
+    found = []
+    for path in sorted(ANALYSIS_DIR.glob("*.py")):
+        if path.name == "context.py":
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            stripped = line.strip()
+            if stripped.startswith(("def ", "#", '"', "'")):
+                continue
+            if GUARDED_CALLS.search(line):
+                found.append(f"{path.name}:{lineno}: {stripped}")
+    return found
+
+
+def test_analysis_modules_use_the_context():
+    violations = _violations()
+    assert not violations, (
+        "direct derivation calls outside context.py (use "
+        "AnalysisContext.user_classes()/.classification()/.clean()):\n"
+        + "\n".join(violations)
+    )
+
+
+def test_guard_sees_the_allowed_calls_in_context():
+    # Sanity-check the regex: context.py itself does make these calls, so
+    # an empty violation list above means the guard is looking correctly.
+    text = (ANALYSIS_DIR / "context.py").read_text()
+    assert GUARDED_CALLS.search(text)

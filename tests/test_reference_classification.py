@@ -16,6 +16,7 @@ from repro.analysis.ap_classification import (
     _infer_home_aps,
     _infer_mobile_aps,
 )
+from repro.analysis.context import AnalysisContext
 from repro.constants import SAMPLES_PER_DAY, SAMPLES_PER_HOUR
 from repro.traces.records import WifiStateCode
 
@@ -74,6 +75,6 @@ def test_mobile_inference_matches_reference(dataset2015):
     device = wifi.device[assoc].astype(np.int64)
     t = wifi.t[assoc].astype(np.int64)
     ap_id = wifi.ap_id[assoc].astype(np.int64)
-    fast = _infer_mobile_aps(dataset2015, device, t, ap_id)
+    fast = _infer_mobile_aps(AnalysisContext.of(dataset2015), device, t, ap_id)
     slow = _reference_mobile(dataset2015, device, t, ap_id)
     assert fast == slow
