@@ -29,7 +29,7 @@ from repro.simulation.cap import SoftCapPolicy
 from repro.simulation.study import default_campaign_config
 from repro.traces.cleaning import clean_for_main_analysis
 
-from .conftest import bench_scale, save_output
+from .harness import bench_scale, save_output
 
 _SCALE = min(bench_scale(), 0.08)
 

@@ -8,6 +8,11 @@ one shared context the way the CLI and the test suite do. Results land in
 :class:`CacheStats` of the warm context so the hit rates that produce the
 speedup are visible next to the wall times.
 
+Timing goes through :func:`repro.obs.bench.best_of` — the same
+warmup/repeat primitive behind ``python -m repro bench``, which also runs
+these sweeps as the ``context_cold_sweep``/``context_warm_sweep`` cases.
+This standalone entry point exists to refresh the committed baseline.
+
 Run standalone (pytest collects this file but it defines no tests)::
 
     PYTHONPATH=src python benchmarks/bench_context.py [--scale S] [--out PATH]
@@ -18,10 +23,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
 
 from repro import AnalysisContext, run_study
+from repro.obs.bench import best_of
 from repro.reporting.experiments import list_experiments, run_experiment
 
 SCALE = 0.08
@@ -33,19 +38,18 @@ DEFAULT_OUT = Path(__file__).resolve().parents[1] / "BENCH_context.json"
 
 def _time_sweep(study, shared: bool) -> tuple:
     """Best-of-``REPEATS`` wall time for one full experiment sweep."""
-    best = float("inf")
-    stats = None
-    for _ in range(REPEATS):
-        context = AnalysisContext(study) if shared else None
-        start = time.perf_counter()
+
+    def sweep(context=None):
         for experiment in list_experiments():
             cache = context if shared else AnalysisContext(study)
             run_experiment(experiment.experiment_id, cache)
-        elapsed = time.perf_counter() - start
-        if elapsed < best:
-            best = elapsed
-            stats = context.stats if shared else None
-    return best, stats
+        return context.stats if shared else None
+
+    timing = best_of(
+        sweep, repeat=REPEATS, warmup=0,
+        setup=(lambda: AnalysisContext(study)) if shared else None,
+    )
+    return timing.best_s, timing.best_result
 
 
 def run_benchmark(scale: float, seed: int) -> dict:

@@ -4,7 +4,9 @@ Times ``run_campaign`` through the sharded execution engine at two panel
 scales, once on the :class:`SerialExecutor` and once on the process-pool
 :class:`ParallelExecutor`, and records the results in ``BENCH_engine.json``
 at the repository root — the first data point of the engine's performance
-trajectory. The world cache is cleared before every timed run so each
+trajectory. The world cache is cleared before every timed run (the
+``setup`` hook of :func:`repro.obs.bench.best_of`, the shared
+warmup/repeat primitive behind ``python -m repro bench``) so each
 measurement pays the full plan → execute → merge cost.
 
 Run standalone (pytest collects this file but it defines no tests)::
@@ -21,9 +23,9 @@ import argparse
 import json
 import os
 import sys
-import time
 from pathlib import Path
 
+from repro.obs.bench import best_of
 from repro.simulation.campaign import clear_world_cache, run_campaign
 from repro.simulation.study import default_campaign_config
 
@@ -39,21 +41,17 @@ DEFAULT_OUT = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
 def _time_campaign(scale: float, n_jobs: int) -> dict:
     """Best-of-``REPEATS`` wall time for one (scale, n_jobs) cell."""
     config = default_campaign_config(YEAR, scale=scale, seed=SEED)
-    best = float("inf")
-    devices = 0
-    for _ in range(REPEATS):
-        clear_world_cache()
-        start = time.perf_counter()
-        result = run_campaign(config, n_jobs=n_jobs)
-        elapsed = time.perf_counter() - start
-        best = min(best, elapsed)
-        devices = result.dataset.n_devices
+    timing = best_of(
+        lambda: run_campaign(config, n_jobs=n_jobs),
+        repeat=REPEATS, warmup=0, setup=clear_world_cache,
+    )
+    devices = timing.best_result.dataset.n_devices
     return {
         "n_jobs": n_jobs,
         "executor": "serial" if n_jobs == 1 else "parallel",
         "devices": devices,
-        "wall_s": round(best, 4),
-        "devices_per_s": round(devices / best, 2),
+        "wall_s": round(timing.best_s, 4),
+        "devices_per_s": round(devices / timing.best_s, 2),
     }
 
 

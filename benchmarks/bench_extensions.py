@@ -8,7 +8,7 @@ different providers") and neighbourhood channel interference.
 from repro.analysis import channel_interference, shared_infrastructure
 from repro.reporting.tables import Table
 
-from .conftest import save_output
+from .harness import save_output
 
 
 def test_shared_infrastructure(bench_cache, output_dir, benchmark):

@@ -1,14 +1,11 @@
 """Benchmark: regenerate Figure 6 — WiFi-traffic ratio and WiFi-user ratio over the week.
 
-Runs the ``fig06`` experiment end to end over the shared benchmark study
-and saves the rendered artifact to ``benchmarks/output/fig06.txt``.
+One-liner on the shared harness: runs the experiment end to end over
+the benchmark study and saves the rendered artifact under
+``benchmarks/output/``. Timing body lives in
+:func:`benchmarks.harness.experiment_benchmark`.
 """
 
-from repro import run_experiment
+from .harness import experiment_benchmark
 
-from .conftest import save_output
-
-
-def test_fig06(bench_cache, output_dir, benchmark):
-    result = benchmark(run_experiment, "fig06", bench_cache)
-    save_output(output_dir, "fig06", result)
+test_fig06 = experiment_benchmark("fig06")

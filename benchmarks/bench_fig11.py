@@ -1,14 +1,11 @@
 """Benchmark: regenerate Figure 11 — WiFi traffic volume by location class over the week.
 
-Runs the ``fig11`` experiment end to end over the shared benchmark study
-and saves the rendered artifact to ``benchmarks/output/fig11.txt``.
+One-liner on the shared harness: runs the experiment end to end over
+the benchmark study and saves the rendered artifact under
+``benchmarks/output/``. Timing body lives in
+:func:`benchmarks.harness.experiment_benchmark`.
 """
 
-from repro import run_experiment
+from .harness import experiment_benchmark
 
-from .conftest import save_output
-
-
-def test_fig11(bench_cache, output_dir, benchmark):
-    result = benchmark(run_experiment, "fig11", bench_cache)
-    save_output(output_dir, "fig11", result)
+test_fig11 = experiment_benchmark("fig11")

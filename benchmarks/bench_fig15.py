@@ -1,14 +1,11 @@
 """Benchmark: regenerate Figure 15 — PDFs of per-AP max RSSI, home vs public.
 
-Runs the ``fig15`` experiment end to end over the shared benchmark study
-and saves the rendered artifact to ``benchmarks/output/fig15.txt``.
+One-liner on the shared harness: runs the experiment end to end over
+the benchmark study and saves the rendered artifact under
+``benchmarks/output/``. Timing body lives in
+:func:`benchmarks.harness.experiment_benchmark`.
 """
 
-from repro import run_experiment
+from .harness import experiment_benchmark
 
-from .conftest import save_output
-
-
-def test_fig15(bench_cache, output_dir, benchmark):
-    result = benchmark(run_experiment, "fig15", bench_cache)
-    save_output(output_dir, "fig15", result)
+test_fig15 = experiment_benchmark("fig15")

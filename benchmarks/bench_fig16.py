@@ -1,14 +1,11 @@
 """Benchmark: regenerate Figure 16 — PDF of associated 2.4GHz channels, 2013 vs 2015.
 
-Runs the ``fig16`` experiment end to end over the shared benchmark study
-and saves the rendered artifact to ``benchmarks/output/fig16.txt``.
+One-liner on the shared harness: runs the experiment end to end over
+the benchmark study and saves the rendered artifact under
+``benchmarks/output/``. Timing body lives in
+:func:`benchmarks.harness.experiment_benchmark`.
 """
 
-from repro import run_experiment
+from .harness import experiment_benchmark
 
-from .conftest import save_output
-
-
-def test_fig16(bench_cache, output_dir, benchmark):
-    result = benchmark(run_experiment, "fig16", bench_cache)
-    save_output(output_dir, "fig16", result)
+test_fig16 = experiment_benchmark("fig16")

@@ -1,14 +1,11 @@
 """Benchmark: regenerate Figure 17 — CCDFs of detected public networks per available device per 10 min.
 
-Runs the ``fig17`` experiment end to end over the shared benchmark study
-and saves the rendered artifact to ``benchmarks/output/fig17.txt``.
+One-liner on the shared harness: runs the experiment end to end over
+the benchmark study and saves the rendered artifact under
+``benchmarks/output/``. Timing body lives in
+:func:`benchmarks.harness.experiment_benchmark`.
 """
 
-from repro import run_experiment
+from .harness import experiment_benchmark
 
-from .conftest import save_output
-
-
-def test_fig17(bench_cache, output_dir, benchmark):
-    result = benchmark(run_experiment, "fig17", bench_cache)
-    save_output(output_dir, "fig17", result)
+test_fig17 = experiment_benchmark("fig17")

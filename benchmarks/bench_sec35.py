@@ -1,14 +1,11 @@
 """Benchmark: regenerate Section 3.5 — offloadable cellular traffic for WiFi-available users.
 
-Runs the ``sec35`` experiment end to end over the shared benchmark study
-and saves the rendered artifact to ``benchmarks/output/sec35.txt``.
+One-liner on the shared harness: runs the experiment end to end over
+the benchmark study and saves the rendered artifact under
+``benchmarks/output/``. Timing body lives in
+:func:`benchmarks.harness.experiment_benchmark`.
 """
 
-from repro import run_experiment
+from .harness import experiment_benchmark
 
-from .conftest import save_output
-
-
-def test_sec35(bench_cache, output_dir, benchmark):
-    result = benchmark(run_experiment, "sec35", bench_cache)
-    save_output(output_dir, "sec35", result)
+test_sec35 = experiment_benchmark("sec35")

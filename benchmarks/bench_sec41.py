@@ -1,14 +1,11 @@
 """Benchmark: regenerate Section 4.1 — offload impact on residential broadband volume.
 
-Runs the ``sec41`` experiment end to end over the shared benchmark study
-and saves the rendered artifact to ``benchmarks/output/sec41.txt``.
+One-liner on the shared harness: runs the experiment end to end over
+the benchmark study and saves the rendered artifact under
+``benchmarks/output/``. Timing body lives in
+:func:`benchmarks.harness.experiment_benchmark`.
 """
 
-from repro import run_experiment
+from .harness import experiment_benchmark
 
-from .conftest import save_output
-
-
-def test_sec41(bench_cache, output_dir, benchmark):
-    result = benchmark(run_experiment, "sec41", bench_cache)
-    save_output(output_dir, "sec41", result)
+test_sec41 = experiment_benchmark("sec41")

@@ -1,14 +1,11 @@
 """Benchmark: regenerate Table 3 — median/mean daily download per user and annual growth rates.
 
-Runs the ``table3`` experiment end to end over the shared benchmark study
-and saves the rendered artifact to ``benchmarks/output/table3.txt``.
+One-liner on the shared harness: runs the experiment end to end over
+the benchmark study and saves the rendered artifact under
+``benchmarks/output/``. Timing body lives in
+:func:`benchmarks.harness.experiment_benchmark`.
 """
 
-from repro import run_experiment
+from .harness import experiment_benchmark
 
-from .conftest import save_output
-
-
-def test_table3(bench_cache, output_dir, benchmark):
-    result = benchmark(run_experiment, "table3", bench_cache)
-    save_output(output_dir, "table3", result)
+test_table3 = experiment_benchmark("table3")

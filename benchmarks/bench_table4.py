@@ -1,14 +1,11 @@
 """Benchmark: regenerate Table 4 — number of estimated APs by inferred class and year.
 
-Runs the ``table4`` experiment end to end over the shared benchmark study
-and saves the rendered artifact to ``benchmarks/output/table4.txt``.
+One-liner on the shared harness: runs the experiment end to end over
+the benchmark study and saves the rendered artifact under
+``benchmarks/output/``. Timing body lives in
+:func:`benchmarks.harness.experiment_benchmark`.
 """
 
-from repro import run_experiment
+from .harness import experiment_benchmark
 
-from .conftest import save_output
-
-
-def test_table4(bench_cache, output_dir, benchmark):
-    result = benchmark(run_experiment, "table4", bench_cache)
-    save_output(output_dir, "table4", result)
+test_table4 = experiment_benchmark("table4")

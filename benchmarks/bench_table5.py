@@ -1,14 +1,11 @@
 """Benchmark: regenerate Table 5 — breakdown of home/public/other AP combinations per device-day.
 
-Runs the ``table5`` experiment end to end over the shared benchmark study
-and saves the rendered artifact to ``benchmarks/output/table5.txt``.
+One-liner on the shared harness: runs the experiment end to end over
+the benchmark study and saves the rendered artifact under
+``benchmarks/output/``. Timing body lives in
+:func:`benchmarks.harness.experiment_benchmark`.
 """
 
-from repro import run_experiment
+from .harness import experiment_benchmark
 
-from .conftest import save_output
-
-
-def test_table5(bench_cache, output_dir, benchmark):
-    result = benchmark(run_experiment, "table5", bench_cache)
-    save_output(output_dir, "table5", result)
+test_table5 = experiment_benchmark("table5")

@@ -1,14 +1,11 @@
 """Benchmark: regenerate Table 6 — top application categories by RX volume per network context.
 
-Runs the ``table6`` experiment end to end over the shared benchmark study
-and saves the rendered artifact to ``benchmarks/output/table6.txt``.
+One-liner on the shared harness: runs the experiment end to end over
+the benchmark study and saves the rendered artifact under
+``benchmarks/output/``. Timing body lives in
+:func:`benchmarks.harness.experiment_benchmark`.
 """
 
-from repro import run_experiment
+from .harness import experiment_benchmark
 
-from .conftest import save_output
-
-
-def test_table6(bench_cache, output_dir, benchmark):
-    result = benchmark(run_experiment, "table6", bench_cache)
-    save_output(output_dir, "table6", result)
+test_table6 = experiment_benchmark("table6")

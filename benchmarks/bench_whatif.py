@@ -2,7 +2,7 @@
 
 from repro.whatif import Scenario, compare, give_everyone_home_wifi
 
-from .conftest import bench_scale, save_output
+from .harness import bench_scale, save_output
 
 
 def test_whatif_home_wifi_for_all(output_dir, benchmark):

@@ -1,25 +1,17 @@
 """Shared benchmark fixtures.
 
-The benchmark study scale is controlled by ``REPRO_BENCH_SCALE`` (default
-0.12 — about 200 users per campaign). Rendered experiment outputs are saved
-under ``benchmarks/output/`` so paper-vs-measured comparisons can be read
-after a run.
+Scale knobs, output persistence and the per-experiment benchmark factory
+live in :mod:`benchmarks.harness`; this file only provides the pytest
+fixtures wired to them.
 """
 
 from __future__ import annotations
-
-import os
-from pathlib import Path
 
 import pytest
 
 from repro import AnalysisContext, run_study
 
-OUTPUT_DIR = Path(__file__).parent / "output"
-
-
-def bench_scale() -> float:
-    return float(os.environ.get("REPRO_BENCH_SCALE", "0.12"))
+from .harness import OUTPUT_DIR, bench_scale
 
 
 @pytest.fixture(scope="session")
@@ -32,24 +24,3 @@ def bench_cache():
 def output_dir():
     OUTPUT_DIR.mkdir(exist_ok=True)
     return OUTPUT_DIR
-
-
-#: Figures whose paper originals use log axes.
-_LOG_X = {"fig03", "fig04", "fig13", "fig17", "fig19"}
-_LOG_Y = {"fig13", "fig17"}
-
-
-def save_output(output_dir: Path, experiment_id: str, result) -> None:
-    """Persist a rendered experiment artifact (text, plus SVG for figures)."""
-    text = result.render() if hasattr(result, "render") else str(result)
-    (output_dir / f"{experiment_id}.txt").write_text(text + "\n")
-    from repro.reporting.figures import Figure
-    from repro.reporting.svg import figure_to_svg
-
-    if isinstance(result, Figure):
-        svg = figure_to_svg(
-            result,
-            log_x=experiment_id in _LOG_X,
-            log_y=experiment_id in _LOG_Y,
-        )
-        (output_dir / f"{experiment_id}.svg").write_text(svg)

@@ -54,6 +54,17 @@ from repro.traces.cleaning import clean_for_main_analysis
 from repro.traces.validate import validate_dataset
 from repro.whatif import Scenario, WhatIfResult, compare as whatif_compare
 from repro.analysis.context import AnalysisContext, CacheStats
+from repro.obs import (
+    MetricsRegistry,
+    NoopTracer,
+    RunManifest,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    telemetry_enabled,
+    use_tracer,
+)
 from repro.reporting.experiments import (
     AnalysisCache,
     EXPERIMENTS,
@@ -98,6 +109,15 @@ __all__ = [
     "validate_dataset",
     "AnalysisContext",
     "CacheStats",
+    "MetricsRegistry",
+    "NoopTracer",
+    "RunManifest",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "telemetry_enabled",
+    "use_tracer",
     "AnalysisCache",
     "EXPERIMENTS",
     "Experiment",

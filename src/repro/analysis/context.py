@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.errors import AnalysisError
+from repro.obs.span import get_tracer
 from repro.traces.cleaning import clean_for_main_analysis
 from repro.traces.dataset import CampaignDataset
 from repro.traces.query import SlotIndex, association_index, geo_cell_index
@@ -303,9 +304,13 @@ class AnalysisContext:
         if key in state.artifacts:
             self._stats.record_hit(key[0])
             return state.artifacts[key]
-        start = time.perf_counter()
-        value = compute()
-        elapsed = time.perf_counter() - start
+        # A memo miss is a run stage: spanned under artifact.<family> so a
+        # --telemetry manifest shows compute time per artifact next to the
+        # engine stages (no-op tracer by default — see repro.obs.span).
+        with get_tracer().span(f"artifact.{key[0]}"):
+            start = time.perf_counter()
+            value = compute()
+            elapsed = time.perf_counter() - start
         state.artifacts[key] = value
         self._stats.record_miss(key[0], elapsed, _cached_nbytes(value))
         return value

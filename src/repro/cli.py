@@ -1,15 +1,23 @@
 """Command-line interface.
 
-Four subcommands::
+Subcommands::
 
     python -m repro simulate --scale 0.1 --out data/        # run + save
     python -m repro analyze  --scale 0.1 table3 fig05       # run experiments
     python -m repro analyze  --data data/ table4            # on saved data
+    python -m repro bench    --scale 0.02                   # benchmark suite
     python -m repro list                                    # experiments
     python -m repro validate data/campaign2015              # check a dataset
 
 ``analyze`` accepts experiment ids (``table1``..``table9``, ``fig01``..
 ``fig19``, ``sec35``, ``sec41``) or ``all``.
+
+``simulate``, ``analyze`` and ``bench`` accept ``--telemetry`` (or
+``$REPRO_TELEMETRY=1``): the run executes under a real tracer and emits a
+machine-readable :class:`~repro.obs.manifest.RunManifest` JSON — config
+hash, seed, shard layout, per-stage wall/CPU seconds, cache hit rates and
+fault-loss accounting. Telemetry never changes results: outputs are
+bit-identical with it on or off.
 """
 
 from __future__ import annotations
@@ -19,9 +27,12 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro import __version__
 from repro.collection.faults import FaultPlan, OutageWindow
 from repro.engine.executor import resolve_jobs
 from repro.errors import ConfigurationError, ReproError
+from repro.obs.manifest import build_manifest, config_hash_of
+from repro.obs.span import Tracer, get_tracer, set_tracer, telemetry_enabled
 from repro.reporting.collection import render_collection_report
 from repro.analysis.context import AnalysisContext
 from repro.reporting.experiments import (
@@ -40,7 +51,20 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce 'Tracking the Evolution and Diversity in "
                     "Network Usage of Smartphones' (IMC 2015)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_telemetry_flags(command_parser: argparse.ArgumentParser) -> None:
+        command_parser.add_argument(
+            "--telemetry", action="store_true",
+            help="trace the run (spans, counters) and write a JSON run "
+                 "manifest; $REPRO_TELEMETRY=1 does the same. Outputs are "
+                 "bit-identical with telemetry on or off")
+        command_parser.add_argument(
+            "--manifest", type=Path, default=None, metavar="PATH",
+            help="run-manifest output path (default: run_manifest.json "
+                 "next to the command's other outputs)")
 
     simulate = sub.add_parser("simulate", help="run the study and save datasets")
     simulate.add_argument("--scale", type=float, default=0.1,
@@ -69,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="outage window in slots (repeatable)")
     faults.add_argument("--cache-batches", type=int, default=None,
                         help="on-device cache bound in batches")
+    add_telemetry_flags(simulate)
 
     analyze = sub.add_parser("analyze", help="run experiments")
     analyze.add_argument("experiments", nargs="+",
@@ -84,6 +109,45 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print per-artifact analysis-cache statistics "
                               "(hits, misses, compute time, cached bytes) "
                               "after the experiments")
+    add_telemetry_flags(analyze)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the unified benchmark suite and write BENCH_all.json",
+        description="Discover and run every registered benchmark (all "
+                    "paper figure/table experiments plus the engine, "
+                    "analysis-context and collection suites) through one "
+                    "warmup/repeat harness.",
+    )
+    bench.add_argument("benchmarks", nargs="*", metavar="NAME",
+                       help="benchmark or group names to run "
+                            "(default: the full suite; see --list)")
+    bench.add_argument("--scale", type=float, default=0.02,
+                       help="panel scale for benchmark inputs (default 0.02)")
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--repeat", type=int, default=3,
+                       help="timed repetitions per benchmark, best-of "
+                            "(default 3)")
+    bench.add_argument("--warmup", type=int, default=1,
+                       help="untimed warmup runs per benchmark (default 1)")
+    bench.add_argument("--out", type=Path, default=Path("BENCH_all.json"),
+                       help="consolidated report path "
+                            "(default BENCH_all.json)")
+    bench.add_argument("--list", action="store_true", dest="list_benchmarks",
+                       help="list discoverable benchmarks and exit")
+    bench.add_argument("--check", action="append", type=Path, default=None,
+                       metavar="BASELINE",
+                       help="committed baseline JSON to gate against "
+                            "(repeatable; BENCH_context.json, "
+                            "BENCH_engine.json or a previous BENCH_all.json)")
+    bench.add_argument("--check-only", type=Path, default=None,
+                       metavar="RESULTS",
+                       help="skip running; check an existing BENCH_all.json "
+                            "against the --check baselines")
+    bench.add_argument("--factor", type=float, default=2.0,
+                       help="regression threshold factor for --check "
+                            "(default 2.0 = fail on >2x regressions)")
+    add_telemetry_flags(bench)
 
     sub.add_parser("list", help="list available experiments")
 
@@ -124,9 +188,44 @@ def _resolve_experiments(names: List[str]) -> List[str]:
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         raise ReproError(
-            f"unknown experiments: {unknown}; try `repro list`"
+            f"unknown experiments: {unknown}; "
+            f"valid ids: {', '.join(sorted(EXPERIMENTS))} (or 'all')"
         )
     return names
+
+
+def _start_telemetry(args: argparse.Namespace) -> Optional[Tracer]:
+    """Install a real tracer when ``--telemetry``/``$REPRO_TELEMETRY`` asks.
+
+    Returns the tracer (or None); the caller must reset via
+    :func:`repro.obs.span.set_tracer` (``_finish_telemetry`` does both the
+    reset and the manifest write).
+    """
+    if getattr(args, "telemetry", False) or telemetry_enabled():
+        tracer = Tracer(f"repro.{args.command}")
+        set_tracer(tracer)
+        return tracer
+    return None
+
+
+def _write_manifest(manifest, args: argparse.Namespace,
+                    default_dir: Path) -> None:
+    path = args.manifest or (default_dir / "run_manifest.json")
+    manifest.write(path)
+    print(f"wrote run manifest {path}")
+
+
+def _study_shards(study: Study) -> List[dict]:
+    """Per-year shard layout for the manifest."""
+    shards = []
+    for year in study.years:
+        info = study.campaigns[year].execution
+        shards.append({
+            "year": year,
+            "n_shards": info.n_shards if info is not None else 1,
+            "n_devices": study.dataset(year).n_devices,
+        })
+    return shards
 
 
 #: Experiments that need the survey (unavailable on reloaded datasets).
@@ -161,48 +260,89 @@ def _fault_plan_from_args(args: argparse.Namespace) -> Optional[FaultPlan]:
 def cmd_simulate(args: argparse.Namespace) -> int:
     faults = _fault_plan_from_args(args)
     n_jobs = resolve_jobs(args.jobs, default=0)  # default: auto (CPU count)
-    study = run_study(scale=args.scale, seed=args.seed, faults=faults,
-                      n_jobs=n_jobs)
-    args.out.mkdir(parents=True, exist_ok=True)
-    if study.execution is not None:
-        print(f"executor: {study.execution.describe()}")
-    for year in study.years:
-        path = args.out / f"campaign{year}"
-        save_dataset(study.dataset(year), path)
-        info = study.campaigns[year].execution
-        shards = f", {info.n_shards} shards" if info is not None else ""
-        print(f"saved {path} ({study.dataset(year).n_devices} devices{shards})")
-        report = study.campaigns[year].collection
-        if report is not None and faults is not None:
-            print(f"\ncampaign {year} collection:")
-            print(render_collection_report(report))
-            print()
-    return 0
+    tracer = _start_telemetry(args)
+    try:
+        study = run_study(scale=args.scale, seed=args.seed, faults=faults,
+                          n_jobs=n_jobs)
+        args.out.mkdir(parents=True, exist_ok=True)
+        if study.execution is not None:
+            print(f"executor: {study.execution.describe()}")
+        for year in study.years:
+            path = args.out / f"campaign{year}"
+            with get_tracer().span("save_dataset", year=year):
+                save_dataset(study.dataset(year), path)
+            info = study.campaigns[year].execution
+            shards = f", {info.n_shards} shards" if info is not None else ""
+            print(f"saved {path} "
+                  f"({study.dataset(year).n_devices} devices{shards})")
+            report = study.campaigns[year].collection
+            if report is not None and faults is not None:
+                print(f"\ncampaign {year} collection:")
+                print(render_collection_report(report))
+                print()
+        if tracer is not None:
+            manifest = build_manifest(
+                "simulate", tracer,
+                config_hash=config_hash_of(
+                    *(study.campaigns[y].config for y in study.years)
+                ),
+                seed=args.seed, scale=args.scale, years=list(study.years),
+                execution=study.execution, shards=_study_shards(study),
+                collection_reports={
+                    y: study.campaigns[y].collection for y in study.years
+                },
+            )
+            _write_manifest(manifest, args, args.out)
+        return 0
+    finally:
+        if tracer is not None:
+            set_tracer(None)
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     names = _resolve_experiments(args.experiments)
-    if args.data is not None:
-        study = _load_study_from(args.data)
-        skipped = [n for n in names if n in _SURVEY_EXPERIMENTS]
-        if skipped:
-            print(f"note: skipping survey experiments on saved data: {skipped}")
-            names = [n for n in names if n not in _SURVEY_EXPERIMENTS]
-    else:
-        study = run_study(scale=args.scale, seed=args.seed)
-    cache = AnalysisContext(study)
-    if args.out is not None:
-        args.out.mkdir(parents=True, exist_ok=True)
-    for name in names:
-        result = run_experiment(name, cache)
-        text = result.render() if hasattr(result, "render") else str(result)
-        print(text)
-        print()
+    tracer = _start_telemetry(args)
+    try:
+        if args.data is not None:
+            study = _load_study_from(args.data)
+            skipped = [n for n in names if n in _SURVEY_EXPERIMENTS]
+            if skipped:
+                print(f"note: skipping survey experiments on saved data: "
+                      f"{skipped}")
+                names = [n for n in names if n not in _SURVEY_EXPERIMENTS]
+        else:
+            study = run_study(scale=args.scale, seed=args.seed)
+        cache = AnalysisContext(study)
         if args.out is not None:
-            (args.out / f"{name}.txt").write_text(text + "\n")
-    if args.cache_stats:
-        print(cache.stats.render())
-    return 0
+            args.out.mkdir(parents=True, exist_ok=True)
+        for name in names:
+            with get_tracer().span("experiment", experiment=name):
+                result = run_experiment(name, cache)
+            text = result.render() if hasattr(result, "render") else str(result)
+            print(text)
+            print()
+            if args.out is not None:
+                (args.out / f"{name}.txt").write_text(text + "\n")
+        if args.cache_stats:
+            print(cache.stats.render())
+        if tracer is not None:
+            manifest = build_manifest(
+                "analyze", tracer,
+                config_hash=(config_hash_of(str(args.data))
+                             if args.data is not None
+                             else config_hash_of(study.config)),
+                seed=args.seed, scale=args.scale, years=list(study.years),
+                execution=study.execution,
+                shards=_study_shards(study) if study.execution else None,
+                cache_stats=cache.stats,
+                extra_counters={"experiments_run": len(names)},
+            )
+            _write_manifest(manifest, args,
+                            args.out if args.out is not None else Path("."))
+        return 0
+    finally:
+        if tracer is not None:
+            set_tracer(None)
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -217,6 +357,63 @@ def cmd_report(args: argparse.Namespace) -> int:
     print(text)
     if args.out is not None:
         args.out.write_text(text + "\n")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    # Imported lazily: the bench harness pulls in the simulation layer,
+    # which `repro list`/`repro validate` should not pay for.
+    from repro.obs import bench as bench_harness
+
+    if args.list_benchmarks:
+        for case in bench_harness.discover_cases():
+            print(f"{case.name:28s} {case.group:12s} {case.title}")
+        return 0
+
+    if args.check_only is not None:
+        report = bench_harness.load_report(args.check_only)
+    else:
+        tracer = _start_telemetry(args)
+        try:
+            report = bench_harness.run_suite(
+                scale=args.scale, seed=args.seed, repeat=args.repeat,
+                warmup=args.warmup, only=args.benchmarks or None,
+                progress=lambda message: print(f"  {message}", flush=True),
+            )
+            bench_harness.write_report(report, args.out)
+            print(bench_harness.render_results(report))
+            print(f"wrote {args.out}")
+            if tracer is not None:
+                manifest = build_manifest(
+                    "bench", tracer,
+                    config_hash=config_hash_of(
+                        ("bench", args.scale, args.seed, args.repeat,
+                         args.warmup)
+                    ),
+                    seed=args.seed, scale=args.scale,
+                    extra_counters={"benchmarks_run": report["n_benchmarks"]},
+                )
+                _write_manifest(manifest, args, args.out.parent)
+        finally:
+            if tracer is not None:
+                set_tracer(None)
+
+    failures = []
+    for baseline_path in args.check or ():
+        baseline = bench_harness.load_report(baseline_path)
+        failures.extend(
+            bench_harness.check_regression(
+                report, baseline, factor=args.factor,
+                baseline_name=baseline_path.name,
+            )
+        )
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    if args.check:
+        print(f"threshold check passed against {len(args.check)} "
+              f"baseline(s) at factor {args.factor}x")
     return 0
 
 
@@ -236,10 +433,18 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits for --version/--help (code 0) and usage errors
+        # (code 2); surface those as return codes so embedding callers —
+        # and the test suite — get a plain int instead of an exception.
+        code = exc.code
+        return code if isinstance(code, int) else (0 if code is None else 2)
     handlers = {
         "simulate": cmd_simulate,
         "analyze": cmd_analyze,
+        "bench": cmd_bench,
         "list": cmd_list,
         "report": cmd_report,
         "validate": cmd_validate,

@@ -25,6 +25,7 @@ from repro.collection.faults import (
 )
 from repro.collection.server import CollectionServer
 from repro.collection.uploader import Uploader
+from repro.obs.span import get_tracer
 from repro.traces.records import DeviceInfo
 
 #: Distinct stream key so fault randomness never aliases simulation draws.
@@ -97,6 +98,16 @@ class CollectionPump:
             cached=uploader.cached_batches,
         )
         self._stats.append(stats)
+        tracer = get_tracer()
+        if tracer.enabled:
+            # One bundle of counters per device on the current span; with
+            # the default no-op tracer this branch costs a single check.
+            tracer.count("pump.batches_uploaded", stats.uploaded)
+            tracer.count("pump.batches_delivered", stats.delivered)
+            tracer.count("pump.batches_dropped", stats.dropped)
+            tracer.count("pump.batches_churned", stats.churned)
+            tracer.count("pump.duplicates_sent", stats.duplicates)
+            tracer.count("pump.upload_failures", transport.failures)
         return stats
 
     def report(self) -> CollectionReport:

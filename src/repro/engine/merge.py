@@ -17,7 +17,7 @@ reordered a shard would corrupt results while looking healthy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,6 +42,10 @@ class ShardOutput:
     stats: List[DeviceCollectionStats] = field(default_factory=list)
     batches_received: int = 0
     duplicates_dropped: int = 0
+    #: Exported telemetry span tree from the worker's local tracer
+    #: (None when the run was untraced); the merge layer grafts it back
+    #: into the parent's trace. Carries no simulation state.
+    spans: Optional[dict] = None
 
 
 def ordered_outputs(

@@ -1,0 +1,52 @@
+"""Run-telemetry subsystem: spans, unified metrics, run manifests.
+
+Three stdlib-light modules the rest of the system threads through:
+
+- :mod:`repro.obs.span` — ``Span``/``Tracer`` with monotonic wall/CPU
+  timings, counters and nesting; a shared no-op tracer keeps the
+  instrumented hot paths zero-overhead unless telemetry is enabled.
+- :mod:`repro.obs.metrics` — ``MetricsRegistry`` folding the analysis
+  cache stats, collection loss accounting and executor shard timings into
+  one counters/stages schema.
+- :mod:`repro.obs.manifest` — ``RunManifest``, the machine-readable JSON
+  account of one run (config hash, seed, shard layout, per-stage seconds,
+  cache hit rates, fault losses).
+
+:mod:`repro.obs.bench` (the ``repro bench`` harness) is deliberately NOT
+imported here: it reaches up into the simulation layer, which imports this
+package, and eager import would cycle.
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    build_manifest,
+    config_hash_of,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import (
+    TELEMETRY_ENV_VAR,
+    NoopTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    telemetry_enabled,
+    use_tracer,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NoopTracer",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "telemetry_enabled",
+    "TELEMETRY_ENV_VAR",
+    "MetricsRegistry",
+    "RunManifest",
+    "build_manifest",
+    "config_hash_of",
+    "MANIFEST_SCHEMA_VERSION",
+]

@@ -1,0 +1,467 @@
+"""The unified benchmark harness behind ``repro bench``.
+
+One harness drives every benchmark the repo has: the ~30 registered
+figure/table experiments, the execution-engine serial/sharded campaign
+timings, the analysis-context cold/warm sweeps, and the faulty collection
+pipeline. Each case is timed with the same warmup/repeat protocol
+(:func:`best_of`) and the consolidated report lands in one
+``BENCH_all.json`` — replacing the copy-pasted timing loops that used to
+live in 37 ``benchmarks/bench_*.py`` scripts (those now import
+:mod:`benchmarks.harness`, which wraps this module for pytest-benchmark
+runs).
+
+The harness also carries the CI regression gate: :func:`check_regression`
+compares a fresh ``BENCH_all.json`` against the committed
+``BENCH_context.json`` / ``BENCH_engine.json`` baselines using
+machine-portable quantities (cache speedup ratio, per-device simulation
+cost) and fails on a > ``factor`` (default 2x) regression.
+
+Heavy repro layers are imported lazily inside functions so this module can
+be imported from the CLI without paying the simulation import cost, and so
+``repro.obs`` stays importable from every layer (``obs/__init__`` must not
+import this module — it would cycle through ``simulation.study``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError, ReproError
+from repro.obs.span import get_tracer
+
+__all__ = [
+    "BenchCase",
+    "BenchEnv",
+    "Timing",
+    "best_of",
+    "discover_cases",
+    "run_suite",
+    "check_regression",
+    "load_report",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Engine benchmarks pin this seed so results line up with the committed
+#: ``BENCH_engine.json`` trajectory (which uses seed 3, year 2015).
+ENGINE_BENCH_YEAR = 2015
+ENGINE_BENCH_SEED = 3
+
+
+# ----------------------------------------------------------------------
+# Timing primitive
+# ----------------------------------------------------------------------
+
+@dataclass
+class Timing:
+    """Wall times (and per-rep return values) of one benchmarked callable."""
+
+    times: List[float]
+    results: List[object] = field(default_factory=list)
+
+    @property
+    def best_s(self) -> float:
+        return min(self.times)
+
+    @property
+    def mean_s(self) -> float:
+        return sum(self.times) / len(self.times)
+
+    @property
+    def best_result(self) -> object:
+        """The value returned by the fastest repetition."""
+        return self.results[self.times.index(self.best_s)]
+
+
+def best_of(
+    fn: Callable[..., object],
+    repeat: int = 3,
+    warmup: int = 1,
+    setup: Optional[Callable[[], object]] = None,
+) -> Timing:
+    """Run ``fn`` ``warmup + repeat`` times; keep the ``repeat`` timed reps.
+
+    ``setup`` runs untimed before every invocation (warmups included); when
+    it returns a value, that value is passed to ``fn``. This is the one
+    timing loop every benchmark shares — warmup policy and best-of
+    semantics live here, not in each script.
+    """
+    if repeat < 1:
+        raise ConfigurationError(f"repeat must be >= 1: {repeat}")
+    if warmup < 0:
+        raise ConfigurationError(f"warmup must be >= 0: {warmup}")
+    times: List[float] = []
+    results: List[object] = []
+    for i in range(warmup + repeat):
+        arg = setup() if setup is not None else None
+        start = time.perf_counter()
+        result = fn(arg) if arg is not None else fn()
+        elapsed = time.perf_counter() - start
+        if i >= warmup:
+            times.append(elapsed)
+            results.append(result)
+    return Timing(times=times, results=results)
+
+
+# ----------------------------------------------------------------------
+# Case registry
+# ----------------------------------------------------------------------
+
+class BenchEnv:
+    """Shared lazily-built inputs for one suite run (study, context)."""
+
+    def __init__(self, scale: float, seed: int) -> None:
+        self.scale = scale
+        self.seed = seed
+        self._study = None
+        self._context = None
+
+    @property
+    def study(self):
+        if self._study is None:
+            from repro.simulation.study import run_study
+
+            with get_tracer().span("bench.setup_study", scale=self.scale):
+                self._study = run_study(scale=self.scale, seed=self.seed)
+        return self._study
+
+    @property
+    def context(self):
+        """One shared (warm) analysis context, the way the CLI uses it."""
+        if self._context is None:
+            from repro.analysis.context import AnalysisContext
+
+            self._context = AnalysisContext(self.study)
+        return self._context
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One discoverable benchmark: a named, grouped timed callable.
+
+    ``runner(env, repeat, warmup)`` returns the result row (without the
+    name/group, which :func:`run_suite` adds).
+    """
+
+    name: str
+    group: str
+    title: str
+    runner: Callable[[BenchEnv, int, int], Dict[str, object]]
+
+
+def _experiment_case(experiment_id: str, title: str) -> BenchCase:
+    def runner(env: BenchEnv, repeat: int, warmup: int) -> Dict[str, object]:
+        from repro.reporting.experiments import run_experiment
+
+        timing = best_of(
+            lambda: run_experiment(experiment_id, env.context),
+            repeat=repeat, warmup=warmup,
+        )
+        return {"wall_s": round(timing.best_s, 6),
+                "mean_s": round(timing.mean_s, 6)}
+
+    return BenchCase(experiment_id, "experiment", title, runner)
+
+
+def _campaign_case(name: str, n_jobs: int) -> BenchCase:
+    def runner(env: BenchEnv, repeat: int, warmup: int) -> Dict[str, object]:
+        from repro.simulation.campaign import clear_world_cache, run_campaign
+        from repro.simulation.study import default_campaign_config
+
+        config = default_campaign_config(
+            ENGINE_BENCH_YEAR, scale=env.scale, seed=ENGINE_BENCH_SEED
+        )
+
+        def timed():
+            return run_campaign(config, n_jobs=n_jobs)
+
+        timing = best_of(timed, repeat=repeat, warmup=warmup,
+                         setup=clear_world_cache)
+        devices = timing.best_result.dataset.n_devices
+        return {
+            "wall_s": round(timing.best_s, 6),
+            "mean_s": round(timing.mean_s, 6),
+            "n_jobs": n_jobs,
+            "devices": devices,
+            "devices_per_s": round(devices / timing.best_s, 2),
+        }
+
+    title = ("simulate one campaign, serial executor" if n_jobs == 1 else
+             f"simulate one campaign, {n_jobs}-worker process pool")
+    return BenchCase(name, "engine", title, runner)
+
+
+def _sweep_case(name: str, shared: bool) -> BenchCase:
+    def runner(env: BenchEnv, repeat: int, warmup: int) -> Dict[str, object]:
+        from repro.analysis.context import AnalysisContext
+        from repro.reporting.experiments import list_experiments, run_experiment
+
+        study = env.study
+        experiments = list_experiments()
+
+        def sweep(context=None):
+            for experiment in experiments:
+                cache = context if shared else AnalysisContext(study)
+                run_experiment(experiment.experiment_id, cache)
+
+        # A shared-sweep rep gets a fresh context built untimed, so every
+        # timed rep pays the same cold-memo cost the CLI pays once.
+        timing = best_of(
+            sweep, repeat=repeat, warmup=warmup,
+            setup=(lambda: AnalysisContext(study)) if shared else None,
+        )
+        return {
+            "wall_s": round(timing.best_s, 6),
+            "mean_s": round(timing.mean_s, 6),
+            "n_experiments": len(experiments),
+            "shared_context": shared,
+        }
+
+    title = ("full experiment sweep, one shared context" if shared else
+             "full experiment sweep, fresh context per experiment")
+    return BenchCase(name, "context", title, runner)
+
+
+def _collection_case() -> BenchCase:
+    def runner(env: BenchEnv, repeat: int, warmup: int) -> Dict[str, object]:
+        from repro.collection.faults import FaultPlan
+        from repro.simulation.campaign import clear_world_cache, run_campaign
+        from repro.simulation.study import default_campaign_config
+
+        faults = FaultPlan(upload_failure_p=0.05, dropout_p=0.05,
+                           duplicate_p=0.02)
+        config = default_campaign_config(
+            ENGINE_BENCH_YEAR, scale=env.scale, seed=ENGINE_BENCH_SEED,
+            faults=faults,
+        )
+        timing = best_of(lambda: run_campaign(config), repeat=repeat,
+                         warmup=warmup, setup=clear_world_cache)
+        report = timing.best_result.collection
+        totals = report.totals()
+        return {
+            "wall_s": round(timing.best_s, 6),
+            "mean_s": round(timing.mean_s, 6),
+            "devices": timing.best_result.dataset.n_devices,
+            "completeness": round(
+                totals["delivered"] / totals["ticks"], 4
+            ) if totals["ticks"] else 1.0,
+        }
+
+    return BenchCase(
+        "collection_faulty_campaign", "collection",
+        "campaign through the lossy collection pipeline", runner,
+    )
+
+
+def discover_cases() -> List[BenchCase]:
+    """Every registered benchmark, in stable report order.
+
+    Covers the full figure/table experiment registry plus the engine,
+    context-memo and collection-pipeline suites.
+    """
+    from repro.reporting.experiments import list_experiments
+
+    cases = [
+        _experiment_case(e.experiment_id, f"{e.paper_item}: {e.title}")
+        for e in list_experiments()
+    ]
+    cases.append(_campaign_case("campaign_serial", 1))
+    cases.append(_campaign_case("campaign_sharded", 2))
+    cases.append(_sweep_case("context_cold_sweep", shared=False))
+    cases.append(_sweep_case("context_warm_sweep", shared=True))
+    cases.append(_collection_case())
+    return cases
+
+
+# ----------------------------------------------------------------------
+# Suite driver
+# ----------------------------------------------------------------------
+
+def run_suite(
+    scale: float = 0.02,
+    seed: int = 7,
+    repeat: int = 3,
+    warmup: int = 1,
+    only: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Run (a filtered subset of) the suite and return the report dict.
+
+    ``only`` filters by case name or group name. Each case runs under a
+    ``bench.<name>`` span, so a ``--telemetry`` run's manifest carries
+    per-benchmark span timings next to the engine/analysis stages.
+    """
+    cases = discover_cases()
+    if only:
+        wanted = set(only)
+        known = {c.name for c in cases} | {c.group for c in cases}
+        unknown = sorted(wanted - known)
+        if unknown:
+            raise ReproError(
+                f"unknown benchmarks: {unknown}; valid names: "
+                f"{sorted(c.name for c in cases)} "
+                f"(or groups {sorted({c.group for c in cases})})"
+            )
+        cases = [c for c in cases if c.name in wanted or c.group in wanted]
+    tracer = get_tracer()
+    env = BenchEnv(scale=scale, seed=seed)
+    results: List[Dict[str, object]] = []
+    suite_start = time.perf_counter()
+    for case in cases:
+        if progress is not None:
+            progress(f"bench {case.name} ({case.group})")
+        with tracer.span(f"bench.{case.name}", group=case.group):
+            row: Dict[str, object] = {"name": case.name, "group": case.group}
+            row.update(case.runner(env, repeat, warmup))
+            results.append(row)
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep
+        numpy_version = None
+    return {
+        "benchmark": "all",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "scale": scale,
+        "seed": seed,
+        "repeat": repeat,
+        "warmup": warmup,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "n_benchmarks": len(results),
+        "total_wall_s": round(time.perf_counter() - suite_start, 4),
+        "results": results,
+    }
+
+
+def write_report(report: dict, path: Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return path
+
+
+def load_report(path: Path) -> dict:
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"cannot read benchmark report {path}: {exc}") from None
+
+
+def render_results(report: dict) -> str:
+    """Aligned per-benchmark summary of a suite report."""
+    rows = report.get("results", [])
+    if not rows:
+        return "no benchmarks ran"
+    width = max(len(r["name"]) for r in rows)
+    lines = [f"{'benchmark'.ljust(width)}  group       wall_s    mean_s"]
+    for row in rows:
+        lines.append(
+            f"{row['name'].ljust(width)}  {row['group']:<10s}"
+            f"{row['wall_s']:9.4f} {row['mean_s']:9.4f}"
+        )
+    lines.append(
+        f"{len(rows)} benchmarks in {report.get('total_wall_s', 0.0)}s "
+        f"(scale {report.get('scale')}, repeat {report.get('repeat')}, "
+        f"warmup {report.get('warmup')})"
+    )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CI regression gate
+# ----------------------------------------------------------------------
+
+def _result(report: dict, name: str) -> Optional[dict]:
+    for row in report.get("results", ()):
+        if row.get("name") == name:
+            return row
+    return None
+
+
+def check_regression(
+    current: dict, baseline: dict, factor: float = 2.0,
+    baseline_name: str = "baseline",
+) -> List[str]:
+    """Failures where ``current`` regresses > ``factor`` vs ``baseline``.
+
+    Committed baselines are measured on arbitrary developer hardware, so
+    comparisons use machine-portable quantities wherever possible:
+
+    - ``context_cold_vs_warm_sweep`` baselines gate the cache *speedup
+      ratio* (cold/warm), which is hardware-independent;
+    - ``engine_serial_vs_parallel`` baselines gate the serial *per-device
+      cost* (wall seconds per simulated device), which is scale-portable;
+    - ``all`` baselines (a previous ``BENCH_all.json``) gate per-benchmark
+      wall seconds name-by-name, but only when scales match.
+
+    Returns a list of human-readable failure messages (empty = pass).
+    """
+    if factor <= 1.0:
+        raise ConfigurationError(f"regression factor must be > 1: {factor}")
+    kind = baseline.get("benchmark")
+    failures: List[str] = []
+    if kind == "context_cold_vs_warm_sweep":
+        cold = _result(current, "context_cold_sweep")
+        warm = _result(current, "context_warm_sweep")
+        if cold is None or warm is None or not warm.get("wall_s"):
+            return [f"{baseline_name}: current report lacks the "
+                    f"context_cold_sweep/context_warm_sweep benchmarks"]
+        speedup = cold["wall_s"] / warm["wall_s"]
+        base_speedup = float(baseline.get("speedup", 0.0))
+        if base_speedup and speedup * factor < base_speedup:
+            failures.append(
+                f"{baseline_name}: context cache speedup regressed "
+                f"{base_speedup / speedup:.2f}x "
+                f"(baseline {base_speedup:.2f}x, now {speedup:.2f}x)"
+            )
+    elif kind == "engine_serial_vs_parallel":
+        serial = _result(current, "campaign_serial")
+        if serial is None or not serial.get("devices"):
+            return [f"{baseline_name}: current report lacks the "
+                    f"campaign_serial benchmark"]
+        cost = serial["wall_s"] / serial["devices"]
+        cells = baseline.get("scales", [])
+        if not cells:
+            return []
+        cell = min(
+            cells,
+            key=lambda c: abs(float(c.get("scale", 0.0))
+                              - float(current.get("scale", 0.0))),
+        )
+        base = cell.get("serial", {})
+        if base.get("devices"):
+            base_cost = base["wall_s"] / base["devices"]
+            if cost > factor * base_cost:
+                failures.append(
+                    f"{baseline_name}: serial campaign cost regressed "
+                    f"{cost / base_cost:.2f}x "
+                    f"({1000 * base_cost:.1f}ms -> {1000 * cost:.1f}ms "
+                    f"per device)"
+                )
+    elif kind == "all":
+        if baseline.get("scale") != current.get("scale"):
+            return []  # wall times are not comparable across scales
+        for row in current.get("results", ()):
+            base = _result(baseline, row["name"])
+            if base is None or not base.get("wall_s"):
+                continue
+            if row["wall_s"] > factor * base["wall_s"]:
+                failures.append(
+                    f"{baseline_name}: {row['name']} regressed "
+                    f"{row['wall_s'] / base['wall_s']:.2f}x "
+                    f"({base['wall_s']:.4f}s -> {row['wall_s']:.4f}s)"
+                )
+    else:
+        failures.append(
+            f"{baseline_name}: unrecognised baseline benchmark kind "
+            f"{kind!r}"
+        )
+    return failures

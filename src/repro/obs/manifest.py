@@ -1,0 +1,161 @@
+"""The machine-readable run manifest.
+
+A :class:`RunManifest` is the single artifact that accounts for one run the
+way the paper accounts for a campaign: what was configured (config hash,
+seed, scale, years), how it executed (executor, shard layout, per-stage
+wall/CPU seconds), what the caches did (per-artifact hit rates), and what
+the collection pipeline lost (fault-loss accounting). CI uploads it next to
+``BENCH_all.json`` so a PR's performance and completeness story is one
+download away.
+
+Manifests round-trip losslessly through JSON: ``read(write(m)) == m`` is
+pinned by ``tests/test_obs.py``. All keys are strings and all values are
+JSON scalars/containers, so equality after a round trip is plain dataclass
+equality.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import sys
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import Tracer
+
+__all__ = ["RunManifest", "build_manifest", "config_hash_of",
+           "MANIFEST_SCHEMA_VERSION"]
+
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def config_hash_of(*configs: object) -> str:
+    """Stable short hash of configuration objects (via canonical repr)."""
+    digest = hashlib.sha256()
+    for config in configs:
+        digest.update(repr(config).encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()[:16]
+
+
+def _environment() -> Dict[str, object]:
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "platform": sys.platform,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to account for (and reproduce) one run."""
+
+    #: CLI command (or API entry point) that produced the run.
+    command: str
+    #: Short sha256 over the canonical reprs of every campaign config.
+    config_hash: str
+    seed: int
+    scale: float
+    years: List[int] = field(default_factory=list)
+    executor: str = "serial"
+    n_jobs: int = 1
+    #: Per-year shard layout: ``[{"year", "n_shards", "n_devices"}, ...]``.
+    shards: List[Dict[str, int]] = field(default_factory=list)
+    #: Per-stage timing rollup keyed by span name.
+    stages: Dict[str, Dict[str, Union[int, float]]] = field(default_factory=dict)
+    #: Namespaced counters (cache hit rates, fault-loss accounting, ...).
+    counters: Dict[str, Union[int, float]] = field(default_factory=dict)
+    #: Full exported span tree (empty when telemetry was off).
+    spans: dict = field(default_factory=dict)
+    environment: Dict[str, object] = field(default_factory=_environment)
+    schema_version: int = MANIFEST_SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunManifest":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        return cls.from_dict(json.loads(text))
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def read(cls, path: Union[str, Path]) -> "RunManifest":
+        return cls.from_json(Path(path).read_text())
+
+    def stage_wall_s(self, stage: str) -> float:
+        """Total wall seconds recorded for one stage (0.0 if absent)."""
+        return float(self.stages.get(stage, {}).get("wall_s", 0.0))
+
+
+def build_manifest(
+    command: str,
+    tracer: Optional[Tracer] = None,
+    *,
+    config_hash: str = "",
+    seed: int = 0,
+    scale: float = 0.0,
+    years: Optional[List[int]] = None,
+    execution=None,
+    shards: Optional[List[Dict[str, int]]] = None,
+    cache_stats=None,
+    collection_reports: Optional[Dict[int, object]] = None,
+    extra_counters: Optional[Dict[str, Union[int, float]]] = None,
+) -> RunManifest:
+    """Assemble a manifest from a run's telemetry and accounting objects.
+
+    Every argument is optional so each CLI entry point contributes what it
+    actually has: ``simulate`` has collection reports but no cache stats,
+    ``analyze`` the reverse, ``bench`` both.
+    """
+    registry = MetricsRegistry()
+    spans: dict = {}
+    if tracer is not None and tracer.enabled:
+        spans = tracer.export()
+        registry.ingest_span_tree(spans)
+    if cache_stats is not None:
+        registry.ingest_cache_stats(cache_stats)
+    for year, report in (collection_reports or {}).items():
+        if report is not None:
+            registry.ingest_collection_report(report, year=year)
+    if execution is not None:
+        registry.ingest_execution(execution)
+    for name, value in (extra_counters or {}).items():
+        registry.set(name, value)
+    metrics = registry.as_dict()
+    return RunManifest(
+        command=command,
+        config_hash=config_hash,
+        seed=seed,
+        scale=scale,
+        years=list(years or []),
+        executor=getattr(execution, "executor", "serial"),
+        n_jobs=getattr(execution, "n_jobs", 1),
+        shards=list(shards or []),
+        stages=metrics["stages"],
+        counters=metrics["counters"],
+        spans=spans,
+    )

@@ -1,0 +1,244 @@
+"""Span-based run telemetry: monotonic timings, counters, nesting.
+
+A :class:`Tracer` records a tree of :class:`Span`\\ s — one per stage of the
+run path (``plan_campaign`` → ``simulate_shard`` → ``merge_campaign`` →
+analysis artifacts) — each with monotonic wall seconds
+(:func:`time.perf_counter`), process CPU seconds (:func:`time.process_time`)
+and free-form integer counters. Spans nest lexically through the
+``with tracer.span(...)`` context manager; worker processes run their own
+local tracer and the parent grafts the exported subtree back with
+:meth:`Tracer.attach`, so per-shard timings survive the process boundary.
+
+Telemetry is **zero-overhead by default**: the process-global tracer is a
+shared :class:`NoopTracer` whose ``span()`` returns one reusable no-op
+context manager — a hot path instrumented with ``get_tracer().span(...)``
+pays an attribute lookup and two trivial calls unless a real tracer was
+installed via :func:`set_tracer` / :func:`use_tracer` (the CLI does this for
+``--telemetry`` or ``$REPRO_TELEMETRY``). Nothing here touches RNG state:
+telemetry-on and telemetry-off runs are bit-identical (pinned by
+``tests/test_telemetry_identity.py``).
+
+This module is stdlib-only so every layer (engine, collection, analysis,
+CLI) can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Iterator, List, Optional, Union
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NoopTracer",
+    "TELEMETRY_ENV_VAR",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "telemetry_enabled",
+]
+
+#: Setting this to a truthy value (``1``, ``true``, ``on``, ``yes``) enables
+#: telemetry process-wide, including in pool workers that inherit the
+#: environment.
+TELEMETRY_ENV_VAR = "REPRO_TELEMETRY"
+
+_TRUTHY = frozenset({"1", "true", "on", "yes"})
+
+
+def telemetry_enabled() -> bool:
+    """True when ``$REPRO_TELEMETRY`` requests telemetry."""
+    return os.environ.get(TELEMETRY_ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+class Span:
+    """One timed stage: name, attributes, counters, children.
+
+    ``wall_s`` is monotonic wall time, ``cpu_s`` process CPU time; both
+    cover the span's whole subtree (children are not subtracted).
+    """
+
+    __slots__ = ("name", "attrs", "counters", "children", "wall_s", "cpu_s")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, object]] = None):
+        self.name = name
+        self.attrs: Dict[str, object] = dict(attrs) if attrs else {}
+        self.counters: Dict[str, Union[int, float]] = {}
+        self.children: List[Span] = []
+        self.wall_s: float = 0.0
+        self.cpu_s: float = 0.0
+
+    def count(self, name: str, n: Union[int, float] = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (inverse of :meth:`from_dict`)."""
+        out: dict = {"name": self.name, "wall_s": self.wall_s,
+                     "cpu_s": self.cpu_s}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.counters:
+            out["counters"] = dict(self.counters)
+        if self.children:
+            out["children"] = [c.as_dict() for c in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        span = cls(str(data["name"]), data.get("attrs"))
+        span.wall_s = float(data.get("wall_s", 0.0))
+        span.cpu_s = float(data.get("cpu_s", 0.0))
+        span.counters = dict(data.get("counters", {}))
+        span.children = [cls.from_dict(c) for c in data.get("children", ())]
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, wall_s={self.wall_s:.6f}, "
+                f"children={len(self.children)})")
+
+
+class _ActiveSpan:
+    """Context manager that times one span on a tracer's stack."""
+
+    __slots__ = ("_tracer", "_span", "_t0", "_c0")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._stack.append(self._span)
+        self._c0 = time.process_time()
+        self._t0 = time.perf_counter()
+        return self._span
+
+    def __exit__(self, *exc_info) -> None:
+        self._span.wall_s += time.perf_counter() - self._t0
+        self._span.cpu_s += time.process_time() - self._c0
+        popped = self._tracer._stack.pop()
+        if popped is not self._span:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"span stack corrupted: closed {self._span.name!r}, "
+                f"top was {popped.name!r}"
+            )
+
+
+class Tracer:
+    """Records a span tree for one run.
+
+    The root span is open for the tracer's lifetime; :meth:`export`
+    stamps its duration so far and returns the tree as nested dicts.
+    """
+
+    enabled = True
+
+    def __init__(self, name: str = "run",
+                 attrs: Optional[Dict[str, object]] = None) -> None:
+        self.root = Span(name, attrs)
+        self._stack: List[Span] = [self.root]
+        self._c0 = time.process_time()
+        self._t0 = time.perf_counter()
+
+    @property
+    def current(self) -> Span:
+        return self._stack[-1]
+
+    def span(self, name: str, **attrs: object) -> _ActiveSpan:
+        """Open a child span of the current span (use as ``with``)."""
+        span = Span(name, attrs or None)
+        self.current.children.append(span)
+        return _ActiveSpan(self, span)
+
+    def count(self, name: str, n: Union[int, float] = 1) -> None:
+        """Increment a counter on the current span."""
+        self.current.count(name, n)
+
+    def attach(self, exported: Optional[dict]) -> None:
+        """Graft a worker's exported span tree under the current span."""
+        if exported:
+            self.current.children.append(Span.from_dict(exported))
+
+    def export(self) -> dict:
+        """The span tree so far, with the root duration stamped."""
+        self.root.wall_s = time.perf_counter() - self._t0
+        self.root.cpu_s = time.process_time() - self._c0
+        return self.root.as_dict()
+
+
+class _NoopHandle:
+    """Reusable do-nothing span context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def count(self, name: str, n: Union[int, float] = 1) -> None:
+        return None
+
+
+_NOOP_HANDLE = _NoopHandle()
+
+
+class NoopTracer:
+    """The default tracer: every operation is a near-free no-op."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs: object) -> _NoopHandle:
+        return _NOOP_HANDLE
+
+    def count(self, name: str, n: Union[int, float] = 1) -> None:
+        return None
+
+    def attach(self, exported: Optional[dict]) -> None:
+        return None
+
+    def export(self) -> dict:
+        return {}
+
+
+#: The shared no-op tracer; also the reset target for :func:`set_tracer`.
+NOOP_TRACER = NoopTracer()
+
+_TRACER: Union[Tracer, NoopTracer] = NOOP_TRACER
+
+
+def get_tracer() -> Union[Tracer, NoopTracer]:
+    """The process-global tracer (a shared no-op unless one was set)."""
+    return _TRACER
+
+
+def set_tracer(
+    tracer: Optional[Union[Tracer, NoopTracer]]
+) -> Union[Tracer, NoopTracer]:
+    """Install ``tracer`` globally (``None`` resets); returns the previous."""
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer if tracer is not None else NOOP_TRACER
+    return previous
+
+
+class use_tracer:
+    """Temporarily install a tracer (shard workers use this)."""
+
+    def __init__(self, tracer: Union[Tracer, NoopTracer]) -> None:
+        self._tracer = tracer
+        self._previous: Optional[Union[Tracer, NoopTracer]] = None
+
+    def __enter__(self) -> Union[Tracer, NoopTracer]:
+        self._previous = set_tracer(self._tracer)
+        return self._tracer
+
+    def __exit__(self, *exc_info) -> None:
+        set_tracer(self._previous)

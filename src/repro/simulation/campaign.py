@@ -26,6 +26,7 @@ and ``n_jobs=k`` are bit-for-bit identical.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from datetime import date
@@ -48,6 +49,7 @@ from repro.engine.merge import ShardOutput, merge_chunks, merge_reports
 from repro.engine.planner import ShardPlan, ShardPlanner
 from repro.errors import ConfigurationError, EngineError
 from repro.net.accesspoint import AccessPoint
+from repro.obs.span import Tracer, get_tracer, use_tracer
 from repro.network_env.deployment import Deployment, DeploymentConfig, build_deployment
 from repro.population.profiles import UserProfile
 from repro.population.recruitment import RecruitmentConfig, recruit
@@ -134,6 +136,10 @@ class ShardWork:
     config: CampaignConfig
     shard_index: int
     device_ids: tuple
+    #: When True the worker runs under a local tracer and ships its span
+    #: tree back on the :class:`ShardOutput` (set at plan time from the
+    #: parent's tracer; never affects simulation results).
+    telemetry: bool = False
 
 
 @dataclass
@@ -195,7 +201,8 @@ def _world_for(config: CampaignConfig) -> _World:
     key = repr(config)
     world = _WORLD_CACHE.get(key)
     if world is None:
-        world = _build_world(config)
+        with get_tracer().span("build_world", year=config.year):
+            world = _build_world(config)
         _WORLD_CACHE[key] = world
         while len(_WORLD_CACHE) > _WORLD_CACHE_MAX:
             _WORLD_CACHE.popitem(last=False)
@@ -206,17 +213,22 @@ def _world_for(config: CampaignConfig) -> _World:
 
 def plan_campaign(config: CampaignConfig, n_jobs: int = 1) -> CampaignPlan:
     """Build the world and partition the panel into shard work units."""
-    world = _world_for(config)
-    shard_plan = ShardPlanner().plan(
-        [info.device_id for info in world.infos], max(1, n_jobs)
-    )
-    work = [
-        ShardWork(
-            config=config, shard_index=shard.index,
-            device_ids=shard.device_ids,
+    tracer = get_tracer()
+    with tracer.span("plan_campaign", year=config.year):
+        world = _world_for(config)
+        shard_plan = ShardPlanner().plan(
+            [info.device_id for info in world.infos], max(1, n_jobs)
         )
-        for shard in shard_plan.shards
-    ]
+        work = [
+            ShardWork(
+                config=config, shard_index=shard.index,
+                device_ids=shard.device_ids,
+                telemetry=tracer.enabled,
+            )
+            for shard in shard_plan.shards
+        ]
+        tracer.count("shards", shard_plan.n_shards)
+        tracer.count("devices", shard_plan.n_devices)
     return CampaignPlan(
         config=config, world=world, shard_plan=shard_plan, work=work
     )
@@ -227,7 +239,28 @@ def simulate_shard(work: ShardWork) -> ShardOutput:
 
     Module-level so process-pool workers can import it; reuses the parent's
     cached world when forked, rebuilds it deterministically otherwise.
+
+    When the plan carries telemetry, the shard runs under its own local
+    :class:`~repro.obs.span.Tracer` — regardless of whether it executes in
+    a pool worker or inline in the parent — and ships the exported span
+    tree back on ``ShardOutput.spans`` for the merge layer to graft into
+    the parent's trace. Telemetry never touches RNG streams, so traced and
+    untraced shards are bit-identical.
     """
+    if not work.telemetry:
+        return _simulate_shard_impl(work)
+    tracer = Tracer(
+        "simulate_shard",
+        {"year": work.config.year, "shard": work.shard_index,
+         "pid": os.getpid()},
+    )
+    with use_tracer(tracer):
+        output = _simulate_shard_impl(work)
+    output.spans = tracer.export()
+    return output
+
+
+def _simulate_shard_impl(work: ShardWork) -> ShardOutput:
     config = work.config
     world = _world_for(config)
     axis = config.axis
@@ -258,31 +291,35 @@ def simulate_shard(work: ShardWork) -> ShardOutput:
     if config.params.update_policy is not None:
         update_model = UpdateModel(config.params.update_policy)
 
+    tracer = get_tracer()
     stats = []
-    for device_id in work.device_ids:
-        profile = world.profiles[device_id]
-        if profile.user_id != device_id:
-            raise EngineError(
-                f"panel is not dense: profile {profile.user_id} at "
-                f"position {device_id}"
+    with tracer.span("simulate_devices", n_devices=len(work.device_ids)):
+        for device_id in work.device_ids:
+            profile = world.profiles[device_id]
+            if profile.user_id != device_id:
+                raise EngineError(
+                    f"panel is not dense: profile {profile.user_id} at "
+                    f"position {device_id}"
+                )
+            user_rng = np.random.default_rng((config.seed, config.year, device_id))
+            simulator = DeviceSimulator(
+                profile=profile,
+                axis=axis,
+                deployment=world.deployment,
+                demand=world.demand,
+                params=config.params,
+                update_model=update_model,
+                rng=user_rng,
             )
-        user_rng = np.random.default_rng((config.seed, config.year, device_id))
-        simulator = DeviceSimulator(
-            profile=profile,
-            axis=axis,
-            deployment=world.deployment,
-            demand=world.demand,
-            params=config.params,
-            update_model=update_model,
-            rng=user_rng,
-        )
-        if pump is None:
-            simulator.run(builder)
-        else:
-            stats.append(pump.transmit(world.infos[device_id], simulator.collect()))
+            if pump is None:
+                simulator.run(builder)
+            else:
+                stats.append(pump.transmit(world.infos[device_id], simulator.collect()))
+            tracer.count("devices")
 
     if server is not None:
-        server.flush_buffers()
+        with tracer.span("flush_buffers"):
+            server.flush_buffers()
     return ShardOutput(
         shard_index=work.shard_index,
         device_ids=tuple(work.device_ids),
@@ -301,18 +338,31 @@ def merge_campaign(
     """Reassemble shard outputs into a finished campaign, canonically."""
     config = plan.config
     world = plan.world
-    builder = DatasetBuilder(config.year, config.axis)
-    for info in world.infos:
-        builder.add_device(info)
-    merge_chunks(builder, outputs, plan.shard_plan)
+    tracer = get_tracer()
+    # Graft worker span trees under the *current* span (the campaign/study
+    # stage that ran the shards), not under merge_campaign — shard wall
+    # time is execution time, not merge time.
+    for out in outputs:
+        tracer.attach(out.spans)
+    with tracer.span("merge_campaign", year=config.year,
+                     n_shards=plan.shard_plan.n_shards):
+        builder = DatasetBuilder(config.year, config.axis)
+        for info in world.infos:
+            builder.add_device(info)
+        merge_chunks(builder, outputs, plan.shard_plan)
 
-    report: Optional[CollectionReport] = None
-    if not config.direct_build:
-        report = merge_reports(outputs, plan.shard_plan, config.axis.n_slots)
+        report: Optional[CollectionReport] = None
+        if not config.direct_build:
+            report = merge_reports(outputs, plan.shard_plan, config.axis.n_slots)
+            totals = report.totals()
+            tracer.count("batches_delivered", totals["delivered"])
+            tracer.count("batches_dropped", totals["dropped"])
+            tracer.count("batches_churned", totals["churned"])
+            tracer.count("duplicates_dropped", report.duplicates_dropped)
 
-    _register_observed_aps(builder, world.deployment)
-    builder.ground_truth = _ground_truth(world.profiles, world.deployment)
-    dataset = builder.build()
+        _register_observed_aps(builder, world.deployment)
+        builder.ground_truth = _ground_truth(world.profiles, world.deployment)
+        dataset = builder.build()
     return CampaignResult(
         config=config, dataset=dataset, profiles=world.profiles,
         deployment=world.deployment, collection=report, execution=execution,
@@ -330,22 +380,29 @@ def run_campaign(
     defaults to 1 (serial); values ``<= 0`` mean one worker per CPU. A
     caller-supplied ``executor`` is reused as-is (and not closed here).
     """
-    n_jobs = resolve_jobs(n_jobs)
-    plan = plan_campaign(config, n_jobs)
-    own_executor = executor is None
-    if executor is None:
-        executor = make_executor(n_jobs)
-    try:
-        outputs = executor.run(simulate_shard, plan.work)
-    finally:
-        if own_executor:
-            executor.close()
-    execution = ExecutionInfo(
-        executor=executor.name,
-        n_jobs=executor.n_jobs,
-        n_shards=plan.shard_plan.n_shards,
-    )
-    return merge_campaign(plan, outputs, execution=execution)
+    tracer = get_tracer()
+    with tracer.span("run_campaign", year=config.year):
+        n_jobs = resolve_jobs(n_jobs)
+        plan = plan_campaign(config, n_jobs)
+        own_executor = executor is None
+        if executor is None:
+            executor = make_executor(n_jobs)
+        fallbacks_before = executor.fallbacks
+        try:
+            with tracer.span("execute_shards", executor=executor.name,
+                             n_jobs=executor.n_jobs):
+                outputs = executor.run(simulate_shard, plan.work)
+                tracer.count("shard_fallbacks",
+                             executor.fallbacks - fallbacks_before)
+        finally:
+            if own_executor:
+                executor.close()
+        execution = ExecutionInfo(
+            executor=executor.name,
+            n_jobs=executor.n_jobs,
+            n_shards=plan.shard_plan.n_shards,
+        )
+        return merge_campaign(plan, outputs, execution=execution)
 
 
 def _register_observed_aps(builder: DatasetBuilder, deployment: Deployment) -> None:

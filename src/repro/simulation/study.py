@@ -27,6 +27,7 @@ from repro.engine.executor import (
 )
 from repro.errors import ConfigurationError
 from repro.network_env.deployment import DeploymentConfig
+from repro.obs.span import get_tracer
 from repro.network_env.home_wifi import HomeWifiConfig
 from repro.network_env.public_wifi import PublicWifiConfig
 from repro.population.recruitment import RecruitmentConfig
@@ -168,47 +169,61 @@ class Study:
         per year in canonical shard order — worker count never changes
         results. A caller-supplied ``executor`` is reused and not closed.
         """
-        n_jobs = resolve_jobs(n_jobs)
-        plans = [
-            plan_campaign(
-                default_campaign_config(
-                    year, scale=self.config.scale, seed=self.config.seed,
-                    faults=self.config.faults,
-                ),
-                n_jobs,
+        tracer = get_tracer()
+        with tracer.span("study.run", scale=self.config.scale,
+                         seed=self.config.seed,
+                         years=list(self.config.years)):
+            n_jobs = resolve_jobs(n_jobs)
+            plans = [
+                plan_campaign(
+                    default_campaign_config(
+                        year, scale=self.config.scale, seed=self.config.seed,
+                        faults=self.config.faults,
+                    ),
+                    n_jobs,
+                )
+                for year in self.config.years
+            ]
+            units = [work for plan in plans for work in plan.work]
+            own_executor = executor is None
+            if executor is None:
+                executor = make_executor(n_jobs)
+            fallbacks_before = executor.fallbacks
+            try:
+                with tracer.span("execute_shards", executor=executor.name,
+                                 n_jobs=executor.n_jobs):
+                    outputs = executor.run(simulate_shard, units)
+                    tracer.count("shard_fallbacks",
+                                 executor.fallbacks - fallbacks_before)
+            finally:
+                if own_executor:
+                    executor.close()
+            offset = 0
+            for year, plan in zip(self.config.years, plans):
+                n_units = len(plan.work)
+                result = merge_campaign(
+                    plan,
+                    outputs[offset:offset + n_units],
+                    execution=ExecutionInfo(
+                        executor=executor.name,
+                        n_jobs=executor.n_jobs,
+                        n_shards=plan.shard_plan.n_shards,
+                    ),
+                )
+                offset += n_units
+                self.campaigns[year] = result
+                with tracer.span("survey", year=year):
+                    survey_rng = np.random.default_rng(
+                        (self.config.seed, year, 99)
+                    )
+                    self.surveys[year] = run_survey(
+                        result.profiles, year, survey_rng
+                    )
+            self.execution = ExecutionInfo(
+                executor=executor.name,
+                n_jobs=executor.n_jobs,
+                n_shards=len(units),
             )
-            for year in self.config.years
-        ]
-        units = [work for plan in plans for work in plan.work]
-        own_executor = executor is None
-        if executor is None:
-            executor = make_executor(n_jobs)
-        try:
-            outputs = executor.run(simulate_shard, units)
-        finally:
-            if own_executor:
-                executor.close()
-        offset = 0
-        for year, plan in zip(self.config.years, plans):
-            n_units = len(plan.work)
-            result = merge_campaign(
-                plan,
-                outputs[offset:offset + n_units],
-                execution=ExecutionInfo(
-                    executor=executor.name,
-                    n_jobs=executor.n_jobs,
-                    n_shards=plan.shard_plan.n_shards,
-                ),
-            )
-            offset += n_units
-            self.campaigns[year] = result
-            survey_rng = np.random.default_rng((self.config.seed, year, 99))
-            self.surveys[year] = run_survey(result.profiles, year, survey_rng)
-        self.execution = ExecutionInfo(
-            executor=executor.name,
-            n_jobs=executor.n_jobs,
-            n_shards=len(units),
-        )
         return self
 
     def dataset(self, year: int):

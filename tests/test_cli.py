@@ -15,6 +15,115 @@ def test_analyze_unknown_experiment(capsys):
     assert main(["analyze", "fig99", "--scale", "0.02"]) == 2
     err = capsys.readouterr().err
     assert "unknown experiments" in err
+    # The error names the valid id set so the fix is one copy-paste away.
+    assert "valid ids" in err and "table1" in err and "fig19" in err
+
+
+def test_version_flag_exits_zero(capsys):
+    from repro import __version__
+
+    assert main(["--version"]) == 0
+    assert __version__ in capsys.readouterr().out
+
+
+def test_missing_command_returns_usage_error(capsys):
+    assert main([]) == 2
+    assert "usage" in capsys.readouterr().err.lower()
+
+
+def test_bench_list_exits_zero(capsys):
+    assert main(["bench", "--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("table1", "fig19", "campaign_serial", "campaign_sharded",
+                 "context_cold_sweep", "context_warm_sweep",
+                 "collection_faulty_campaign"):
+        assert name in out
+
+
+def test_bench_unknown_name(capsys):
+    assert main(["bench", "not_a_benchmark"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown benchmarks" in err
+
+
+def test_bench_run_writes_report_and_manifest(tmp_path, capsys):
+    out = tmp_path / "BENCH_all.json"
+    manifest = tmp_path / "run_manifest.json"
+    assert main(["bench", "table1", "--scale", "0.02", "--seed", "3",
+                 "--repeat", "1", "--warmup", "0", "--telemetry",
+                 "--out", str(out), "--manifest", str(manifest)]) == 0
+    import json
+
+    report = json.loads(out.read_text())
+    assert report["benchmark"] == "all"
+    assert report["n_benchmarks"] == 1
+    assert report["results"][0]["name"] == "table1"
+
+    from repro.obs.manifest import RunManifest
+
+    run = RunManifest.read(manifest)
+    assert run.command == "bench"
+    assert run.counters["benchmarks_run"] == 1
+    assert "bench.table1" in run.stages
+    text = capsys.readouterr().out
+    assert "table1" in text and "wrote" in text
+
+
+def test_bench_check_only_gates_saved_report(tmp_path, capsys):
+    import json
+
+    current = tmp_path / "current.json"
+    current.write_text(json.dumps({
+        "benchmark": "all", "scale": 0.02,
+        "results": [{"name": "table1", "group": "experiment",
+                     "wall_s": 1.0, "mean_s": 1.0}],
+    }))
+    good = tmp_path / "baseline_good.json"
+    good.write_text(json.dumps({
+        "benchmark": "all", "scale": 0.02,
+        "results": [{"name": "table1", "wall_s": 0.9}],
+    }))
+    assert main(["bench", "--check-only", str(current),
+                 "--check", str(good)]) == 0
+    assert "threshold check passed" in capsys.readouterr().out
+
+    bad = tmp_path / "baseline_bad.json"
+    bad.write_text(json.dumps({
+        "benchmark": "all", "scale": 0.02,
+        "results": [{"name": "table1", "wall_s": 0.1}],
+    }))
+    assert main(["bench", "--check-only", str(current),
+                 "--check", str(bad)]) == 1
+    assert "REGRESSION" in capsys.readouterr().err
+
+
+def test_simulate_telemetry_writes_manifest_and_identical_data(
+    tmp_path, capsys
+):
+    plain_dir = tmp_path / "plain"
+    traced_dir = tmp_path / "traced"
+    args = ["simulate", "--scale", "0.02", "--seed", "3"]
+    assert main(args + ["--out", str(plain_dir)]) == 0
+    assert not (plain_dir / "run_manifest.json").exists()
+    assert main(args + ["--out", str(traced_dir), "--telemetry"]) == 0
+    capsys.readouterr()
+
+    from repro.obs.manifest import RunManifest
+
+    run = RunManifest.read(traced_dir / "run_manifest.json")
+    assert run.command == "simulate"
+    assert run.seed == 3 and run.scale == 0.02
+    assert run.years == [2013, 2014, 2015]
+    assert len(run.shards) == 3
+    assert run.stage_wall_s("study.run") > 0.0
+
+    # Telemetry must not change the saved datasets: byte-for-byte equal.
+    for year in (2013, 2014, 2015):
+        plain_files = sorted((plain_dir / f"campaign{year}").iterdir())
+        traced_files = sorted((traced_dir / f"campaign{year}").iterdir())
+        assert [p.name for p in plain_files] == [p.name for p in traced_files]
+        for left, right in zip(plain_files, traced_files):
+            assert left.read_bytes() == right.read_bytes(), left.name
 
 
 def test_simulate_then_validate_and_analyze(tmp_path, capsys):

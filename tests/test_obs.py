@@ -1,0 +1,349 @@
+"""Unit tests for the run-telemetry subsystem (``repro.obs``).
+
+Covers the span/tracer core, the metrics registry's duck-typed ingestors,
+run-manifest round-trips, the unified bench harness (discovery, the
+``best_of`` timing primitive, suite runs) and the CI regression gate.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError, ReproError
+from repro.obs.manifest import RunManifest, build_manifest, config_hash_of
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import (
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    telemetry_enabled,
+    use_tracer,
+)
+
+
+# ---------------------------------------------------------------------------
+# Span / Tracer core
+# ---------------------------------------------------------------------------
+
+def test_span_nesting_and_counters():
+    tracer = Tracer("root")
+    with tracer.span("outer", year=2015):
+        tracer.count("ticks", 3)
+        with tracer.span("inner"):
+            tracer.count("ticks", 2)
+    tree = tracer.export()
+    outer = tree["children"][0]
+    assert outer["name"] == "outer"
+    assert outer["attrs"] == {"year": 2015}
+    assert outer["counters"] == {"ticks": 3}
+    assert outer["wall_s"] >= outer["children"][0]["wall_s"] >= 0.0
+    (inner,) = outer["children"]
+    assert inner["name"] == "inner"
+    assert inner["counters"] == {"ticks": 2}
+
+
+def test_span_dict_round_trip():
+    tracer = Tracer("root", {"pid": 1})
+    with tracer.span("a", k="v"):
+        tracer.count("n", 7)
+    exported = tracer.export()
+    rebuilt = Span.from_dict(exported).as_dict()
+    assert rebuilt == exported
+    # Export must be plain-JSON serialisable (crosses process boundaries).
+    assert json.loads(json.dumps(exported)) == exported
+
+
+def test_tracer_attach_grafts_subtree():
+    parent = Tracer("parent")
+    worker = Tracer("worker", {"shard": 3})
+    with worker.span("work"):
+        worker.count("items", 5)
+    with parent.span("merge"):
+        parent.attach(worker.export())
+    tree = parent.export()
+    merge = tree["children"][0]
+    grafted = merge["children"][0]
+    assert grafted["name"] == "worker"
+    assert grafted["attrs"] == {"shard": 3}
+    assert grafted["children"][0]["counters"] == {"items": 5}
+
+
+def test_default_tracer_is_noop_singleton():
+    assert get_tracer() is NOOP_TRACER
+    assert isinstance(get_tracer(), NoopTracer)
+    assert not get_tracer().enabled
+    # The no-op handle is one shared object: entering a span allocates
+    # nothing, which is what keeps telemetry-off runs overhead-free.
+    assert get_tracer().span("a") is get_tracer().span("b", k=1)
+    with get_tracer().span("works-as-context-manager"):
+        get_tracer().count("ignored", 1)
+
+
+def test_set_tracer_returns_previous_and_resets():
+    tracer = Tracer("t")
+    assert set_tracer(tracer) is NOOP_TRACER
+    try:
+        assert get_tracer() is tracer
+    finally:
+        assert set_tracer(None) is tracer
+    assert get_tracer() is NOOP_TRACER
+
+
+def test_use_tracer_restores_on_exit():
+    tracer = Tracer("scoped")
+    with use_tracer(tracer):
+        assert get_tracer() is tracer
+        with pytest.raises(RuntimeError):
+            with use_tracer(Tracer("inner")):
+                raise RuntimeError("boom")
+        assert get_tracer() is tracer
+    assert get_tracer() is NOOP_TRACER
+
+
+def test_telemetry_enabled_reads_env(monkeypatch):
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    assert not telemetry_enabled()
+    for truthy in ("1", "true", "ON", "yes"):
+        monkeypatch.setenv("REPRO_TELEMETRY", truthy)
+        assert telemetry_enabled()
+    monkeypatch.setenv("REPRO_TELEMETRY", "0")
+    assert not telemetry_enabled()
+
+
+def test_noop_tracer_per_op_cost_is_negligible():
+    """The telemetry-off span path must stay within noise of a bare call.
+
+    Budget: < 5µs per span enter/exit (a small campaign opens a few
+    thousand spans, so this bounds total overhead well under 1%).
+    """
+    tracer = get_tracer()
+    n = 50_000
+    start = time.perf_counter()
+    for _ in range(n):
+        with tracer.span("x", a=1):
+            pass
+    per_op = (time.perf_counter() - start) / n
+    assert per_op < 5e-6, f"no-op span cost {per_op * 1e6:.2f}µs"
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------------
+
+def test_metrics_registry_ingests_span_tree():
+    tracer = Tracer("run")
+    with tracer.span("simulate"):
+        tracer.count("devices", 4)
+        with tracer.span("flush"):
+            pass
+    registry = MetricsRegistry()
+    registry.ingest_span_tree(tracer.export())
+    out = registry.as_dict()
+    assert out["counters"]["span.simulate.devices"] == 4
+    assert "simulate" in out["stages"]
+    assert "flush" in out["stages"]
+    assert out["stages"]["simulate"]["count"] == 1
+    assert isinstance(registry.render(), str) and registry.render()
+
+
+def test_metrics_registry_ingests_collection_report():
+    from repro.collection.faults import CollectionReport, DeviceCollectionStats
+
+    stats = DeviceCollectionStats(
+        device_id=1, ticks=10, churn_slot=None, churned=0,
+        uploaded=10, delivered=9, duplicates=1, dropped=1, cached=0,
+    )
+    report = CollectionReport(
+        n_slots=10, devices=[stats], batches_received=9, duplicates_dropped=1
+    )
+    registry = MetricsRegistry()
+    registry.ingest_collection_report(report, 2015)
+    counters = registry.as_dict()["counters"]
+    assert counters["collection.2015.delivered"] == 9
+    assert counters["collection.2015.dropped"] == 1
+    assert 0.0 < counters["collection.2015.completeness"] <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Run manifest
+# ---------------------------------------------------------------------------
+
+def test_config_hash_stable_and_sensitive():
+    assert config_hash_of("a", 1) == config_hash_of("a", 1)
+    assert config_hash_of("a", 1) != config_hash_of("a", 2)
+    assert len(config_hash_of("x")) == 16
+
+
+def test_manifest_round_trip(tmp_path):
+    tracer = Tracer("repro.simulate")
+    with tracer.span("study.run", scale=0.01):
+        tracer.count("devices", 12)
+    manifest = build_manifest(
+        "simulate", tracer,
+        config_hash=config_hash_of("cfg"),
+        seed=11, scale=0.01, years=[2013],
+        shards=[{"year": 2013, "n_shards": 2, "n_devices": 12}],
+        extra_counters={"custom": 1},
+    )
+    path = tmp_path / "run_manifest.json"
+    manifest.write(path)
+    loaded = RunManifest.read(path)
+    assert loaded == manifest
+    assert loaded.command == "simulate"
+    assert loaded.seed == 11
+    assert loaded.counters["custom"] == 1
+    assert loaded.counters["span.study.run.devices"] == 12
+    assert loaded.stage_wall_s("study.run") >= 0.0
+    assert loaded.spans["name"] == "repro.simulate"
+    # The manifest file itself must be valid, plain JSON.
+    assert json.loads(path.read_text())["schema_version"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Bench harness
+# ---------------------------------------------------------------------------
+
+def test_best_of_repeat_warmup_and_setup():
+    from repro.obs.bench import best_of
+
+    calls = []
+    setups = []
+
+    def fn(arg=None):
+        calls.append(arg)
+        return len(calls)
+
+    timing = best_of(fn, repeat=3, warmup=2, setup=lambda: setups.append(0))
+    assert len(calls) == 5  # warmups run fn too
+    assert len(setups) == 5  # setup runs before every invocation
+    assert len(timing.times) == 3  # only timed reps kept
+    assert timing.best_result in (3, 4, 5)
+    assert timing.best_s <= timing.mean_s
+
+    timing = best_of(lambda x: x, repeat=1, warmup=0, setup=lambda: "ctx")
+    assert timing.best_result == "ctx"  # setup's value is passed to fn
+
+    with pytest.raises(ConfigurationError):
+        best_of(fn, repeat=0)
+    with pytest.raises(ConfigurationError):
+        best_of(fn, warmup=-1)
+
+
+def test_discover_cases_covers_every_experiment():
+    from repro.obs.bench import discover_cases
+    from repro.reporting.experiments import EXPERIMENTS
+
+    cases = discover_cases()
+    names = [case.name for case in cases]
+    assert len(names) == len(set(names)), "duplicate benchmark names"
+    assert set(EXPERIMENTS) <= set(names)
+    groups = {case.group for case in cases}
+    assert {"experiment", "engine", "context", "collection"} <= groups
+
+
+def test_run_suite_rejects_unknown_names():
+    from repro.obs.bench import run_suite
+
+    with pytest.raises(ReproError, match="unknown benchmarks"):
+        run_suite(only=["not_a_bench"])
+
+
+def test_run_suite_smoke_single_case(tmp_path):
+    from repro.obs.bench import load_report, run_suite, write_report
+
+    report = run_suite(scale=0.004, seed=11, repeat=1, warmup=0,
+                       only=["table1"])
+    assert report["n_benchmarks"] == 1
+    (row,) = report["results"]
+    assert row["name"] == "table1"
+    assert row["wall_s"] > 0
+    path = write_report(report, tmp_path / "BENCH_all.json")
+    assert load_report(path) == report
+
+
+# ---------------------------------------------------------------------------
+# CI regression gate
+# ---------------------------------------------------------------------------
+
+def _suite_report(**rows):
+    return {
+        "benchmark": "all",
+        "scale": 0.02,
+        "results": [dict(name=name, **row) for name, row in rows.items()],
+    }
+
+
+def test_check_regression_context_speedup():
+    from repro.obs.bench import check_regression
+
+    baseline = {"benchmark": "context_cold_vs_warm_sweep", "speedup": 2.4}
+    healthy = _suite_report(
+        context_cold_sweep={"wall_s": 4.8}, context_warm_sweep={"wall_s": 2.0}
+    )
+    assert check_regression(healthy, baseline) == []
+    regressed = _suite_report(
+        context_cold_sweep={"wall_s": 2.0}, context_warm_sweep={"wall_s": 2.0}
+    )
+    failures = check_regression(regressed, baseline)
+    assert failures and "speedup regressed" in failures[0]
+    # Missing sweep benchmarks must fail loudly, not silently pass.
+    assert check_regression(_suite_report(), baseline)
+
+
+def test_check_regression_engine_per_device_cost():
+    from repro.obs.bench import check_regression
+
+    baseline = {
+        "benchmark": "engine_serial_vs_parallel",
+        "scales": [
+            {"scale": 0.02, "serial": {"wall_s": 1.0, "devices": 100}},
+            {"scale": 0.08, "serial": {"wall_s": 4.0, "devices": 400}},
+        ],
+    }
+    healthy = _suite_report(campaign_serial={"wall_s": 1.5, "devices": 100})
+    assert check_regression(healthy, baseline) == []
+    regressed = _suite_report(campaign_serial={"wall_s": 2.5, "devices": 100})
+    failures = check_regression(regressed, baseline)
+    assert failures and "per device" in failures[0]
+    assert check_regression(_suite_report(), baseline)
+
+
+def test_check_regression_all_name_by_name():
+    from repro.obs.bench import check_regression
+
+    baseline = _suite_report(table1={"wall_s": 0.1}, fig05={"wall_s": 0.2})
+    same = _suite_report(table1={"wall_s": 0.15}, fig05={"wall_s": 0.2})
+    assert check_regression(same, baseline) == []
+    slow = _suite_report(table1={"wall_s": 0.5}, fig05={"wall_s": 0.2})
+    failures = check_regression(slow, baseline)
+    assert failures and "table1" in failures[0]
+    # Wall times are not comparable across scales: the gate skips.
+    other_scale = dict(baseline, scale=0.08)
+    assert check_regression(slow, other_scale) == []
+
+
+def test_check_regression_rejects_bad_factor():
+    from repro.obs.bench import check_regression
+
+    with pytest.raises(ConfigurationError):
+        check_regression({}, {"benchmark": "all"}, factor=1.0)
+
+
+def test_committed_baselines_are_loadable():
+    """The repo's committed baselines must stay parseable by the gate."""
+    from pathlib import Path
+
+    from repro.obs.bench import check_regression, load_report
+
+    root = Path(__file__).resolve().parents[1]
+    context = load_report(root / "BENCH_context.json")
+    engine = load_report(root / "BENCH_engine.json")
+    assert context["benchmark"] == "context_cold_vs_warm_sweep"
+    assert engine["benchmark"] == "engine_serial_vs_parallel"
+    # An empty current report fails (loudly) rather than erroring.
+    assert check_regression({"benchmark": "all", "results": []}, context)
+    assert check_regression({"benchmark": "all", "results": []}, engine)

@@ -1,0 +1,84 @@
+"""Telemetry must never change results.
+
+The observability layer's core contract: a run with tracing on is
+bit-for-bit identical to the same run with tracing off, for any worker
+count. Telemetry reads outcomes — it must not touch RNG streams, device
+ordering, or the collection path.
+"""
+
+import pytest
+
+from repro.collection.faults import FaultPlan
+from repro.obs.span import Tracer, use_tracer
+from repro.simulation.campaign import run_campaign
+from repro.simulation.study import StudyConfig, Study
+
+from .test_engine import _small_config, assert_datasets_identical
+
+
+@pytest.fixture
+def traced():
+    """A real tracer installed for the duration of one test."""
+    tracer = Tracer("test")
+    with use_tracer(tracer):
+        yield tracer
+
+
+def test_campaign_identical_with_telemetry_on(traced):
+    config = _small_config()
+    baseline = run_campaign(config)  # runs under the real tracer too, but
+    # the reference below is produced with the default no-op tracer:
+    with use_tracer(None):
+        untraced = run_campaign(config)
+    assert_datasets_identical(untraced.dataset, baseline.dataset)
+
+
+def test_campaign_identical_across_workers_with_telemetry(traced):
+    config = _small_config()
+    serial = run_campaign(config, n_jobs=1)
+    sharded = run_campaign(config, n_jobs=2)
+    assert_datasets_identical(serial.dataset, sharded.dataset)
+    # Worker spans came back from both runs and were grafted into ours.
+    names = [span["name"] for span in traced.export()["children"]]
+    assert names.count("run_campaign") == 2
+
+
+def test_faulty_campaign_identical_with_telemetry(traced):
+    config = _small_config(faults=FaultPlan(
+        upload_failure_p=0.1, dropout_p=0.1, duplicate_p=0.05
+    ))
+    traced_run = run_campaign(config, n_jobs=2)
+    with use_tracer(None):
+        untraced = run_campaign(config, n_jobs=2)
+    assert_datasets_identical(untraced.dataset, traced_run.dataset)
+    assert untraced.collection.totals() == traced_run.collection.totals()
+
+
+def test_study_run_records_span_tree(traced):
+    study = Study(StudyConfig(scale=0.004, seed=11, years=(2013,))).run(
+        n_jobs=2
+    )
+    tree = traced.export()
+    (study_span,) = [
+        span for span in tree["children"] if span["name"] == "study.run"
+    ]
+    names = {name for name, _ in _walk(study_span)}
+    # The pipeline's load-bearing stages all appear in the trace.
+    assert {"plan_campaign", "execute_shards", "simulate_shard",
+            "simulate_devices", "merge_campaign", "survey"} <= names
+    # Worker spans carry per-shard attribution.
+    shard_spans = [s for name, s in _walk(study_span)
+                   if name == "simulate_shard"]
+    n_shards = study.campaigns[2013].execution.n_shards
+    assert len(shard_spans) == n_shards
+    assert {s["attrs"]["shard"] for s in shard_spans} == set(range(n_shards))
+    # Device counts in the trace match the simulated panel.
+    devices = sum(s["counters"]["devices"] for name, s in _walk(study_span)
+                  if name == "simulate_devices")
+    assert devices == study.dataset(2013).n_devices
+
+
+def _walk(span):
+    yield span["name"], span
+    for child in span.get("children", ()):
+        yield from _walk(child)
