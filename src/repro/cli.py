@@ -6,17 +6,21 @@ Subcommands::
     python -m repro analyze  --scale 0.1 table3 fig05       # run experiments
     python -m repro analyze  --data data/ table4            # on saved data
     python -m repro bench    --scale 0.02                   # benchmark suite
+    python -m repro fidelity --check FIDELITY_baseline.json # paper drift gate
+    python -m repro fidelity --report run_report.html       # HTML run report
     python -m repro list                                    # experiments
     python -m repro validate data/campaign2015              # check a dataset
 
 ``analyze`` accepts experiment ids (``table1``..``table9``, ``fig01``..
 ``fig19``, ``sec35``, ``sec41``) or ``all``.
 
-``simulate``, ``analyze`` and ``bench`` accept ``--telemetry`` (or
-``$REPRO_TELEMETRY=1``): the run executes under a real tracer and emits a
-machine-readable :class:`~repro.obs.manifest.RunManifest` JSON — config
-hash, seed, shard layout, per-stage wall/CPU seconds, cache hit rates and
-fault-loss accounting. Telemetry never changes results: outputs are
+``simulate``, ``analyze``, ``bench`` and ``fidelity`` accept
+``--telemetry`` (or ``$REPRO_TELEMETRY=1``): the run executes under a real
+tracer and emits a machine-readable
+:class:`~repro.obs.manifest.RunManifest` JSON — config hash, seed, shard
+layout, per-stage wall/CPU seconds, cache hit rates and fault-loss
+accounting — and ``--trace-out`` additionally exports the span tree as
+Chrome-trace JSON. Telemetry never changes results: outputs are
 bit-identical with it on or off.
 """
 
@@ -65,6 +69,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--manifest", type=Path, default=None, metavar="PATH",
             help="run-manifest output path (default: run_manifest.json "
                  "next to the command's other outputs)")
+        command_parser.add_argument(
+            "--trace-out", type=Path, default=None, metavar="PATH",
+            help="also export the span tree as Chrome-trace JSON "
+                 "(open in chrome://tracing or Perfetto); implies "
+                 "--telemetry")
 
     simulate = sub.add_parser("simulate", help="run the study and save datasets")
     simulate.add_argument("--scale", type=float, default=0.1,
@@ -149,6 +158,56 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default 2.0 = fail on >2x regressions)")
     add_telemetry_flags(bench)
 
+    fidelity = sub.add_parser(
+        "fidelity",
+        help="score paper fidelity and render the run report",
+        description="Run the registered experiments through the analysis "
+                    "context, compare each extracted quantity against the "
+                    "paper-reference registry (tolerance and shape "
+                    "predicates) and emit a FidelityReport JSON, an "
+                    "optional regression verdict against a committed "
+                    "baseline, a self-contained HTML run report, and the "
+                    "regenerated EXPERIMENTS.md tables.",
+    )
+    fidelity.add_argument("checks", nargs="*", metavar="CHECK",
+                          help="experiment ids or check ids to score "
+                               "(default: the full registry)")
+    fidelity.add_argument("--scale", type=float, default=0.02,
+                          help="panel scale for the scored study "
+                               "(default 0.02)")
+    fidelity.add_argument("--seed", type=int, default=7)
+    fidelity.add_argument("--data", type=Path, default=None,
+                          help="directory with saved campaign datasets; "
+                               "survey-backed checks are skipped there")
+    fidelity.add_argument("--jobs", type=int, default=None, metavar="N",
+                          help="worker processes for the study (reports "
+                               "are bit-identical for any value)")
+    fidelity.add_argument("--out", type=Path,
+                          default=Path("fidelity_report.json"),
+                          help="FidelityReport JSON output path "
+                               "(default fidelity_report.json)")
+    fidelity.add_argument("--check", type=Path, default=None,
+                          metavar="BASELINE",
+                          help="committed FIDELITY_baseline.json to gate "
+                               "against: exit 1 when any check's verdict "
+                               "regressed (pass->warn, anything->fail)")
+    fidelity.add_argument("--report", type=Path, default=None,
+                          metavar="HTML",
+                          help="write the self-contained HTML run report "
+                               "here (manifest + metrics + span timeline + "
+                               "fidelity scoreboard); implies --telemetry")
+    fidelity.add_argument("--bench", type=Path, default=None,
+                          metavar="BENCH_JSON",
+                          help="BENCH_all.json to fold into the HTML "
+                               "report's bench section")
+    fidelity.add_argument("--write-doc", type=Path, nargs="?",
+                          const=Path("EXPERIMENTS.md"), default=None,
+                          metavar="DOC",
+                          help="regenerate the paper-vs-measured tables "
+                               "between the FIDELITY markers of DOC "
+                               "(default EXPERIMENTS.md)")
+    add_telemetry_flags(fidelity)
+
     sub.add_parser("list", help="list available experiments")
 
     report = sub.add_parser(
@@ -201,11 +260,25 @@ def _start_telemetry(args: argparse.Namespace) -> Optional[Tracer]:
     :func:`repro.obs.span.set_tracer` (``_finish_telemetry`` does both the
     reset and the manifest write).
     """
-    if getattr(args, "telemetry", False) or telemetry_enabled():
+    wants = (getattr(args, "telemetry", False) or telemetry_enabled()
+             or getattr(args, "trace_out", None) is not None
+             or getattr(args, "report", None) is not None)
+    if wants:
         tracer = Tracer(f"repro.{args.command}")
         set_tracer(tracer)
         return tracer
     return None
+
+
+def _write_trace(tracer: Optional[Tracer], args: argparse.Namespace) -> None:
+    """Export the span tree as Chrome-trace JSON when ``--trace-out`` asks."""
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is None or tracer is None:
+        return
+    from repro.obs.span import write_chrome_trace
+
+    write_chrome_trace(tracer.export(), trace_out)
+    print(f"wrote Chrome trace {trace_out}")
 
 
 def _write_manifest(manifest, args: argparse.Namespace,
@@ -293,6 +366,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 },
             )
             _write_manifest(manifest, args, args.out)
+        _write_trace(tracer, args)
         return 0
     finally:
         if tracer is not None:
@@ -339,6 +413,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             )
             _write_manifest(manifest, args,
                             args.out if args.out is not None else Path("."))
+        _write_trace(tracer, args)
         return 0
     finally:
         if tracer is not None:
@@ -394,6 +469,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                     extra_counters={"benchmarks_run": report["n_benchmarks"]},
                 )
                 _write_manifest(manifest, args, args.out.parent)
+            _write_trace(tracer, args)
         finally:
             if tracer is not None:
                 set_tracer(None)
@@ -415,6 +491,87 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"threshold check passed against {len(args.check)} "
               f"baseline(s) at factor {args.factor}x")
     return 0
+
+
+def cmd_fidelity(args: argparse.Namespace) -> int:
+    # Lazy: the scorer reaches up into the analysis layer.
+    from repro.obs import fidelity as fidelity_mod
+
+    tracer = _start_telemetry(args)
+    try:
+        if args.data is not None:
+            study = _load_study_from(args.data)
+        else:
+            n_jobs = resolve_jobs(args.jobs, default=1)
+            study = run_study(scale=args.scale, seed=args.seed,
+                              n_jobs=n_jobs)
+        cache = AnalysisContext(study)
+        report = fidelity_mod.score_fidelity(
+            cache, checks=args.checks or None,
+            scale=args.scale, seed=args.seed,
+        )
+        print(report.render())
+        report.write(args.out)
+        print(f"wrote {args.out}")
+
+        if args.write_doc is not None:
+            from repro.obs.docgen import rewrite_experiments_doc
+
+            changed = rewrite_experiments_doc(args.write_doc, report)
+            print(f"{'rewrote' if changed else 'unchanged:'} "
+                  f"{args.write_doc}")
+
+        manifest = None
+        if tracer is not None:
+            manifest = build_manifest(
+                "fidelity", tracer,
+                config_hash=(config_hash_of(str(args.data))
+                             if args.data is not None
+                             else config_hash_of(study.config)),
+                seed=args.seed, scale=args.scale, years=list(study.years),
+                execution=study.execution,
+                shards=_study_shards(study) if study.execution else None,
+                cache_stats=cache.stats,
+                extra_counters={
+                    "fidelity_checks": len(report.records),
+                    "fidelity_pass": report.n_pass,
+                    "fidelity_warn": report.n_warn,
+                    "fidelity_fail": report.n_fail,
+                    "fidelity_skip": report.n_skip,
+                },
+            )
+            _write_manifest(manifest, args, args.out.parent)
+
+        if args.report is not None:
+            from repro.obs.bench import load_report as load_bench_report
+            from repro.obs.report import write_run_report
+
+            bench = (load_bench_report(args.bench)
+                     if args.bench is not None else None)
+            write_run_report(
+                args.report, manifest, fidelity=report, bench=bench,
+                title=f"repro fidelity (scale {args.scale:g}, "
+                      f"seed {args.seed})",
+            )
+            print(f"wrote run report {args.report}")
+        _write_trace(tracer, args)
+
+        if args.check is not None:
+            baseline = fidelity_mod.load_fidelity_report(args.check)
+            failures = fidelity_mod.fidelity_regressions(
+                report, baseline, baseline_name=args.check.name,
+            )
+            if failures:
+                for failure in failures:
+                    print(f"REGRESSION: {failure}", file=sys.stderr)
+                return 1
+            print(f"fidelity check passed against {args.check.name} "
+                  f"({report.n_pass} pass, {report.n_warn} warn, "
+                  f"{report.n_fail} fail, {report.n_skip} skip)")
+        return 0
+    finally:
+        if tracer is not None:
+            set_tracer(None)
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -445,6 +602,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": cmd_simulate,
         "analyze": cmd_analyze,
         "bench": cmd_bench,
+        "fidelity": cmd_fidelity,
         "list": cmd_list,
         "report": cmd_report,
         "validate": cmd_validate,

@@ -1,20 +1,27 @@
-"""Run-telemetry subsystem: spans, unified metrics, run manifests.
+"""Run-telemetry and fidelity-observability subsystem.
 
-Three stdlib-light modules the rest of the system threads through:
+Stdlib-light modules the rest of the system threads through:
 
 - :mod:`repro.obs.span` — ``Span``/``Tracer`` with monotonic wall/CPU
   timings, counters and nesting; a shared no-op tracer keeps the
   instrumented hot paths zero-overhead unless telemetry is enabled.
+  Chrome-trace export (:func:`~repro.obs.span.to_chrome_trace`) makes the
+  tree loadable in ``chrome://tracing`` / Perfetto.
 - :mod:`repro.obs.metrics` — ``MetricsRegistry`` folding the analysis
   cache stats, collection loss accounting and executor shard timings into
   one counters/stages schema.
 - :mod:`repro.obs.manifest` — ``RunManifest``, the machine-readable JSON
   account of one run (config hash, seed, shard layout, per-stage seconds,
   cache hit rates, fault losses).
+- :mod:`repro.obs.reference` — the paper-reference registry: one
+  ``PaperRef`` per checkable claim, each with a tolerance/shape
+  ``Predicate`` producing a normalized divergence and verdict.
 
-:mod:`repro.obs.bench` (the ``repro bench`` harness) is deliberately NOT
-imported here: it reaches up into the simulation layer, which imports this
-package, and eager import would cycle.
+:mod:`repro.obs.bench` (the ``repro bench`` harness),
+:mod:`repro.obs.fidelity` (the scorer), :mod:`repro.obs.docgen` and
+:mod:`repro.obs.report` are deliberately NOT imported here: they reach up
+into the simulation/analysis/reporting layers, which import this package,
+and eager import would cycle.
 """
 
 from repro.obs.manifest import (
@@ -24,6 +31,17 @@ from repro.obs.manifest import (
     config_hash_of,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.reference import (
+    REFERENCES,
+    VERDICT_FAIL,
+    VERDICT_PASS,
+    VERDICT_SKIP,
+    VERDICT_WARN,
+    PaperRef,
+    Predicate,
+    refs_for,
+    verdict_rank,
+)
 from repro.obs.span import (
     TELEMETRY_ENV_VAR,
     NoopTracer,
@@ -31,8 +49,11 @@ from repro.obs.span import (
     Tracer,
     get_tracer,
     set_tracer,
+    spans_from_chrome_trace,
     telemetry_enabled,
+    to_chrome_trace,
     use_tracer,
+    write_chrome_trace,
 )
 
 __all__ = [
@@ -49,4 +70,16 @@ __all__ = [
     "build_manifest",
     "config_hash_of",
     "MANIFEST_SCHEMA_VERSION",
+    "to_chrome_trace",
+    "spans_from_chrome_trace",
+    "write_chrome_trace",
+    "REFERENCES",
+    "PaperRef",
+    "Predicate",
+    "refs_for",
+    "verdict_rank",
+    "VERDICT_PASS",
+    "VERDICT_WARN",
+    "VERDICT_FAIL",
+    "VERDICT_SKIP",
 ]

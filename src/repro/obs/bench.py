@@ -403,6 +403,8 @@ def check_regression(
       wall seconds name-by-name, but only when scales match.
 
     Returns a list of human-readable failure messages (empty = pass).
+    Raises :class:`ConfigurationError` for an unrecognised baseline kind —
+    a misconfiguration, not a regression.
     """
     if factor <= 1.0:
         raise ConfigurationError(f"regression factor must be > 1: {factor}")
@@ -460,8 +462,11 @@ def check_regression(
                     f"({base['wall_s']:.4f}s -> {row['wall_s']:.4f}s)"
                 )
     else:
-        failures.append(
+        # A config error, not a regression: surface as exit code 2 (the
+        # unknown-id convention), never as a gate failure.
+        raise ConfigurationError(
             f"{baseline_name}: unrecognised baseline benchmark kind "
-            f"{kind!r}"
+            f"{kind!r}; valid kinds: context_cold_vs_warm_sweep, "
+            f"engine_serial_vs_parallel, all"
         )
     return failures

@@ -1,0 +1,215 @@
+"""The self-contained HTML run report.
+
+:func:`render_run_report` folds one run's artifacts — the
+:class:`~repro.obs.manifest.RunManifest`, its counters and per-stage
+timings, the span-tree timeline (rendered inline by
+:func:`repro.reporting.svg.span_timeline_svg`), bench results from a
+``BENCH_all.json`` report, and the fidelity scoreboard — into a single
+HTML page with zero external assets: every style and SVG is inline, so
+the file can be uploaded as a CI artifact and opened anywhere.
+
+Like :mod:`repro.obs.bench`, this module reaches up into the reporting
+layer and is therefore deliberately **not** imported by
+``repro.obs.__init__``.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.obs.fidelity import FidelityReport
+from repro.obs.manifest import RunManifest
+
+__all__ = ["render_run_report", "write_run_report"]
+
+_STYLE = """
+body { font-family: system-ui, sans-serif; margin: 2rem auto;
+       max-width: 64rem; color: #1a1a1a; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.15rem; margin-top: 2rem;
+     border-bottom: 1px solid #ddd; padding-bottom: .25rem; }
+table { border-collapse: collapse; margin: .75rem 0; font-size: .85rem; }
+th, td { border: 1px solid #ddd; padding: .3rem .6rem; text-align: left; }
+th { background: #f5f5f5; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.verdict-pass { color: #0a7a33; font-weight: 600; }
+.verdict-warn { color: #b07500; font-weight: 600; }
+.verdict-fail { color: #c0232c; font-weight: 600; }
+.verdict-skip { color: #777; }
+.pill { display: inline-block; padding: .1rem .55rem; border-radius: 1rem;
+        background: #eef; margin-right: .4rem; font-size: .8rem; }
+.muted { color: #777; font-size: .85rem; }
+svg { max-width: 100%; height: auto; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value))
+
+
+def _kv_table(pairs) -> str:
+    rows = "".join(
+        f"<tr><th>{_esc(k)}</th><td>{_esc(v)}</td></tr>" for k, v in pairs
+    )
+    return f"<table>{rows}</table>"
+
+
+def _manifest_section(manifest: RunManifest) -> str:
+    shards = ", ".join(
+        f"{s.get('year')}: {s.get('n_shards')}x ({s.get('n_devices')} dev)"
+        for s in manifest.shards
+    ) or "-"
+    env = manifest.environment or {}
+    return "<h2>Run manifest</h2>" + _kv_table([
+        ("command", manifest.command),
+        ("config hash", manifest.config_hash or "-"),
+        ("seed", manifest.seed),
+        ("scale", manifest.scale),
+        ("years", ", ".join(str(y) for y in manifest.years) or "-"),
+        ("executor", f"{manifest.executor} (jobs={manifest.n_jobs})"),
+        ("shards", shards),
+        ("python / numpy",
+         f"{env.get('python', '?')} / {env.get('numpy', '?')}"),
+    ])
+
+
+def _metrics_section(manifest: RunManifest) -> str:
+    parts = ["<h2>Metrics</h2>"]
+    if manifest.counters:
+        rows = "".join(
+            f"<tr><td>{_esc(name)}</td><td class='num'>{_esc(value)}</td></tr>"
+            for name, value in sorted(manifest.counters.items())
+        )
+        parts.append(
+            "<table><tr><th>counter</th><th>value</th></tr>"
+            f"{rows}</table>"
+        )
+    else:
+        parts.append("<p class='muted'>No counters recorded.</p>")
+    if manifest.stages:
+        rows = "".join(
+            "<tr><td>{0}</td><td class='num'>{1:.4f}</td>"
+            "<td class='num'>{2:.4f}</td><td class='num'>{3}</td></tr>".format(
+                _esc(stage),
+                float(data.get("wall_s", 0.0)),
+                float(data.get("cpu_s", 0.0)),
+                int(data.get("count", 0)),
+            )
+            for stage, data in sorted(manifest.stages.items())
+        )
+        parts.append(
+            "<table><tr><th>stage</th><th>wall s</th><th>cpu s</th>"
+            f"<th>count</th></tr>{rows}</table>"
+        )
+    return "".join(parts)
+
+
+def _timeline_section(manifest: RunManifest) -> str:
+    if not manifest.spans:
+        return ("<h2>Timeline</h2><p class='muted'>No span tree recorded "
+                "(run with --telemetry).</p>")
+    from repro.reporting.svg import span_timeline_svg
+
+    svg = span_timeline_svg(
+        manifest.spans, title=f"{manifest.command} timeline"
+    )
+    return f"<h2>Timeline</h2>{svg}"
+
+
+def _bench_section(bench: Optional[dict]) -> str:
+    if not bench:
+        return ""
+    results = bench.get("results", [])
+    rows = "".join(
+        "<tr><td>{0}</td><td>{1}</td><td class='num'>{2:.4f}</td>"
+        "<td class='num'>{3:.4f}</td></tr>".format(
+            _esc(r.get("name", "?")),
+            _esc(r.get("group", "-")),
+            float(r.get("mean_s", r.get("wall_s", 0.0))),
+            float(r.get("wall_s", 0.0)),
+        )
+        for r in results
+    )
+    head = (
+        f"<p class='muted'>{len(results)} benchmarks at scale "
+        f"{bench.get('scale', '?')}, seed {bench.get('seed', '?')}.</p>"
+    )
+    return (
+        "<h2>Bench</h2>" + head +
+        "<table><tr><th>benchmark</th><th>group</th><th>mean s</th>"
+        f"<th>wall s</th></tr>{rows}</table>"
+    )
+
+
+def _fidelity_section(fidelity: Optional[Union[FidelityReport, dict]]) -> str:
+    if fidelity is None:
+        return ""
+    data = fidelity.to_dict() if isinstance(fidelity, FidelityReport) else fidelity
+    pills = "".join(
+        f"<span class='pill verdict-{kind}'>{data.get('n_' + kind, 0)} "
+        f"{kind}</span>"
+        for kind in ("pass", "warn", "fail", "skip")
+    )
+    rows = []
+    for rec in data.get("records", ()):
+        verdict = rec.get("verdict", "skip")
+        div = rec.get("divergence")
+        rows.append(
+            "<tr><td>{0}</td><td>{1}</td><td>{2}</td><td>{3}</td>"
+            "<td class='num'>{4}</td>"
+            "<td class='verdict-{5}'>{5}</td></tr>".format(
+                _esc(rec.get("check_id", "?")),
+                _esc(rec.get("paper_item", "?")),
+                _esc(rec.get("paper", "")),
+                _esc(rec.get("measured_text", "-")),
+                "-" if div is None else f"{float(div):.3f}",
+                _esc(verdict),
+            )
+        )
+    return (
+        "<h2>Fidelity scoreboard</h2>"
+        f"<p>{pills}<span class='muted'>scored at scale "
+        f"{data.get('scale', '?')}, seed {data.get('seed', '?')}"
+        "</span></p>"
+        "<table><tr><th>check</th><th>paper item</th><th>paper</th>"
+        "<th>measured</th><th>divergence</th><th>verdict</th></tr>"
+        + "".join(rows) + "</table>"
+    )
+
+
+def render_run_report(
+    manifest: RunManifest,
+    fidelity: Optional[Union[FidelityReport, dict]] = None,
+    bench: Optional[dict] = None,
+    title: str = "repro run report",
+) -> str:
+    """One self-contained HTML page for a run (no external assets)."""
+    body = "".join([
+        f"<h1>{_esc(title)}</h1>",
+        _manifest_section(manifest),
+        _fidelity_section(fidelity),
+        _timeline_section(manifest),
+        _metrics_section(manifest),
+        _bench_section(bench),
+    ])
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\"><head>"
+        "<meta charset=\"utf-8\">"
+        f"<title>{_esc(title)}</title>"
+        f"<style>{_STYLE}</style></head>"
+        f"<body>{body}</body></html>\n"
+    )
+
+
+def write_run_report(
+    path: Union[str, Path],
+    manifest: RunManifest,
+    fidelity: Optional[Union[FidelityReport, dict]] = None,
+    bench: Optional[dict] = None,
+    title: str = "repro run report",
+) -> Path:
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render_run_report(manifest, fidelity, bench, title=title))
+    return out

@@ -37,6 +37,9 @@ __all__ = [
     "set_tracer",
     "use_tracer",
     "telemetry_enabled",
+    "to_chrome_trace",
+    "spans_from_chrome_trace",
+    "write_chrome_trace",
 ]
 
 #: Setting this to a truthy value (``1``, ``true``, ``on``, ``yes``) enables
@@ -171,6 +174,10 @@ class Tracer:
         self.root.cpu_s = time.process_time() - self._c0
         return self.root.as_dict()
 
+    def to_chrome_trace(self) -> dict:
+        """The span tree so far as a Chrome-trace JSON object."""
+        return to_chrome_trace(self.export())
+
 
 class _NoopHandle:
     """Reusable do-nothing span context manager."""
@@ -227,6 +234,103 @@ def set_tracer(
     previous = _TRACER
     _TRACER = tracer if tracer is not None else NOOP_TRACER
     return previous
+
+
+# ----------------------------------------------------------------------
+# Chrome-trace export (chrome://tracing / Perfetto)
+# ----------------------------------------------------------------------
+
+#: Trace events use integer microseconds; sub-microsecond spans round to 1
+#: so they stay visible (and survive the round trip as a >0 duration).
+_US = 1_000_000
+
+
+def to_chrome_trace(exported: dict, process_name: str = "repro") -> dict:
+    """A span tree (from :meth:`Tracer.export`) as Chrome-trace JSON.
+
+    Spans record *durations*, not start offsets, so starts are laid out
+    synthetically: each child begins where its previous sibling's wall
+    time ended. That is exact for the serial stages and a faithful
+    at-least-this-dense packing for spans grafted from parallel workers.
+    Events are complete ("X") events in preorder; ``args`` carries the
+    attrs, counters, CPU seconds and stack depth so
+    :func:`spans_from_chrome_trace` can rebuild the exact tree.
+    """
+    events: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 1,
+        "args": {"name": process_name},
+    }]
+
+    def emit(node: dict, start_us: int, depth: int) -> None:
+        dur_us = max(int(round(float(node.get("wall_s", 0.0)) * _US)), 1)
+        args: dict = {"depth": depth,
+                      "wall_s": float(node.get("wall_s", 0.0)),
+                      "cpu_s": float(node.get("cpu_s", 0.0))}
+        if node.get("attrs"):
+            args["attrs"] = dict(node["attrs"])
+        if node.get("counters"):
+            args["counters"] = dict(node["counters"])
+        events.append({
+            "name": str(node["name"]), "ph": "X", "cat": "span",
+            "pid": 1, "tid": 1, "ts": start_us, "dur": dur_us,
+            "args": args,
+        })
+        child_start = start_us
+        for child in node.get("children", ()):
+            emit(child, child_start, depth + 1)
+            child_start += max(
+                int(round(float(child.get("wall_s", 0.0)) * _US)), 1
+            )
+
+    if exported:
+        emit(exported, 0, 0)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def spans_from_chrome_trace(trace: dict) -> Optional[Span]:
+    """Rebuild the span tree from :func:`to_chrome_trace` output.
+
+    Durations come from ``args`` (exact floats), not from the rounded
+    microsecond timeline, so ``span.as_dict()`` of the result equals the
+    originally exported tree.
+    """
+    events = [e for e in trace.get("traceEvents", ()) if e.get("ph") == "X"]
+    if not events:
+        return None
+    root: Optional[Span] = None
+    stack: List[Span] = []  # stack[d] = most recent span at depth d
+    for event in events:
+        args = event.get("args", {})
+        depth = int(args.get("depth", len(stack)))
+        span = Span(str(event["name"]), args.get("attrs"))
+        span.counters = dict(args.get("counters", {}))
+        span.wall_s = float(event.get("dur", 0)) / _US
+        if "wall_s" in args:  # exact value wins over the rounded dur
+            span.wall_s = float(args["wall_s"])
+        span.cpu_s = float(args.get("cpu_s", 0.0))
+        del stack[depth:]
+        if depth == 0:
+            if root is not None:
+                raise ValueError("trace has more than one root span")
+            root = span
+        else:
+            if len(stack) != depth:
+                raise ValueError(
+                    f"event {span.name!r} at depth {depth} has no parent"
+                )
+            stack[-1].children.append(span)
+        stack.append(span)
+    return root
+
+
+def write_chrome_trace(exported: dict, path: "os.PathLike | str") -> None:
+    """Write a span tree as a ``chrome://tracing``-loadable JSON file."""
+    import json
+    from pathlib import Path
+
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(to_chrome_trace(exported), indent=2) + "\n")
 
 
 class use_tracer:

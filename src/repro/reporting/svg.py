@@ -213,6 +213,93 @@ def _escape(text: str) -> str:
     )
 
 
+def span_timeline_svg(
+    exported: dict,
+    title: str = "run timeline",
+    width: int = 920,
+    row_height: int = 22,
+    min_label_px: int = 46,
+) -> str:
+    """Render an exported span tree as a flame-graph-style timeline.
+
+    ``exported`` is :meth:`~repro.obs.span.Tracer.export` output (nested
+    name/wall_s/children dicts). Spans record durations rather than start
+    offsets, so children are packed left-to-right within their parent —
+    the same synthetic layout the Chrome-trace export uses. Bar width is
+    proportional to wall seconds; depth maps to the row. Each bar carries
+    a ``<title>`` tooltip with exact wall/CPU seconds.
+    """
+    if not exported:
+        raise ReproError("no span tree to render (telemetry was off?)")
+    total = float(exported.get("wall_s", 0.0))
+    if total <= 0.0:
+        raise ReproError("span tree has no recorded wall time")
+
+    # (depth, start_s, wall_s, node) rows via the packed preorder walk.
+    rows: List[Tuple[int, float, float, dict]] = []
+
+    def walk(node: dict, start: float, depth: int) -> None:
+        wall = float(node.get("wall_s", 0.0))
+        rows.append((depth, start, wall, node))
+        child_start = start
+        for child in node.get("children", ()):
+            walk(child, child_start, depth + 1)
+            child_start += float(child.get("wall_s", 0.0))
+
+    walk(exported, 0.0, 0)
+    n_levels = max(depth for depth, *_ in rows) + 1
+
+    margin_x, top, bottom = 12, 34, 26
+    height = top + n_levels * (row_height + 4) + bottom
+    inner_w = width - 2 * margin_x
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{margin_x}" y="18" font-size="13" font-weight="bold">'
+        f'{_escape(title)} — {total:.2f}s wall</text>',
+    ]
+    color_of: dict = {}
+    for depth, start, wall, node in rows:
+        x = margin_x + start / total * inner_w
+        w = max(wall / total * inner_w, 1.0)
+        y = top + depth * (row_height + 4)
+        name = str(node.get("name", "?"))
+        if name not in color_of:
+            color_of[name] = PALETTE[len(color_of) % len(PALETTE)]
+        tooltip = (
+            f"{name}: {wall:.4f}s wall, "
+            f"{float(node.get('cpu_s', 0.0)):.4f}s cpu"
+        )
+        counters = node.get("counters")
+        if counters:
+            tooltip += "; " + ", ".join(
+                f"{k}={v}" for k, v in sorted(counters.items())
+            )
+        parts.append(
+            f'<g><rect x="{x:.1f}" y="{y}" width="{w:.1f}" '
+            f'height="{row_height}" rx="2" fill="{color_of[name]}" '
+            f'fill-opacity="0.82" stroke="white" stroke-width="0.5">'
+            f'<title>{_escape(tooltip)}</title></rect>'
+        )
+        if w >= min_label_px:
+            parts.append(
+                f'<text x="{x + 4:.1f}" y="{y + row_height - 7}" '
+                f'fill="white">{_escape(name)}</text>'
+            )
+        parts.append("</g>")
+    axis_y = top + n_levels * (row_height + 4) + 14
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        px = margin_x + frac * inner_w
+        parts.append(
+            f'<text x="{px:.0f}" y="{axis_y}" text-anchor="middle" '
+            f'fill="#333">{frac * total:.2f}s</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
 def figure_to_svg(
     figure: Figure,
     log_x: bool = False,

@@ -177,3 +177,94 @@ def test_analyze_all_runs_everything(tmp_path, capsys):
     written = {p.stem for p in artifact_dir.glob("*.txt")}
     from repro.reporting.experiments import EXPERIMENTS
     assert written == set(EXPERIMENTS)
+
+def test_bench_check_unknown_kind_is_config_error(tmp_path, capsys):
+    """A typo'd baseline kind must exit 2 (config error), not 1."""
+    import json
+
+    current = tmp_path / "current.json"
+    current.write_text(json.dumps({
+        "benchmark": "all", "scale": 0.02,
+        "results": [{"name": "table1", "wall_s": 1.0}],
+    }))
+    bad = tmp_path / "baseline.json"
+    bad.write_text(json.dumps({
+        "benchmark": "bogus", "scale": 0.02, "results": [],
+    }))
+    assert main(["bench", "--check-only", str(current),
+                 "--check", str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert "unrecognised baseline benchmark kind" in err
+
+
+def test_fidelity_full_run_gates_doc_report_and_trace(tmp_path, capsys):
+    """One fidelity run: gate vs the committed baseline, rewrite a copy of
+    EXPERIMENTS.md, render the HTML run report and export a Chrome trace."""
+    import json
+    import shutil
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[1]
+    out = tmp_path / "fidelity_report.json"
+    html = tmp_path / "run_report.html"
+    trace = tmp_path / "trace.json"
+    doc = tmp_path / "EXPERIMENTS.md"
+    shutil.copy(root / "EXPERIMENTS.md", doc)
+
+    assert main(["fidelity", "--scale", "0.02", "--seed", "7",
+                 "--out", str(out),
+                 "--check", str(root / "FIDELITY_baseline.json"),
+                 "--report", str(html), "--trace-out", str(trace),
+                 "--write-doc", str(doc)]) == 0
+    text = capsys.readouterr().out
+    assert "fidelity check passed against FIDELITY_baseline.json" in text
+
+    from repro.obs.reference import REFERENCES
+
+    report = json.loads(out.read_text())
+    assert report["n_checks"] == len(REFERENCES)
+    assert {r["check_id"] for r in report["records"]} == set(REFERENCES)
+
+    # The committed doc holds scale-0.2 numbers; a 0.02 run rewrites it.
+    assert "rewrote" in text
+    assert "Measured (scale 0.02)" in doc.read_text()
+
+    page = html.read_text()
+    for needle in ("<svg", "Fidelity scoreboard", "Run manifest",
+                   "Timeline", "Metrics"):
+        assert needle in page, needle
+
+    # --report implies telemetry: the manifest lands next to --out.
+    from repro.obs.manifest import RunManifest
+
+    run = RunManifest.read(tmp_path / "run_manifest.json")
+    assert run.command == "fidelity"
+    assert run.counters["fidelity_checks"] == len(REFERENCES)
+
+    from repro.obs.span import spans_from_chrome_trace
+
+    rebuilt = spans_from_chrome_trace(json.loads(trace.read_text()))
+    assert rebuilt is not None
+    assert any(s.name == "fidelity.score" for s in rebuilt.walk())
+
+
+def test_fidelity_check_flags_disappeared_check(tmp_path, capsys):
+    """A baseline check the current run no longer produces must gate."""
+    import json
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[1]
+    baseline = json.loads((root / "FIDELITY_baseline.json").read_text())
+    subset = [r for r in baseline["records"]
+              if r["experiment_id"] == "table3"]
+    assert subset, "committed baseline lost its table3 checks"
+    phantom = dict(subset[0], check_id="t3_phantom", verdict="pass")
+    doctored = dict(baseline, records=subset + [phantom])
+    doctored_path = tmp_path / "baseline.json"
+    doctored_path.write_text(json.dumps(doctored))
+
+    assert main(["fidelity", "table3", "--scale", "0.02", "--seed", "7",
+                 "--out", str(tmp_path / "report.json"),
+                 "--check", str(doctored_path)]) == 1
+    err = capsys.readouterr().err
+    assert "REGRESSION" in err and "t3_phantom" in err

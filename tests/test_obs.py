@@ -20,8 +20,11 @@ from repro.obs.span import (
     Tracer,
     get_tracer,
     set_tracer,
+    spans_from_chrome_trace,
     telemetry_enabled,
+    to_chrome_trace,
     use_tracer,
+    write_chrome_trace,
 )
 
 
@@ -128,6 +131,56 @@ def test_noop_tracer_per_op_cost_is_negligible():
             pass
     per_op = (time.perf_counter() - start) / n
     assert per_op < 5e-6, f"no-op span cost {per_op * 1e6:.2f}µs"
+
+
+# ---------------------------------------------------------------------------
+# Chrome-trace export
+# ---------------------------------------------------------------------------
+
+def test_chrome_trace_round_trip(tmp_path):
+    tracer = Tracer("run", {"seed": 7})
+    with tracer.span("outer", year=2015):
+        tracer.count("items", 3)
+        with tracer.span("fast"):
+            pass
+        with tracer.span("slow"):
+            tracer.count("bytes", 12)
+    exported = tracer.export()
+
+    trace = to_chrome_trace(exported)
+    # The tracer method re-exports (the root's wall time is re-stamped),
+    # so compare shape rather than timings.
+    assert ([e["name"] for e in tracer.to_chrome_trace()["traceEvents"]]
+            == [e["name"] for e in trace["traceEvents"]])
+    meta, *events = trace["traceEvents"]
+    assert meta["ph"] == "M" and meta["args"]["name"] == "repro"
+    assert all(e["ph"] == "X" and e["dur"] >= 1 for e in events)
+    assert [e["name"] for e in events] == ["run", "outer", "fast", "slow"]
+    assert [e["args"]["depth"] for e in events] == [0, 1, 2, 2]
+    # Siblings lay out sequentially: "slow" starts where "fast" ended.
+    fast, slow = events[2], events[3]
+    assert slow["ts"] == fast["ts"] + fast["dur"]
+
+    # args carry the exact durations, so the rebuilt tree is identical
+    # despite the microsecond rounding of ts/dur.
+    assert spans_from_chrome_trace(trace).as_dict() == exported
+
+    out = tmp_path / "trace.json"
+    write_chrome_trace(exported, out)
+    reloaded = json.loads(out.read_text())
+    assert spans_from_chrome_trace(reloaded).as_dict() == exported
+
+
+def test_chrome_trace_rejects_malformed():
+    assert spans_from_chrome_trace({"traceEvents": []}) is None
+    xs = [e for e in Tracer("a").to_chrome_trace()["traceEvents"]
+          if e["ph"] == "X"]
+    with pytest.raises(ValueError, match="more than one root"):
+        spans_from_chrome_trace({"traceEvents": xs + xs})
+    orphan = {"name": "x", "ph": "X", "ts": 0, "dur": 1,
+              "args": {"depth": 2}}
+    with pytest.raises(ValueError, match="has no parent"):
+        spans_from_chrome_trace({"traceEvents": [orphan]})
 
 
 # ---------------------------------------------------------------------------
@@ -331,6 +384,15 @@ def test_check_regression_rejects_bad_factor():
 
     with pytest.raises(ConfigurationError):
         check_regression({}, {"benchmark": "all"}, factor=1.0)
+
+
+def test_check_regression_rejects_unknown_kind():
+    """A typo'd baseline kind is a misconfiguration, not a regression."""
+    from repro.obs.bench import check_regression
+
+    with pytest.raises(ConfigurationError,
+                       match="unrecognised baseline benchmark kind"):
+        check_regression(_suite_report(), {"benchmark": "nonsense"})
 
 
 def test_committed_baselines_are_loadable():

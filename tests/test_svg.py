@@ -5,7 +5,12 @@ import pytest
 
 from repro.errors import ReproError
 from repro.reporting.figures import Figure
-from repro.reporting.svg import Axis, SvgChart, figure_to_svg
+from repro.reporting.svg import (
+    Axis,
+    SvgChart,
+    figure_to_svg,
+    span_timeline_svg,
+)
 
 
 def _chart(**kwargs):
@@ -89,3 +94,32 @@ def test_save(tmp_path):
     path = tmp_path / "chart.svg"
     _chart().save(path)
     assert path.read_text().startswith("<svg")
+
+
+def test_span_timeline_renders_flame_rows():
+    exported = {
+        "name": "run", "wall_s": 2.0, "cpu_s": 1.5,
+        "children": [
+            {"name": "simulate", "wall_s": 1.2, "cpu_s": 1.0,
+             "counters": {"devices": 42},
+             "children": [{"name": "shard", "wall_s": 0.6, "cpu_s": 0.5}]},
+            {"name": "analyze", "wall_s": 0.7, "cpu_s": 0.4},
+        ],
+    }
+    svg = span_timeline_svg(exported, title="demo run")
+    assert svg.startswith("<svg") and svg.endswith("</svg>")
+    assert "demo run" in svg and "2.00s wall" in svg
+    # One bar per span, each with a tooltip carrying exact timings.
+    assert svg.count("<rect") == 1 + 4  # background + four spans
+    assert svg.count("<title>") == 4
+    assert "devices=42" in svg
+    # Wide bars get inline labels; every span name appears somewhere.
+    for name in ("run", "simulate", "shard", "analyze"):
+        assert name in svg
+
+
+def test_span_timeline_rejects_empty_or_zero_wall():
+    with pytest.raises(ReproError, match="no span tree"):
+        span_timeline_svg({})
+    with pytest.raises(ReproError, match="no recorded wall time"):
+        span_timeline_svg({"name": "run", "wall_s": 0.0})
