@@ -14,6 +14,14 @@ Subcommands::
 ``analyze`` accepts experiment ids (``table1``..``table9``, ``fig01``..
 ``fig19``, ``sec35``, ``sec41``) or ``all``.
 
+``simulate`` self-heals on demand: ``--checkpoint-dir``/``--resume`` spill
+and reuse completed shards (interrupted runs resume bit-identically),
+``--max-attempts``/``--shard-timeout``/``--retry-backoff-s`` bound
+retries, ``--partial-results`` degrades gracefully with explicit loss
+accounting, and the ``--chaos-*`` flags drive the deterministic fault
+harness (a chaos kill exits with code 3; stale checkpoint directories are
+refused with code 2).
+
 ``simulate``, ``analyze``, ``bench`` and ``fidelity`` accept
 ``--telemetry`` (or ``$REPRO_TELEMETRY=1``): the run executes under a real
 tracer and emits a machine-readable
@@ -33,11 +41,15 @@ from typing import List, Optional
 
 from repro import __version__
 from repro.collection.faults import FaultPlan, OutageWindow
+from repro.engine.chaos import ChaosKill
 from repro.engine.executor import resolve_jobs
 from repro.errors import ConfigurationError, ReproError
 from repro.obs.manifest import build_manifest, config_hash_of
 from repro.obs.span import Tracer, get_tracer, set_tracer, telemetry_enabled
-from repro.reporting.collection import render_collection_report
+from repro.reporting.collection import (
+    execution_losses_table,
+    render_collection_report,
+)
 from repro.analysis.context import AnalysisContext
 from repro.reporting.experiments import (
     EXPERIMENTS,
@@ -102,6 +114,67 @@ def build_parser() -> argparse.ArgumentParser:
                         help="outage window in slots (repeatable)")
     faults.add_argument("--cache-batches", type=int, default=None,
                         help="on-device cache bound in batches")
+    resilience = simulate.add_argument_group(
+        "resilience", "self-healing execution: shard checkpoint/resume, "
+        "bounded retries with deterministic backoff, graceful degradation. "
+        "Recovered or resumed runs are bit-identical to uninterrupted ones")
+    resilience.add_argument("--checkpoint-dir", type=Path, default=None,
+                            metavar="DIR",
+                            help="spill each completed shard here; an "
+                                 "interrupted run can pick up with --resume")
+    resilience.add_argument("--resume", action="store_true",
+                            help="reuse completed shards from "
+                                 "--checkpoint-dir (refused, exit 2, when "
+                                 "the directory was written by a different "
+                                 "config, seed, or shard layout)")
+    resilience.add_argument("--partial-results", action="store_true",
+                            help="drop shards that exhaust every retry "
+                                 "instead of aborting; losses are reported "
+                                 "explicitly and recorded in the manifest")
+    resilience.add_argument("--max-attempts", type=int, default=None,
+                            metavar="N",
+                            help="pool attempts per shard before the serial "
+                                 "last resort (default 1 = no retry)")
+    resilience.add_argument("--shard-timeout", type=float, default=None,
+                            metavar="SECONDS",
+                            help="per-shard deadline measured from the "
+                                 "shard's observed start (parallel runs "
+                                 "only); an expired shard is retried on a "
+                                 "fresh pool")
+    resilience.add_argument("--retry-backoff-s", type=float, default=None,
+                            metavar="SECONDS",
+                            help="base backoff before a retry, doubled per "
+                                 "attempt with deterministic seeded jitter "
+                                 "(default 0.05)")
+    chaos = simulate.add_argument_group(
+        "chaos harness", "deterministic fault injection exercising the "
+        "resilience paths (testing/CI only; never changes surviving "
+        "shards' results)")
+    chaos.add_argument("--chaos-crash-rate", type=float, default=None,
+                       metavar="P",
+                       help="fraction of shards whose first attempts crash")
+    chaos.add_argument("--chaos-crash-attempts", type=int, default=None,
+                       metavar="K",
+                       help="how many attempts of a selected shard crash "
+                            "before it behaves (default 1)")
+    chaos.add_argument("--chaos-hang-rate", type=float, default=None,
+                       metavar="P",
+                       help="fraction of shards whose first attempt hangs "
+                            "for --chaos-hang-s before completing")
+    chaos.add_argument("--chaos-hang-s", type=float, default=None,
+                       metavar="SECONDS",
+                       help="injected hang duration (default 1.0)")
+    chaos.add_argument("--chaos-kill-after", type=int, default=None,
+                       metavar="N",
+                       help="kill the campaign (exit 3) after N completed "
+                            "shards — pair with --checkpoint-dir and a "
+                            "--resume rerun")
+    chaos.add_argument("--chaos-seed", type=int, default=None,
+                       help="seed for chaos shard selection (default 0)")
+    chaos.add_argument("--chaos-state-dir", type=Path, default=None,
+                       metavar="DIR",
+                       help="cross-process attempt-marker directory "
+                            "(required for crash/hang injection)")
     add_telemetry_flags(simulate)
 
     analyze = sub.add_parser("analyze", help="run experiments")
@@ -330,13 +403,65 @@ def _fault_plan_from_args(args: argparse.Namespace) -> Optional[FaultPlan]:
     )
 
 
+def _resilience_from_args(
+    args: argparse.Namespace,
+) -> Optional["ResilienceConfig"]:
+    """Build a ResilienceConfig from CLI flags; None when none were given."""
+    from repro.engine.chaos import ChaosPlan
+    from repro.engine.resilience import (
+        CheckpointStore,
+        ResilienceConfig,
+        RetryPolicy,
+    )
+
+    chaos_flags = (args.chaos_crash_rate, args.chaos_crash_attempts,
+                   args.chaos_hang_rate, args.chaos_hang_s,
+                   args.chaos_kill_after, args.chaos_seed,
+                   args.chaos_state_dir)
+    chaos = None
+    if any(value is not None for value in chaos_flags):
+        chaos = ChaosPlan(
+            crash_rate=args.chaos_crash_rate or 0.0,
+            crash_attempts=args.chaos_crash_attempts or 1,
+            hang_rate=args.chaos_hang_rate or 0.0,
+            hang_s=args.chaos_hang_s if args.chaos_hang_s is not None else 1.0,
+            kill_after_shards=args.chaos_kill_after,
+            seed=args.chaos_seed or 0,
+            state_dir=args.chaos_state_dir,
+        )
+    policy = None
+    if (args.max_attempts is not None or args.shard_timeout is not None
+            or args.retry_backoff_s is not None):
+        policy = RetryPolicy(
+            max_attempts=args.max_attempts or 1,
+            backoff_base_s=(args.retry_backoff_s
+                            if args.retry_backoff_s is not None else 0.05),
+            seed=args.seed,
+            shard_timeout_s=args.shard_timeout,
+        )
+    store = (CheckpointStore(args.checkpoint_dir)
+             if args.checkpoint_dir is not None else None)
+    if (store is None and policy is None and chaos is None
+            and not args.partial_results):
+        if args.resume:
+            raise ConfigurationError(
+                "--resume needs a checkpoint store (--checkpoint-dir)"
+            )
+        return None
+    return ResilienceConfig(
+        store=store, resume=args.resume, policy=policy,
+        partial=args.partial_results, chaos=chaos,
+    )
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     faults = _fault_plan_from_args(args)
+    resilience = _resilience_from_args(args)
     n_jobs = resolve_jobs(args.jobs, default=0)  # default: auto (CPU count)
     tracer = _start_telemetry(args)
     try:
         study = run_study(scale=args.scale, seed=args.seed, faults=faults,
-                          n_jobs=n_jobs)
+                          n_jobs=n_jobs, resilience=resilience)
         args.out.mkdir(parents=True, exist_ok=True)
         if study.execution is not None:
             print(f"executor: {study.execution.describe()}")
@@ -353,6 +478,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 print(f"\ncampaign {year} collection:")
                 print(render_collection_report(report))
                 print()
+        losses = [study.campaigns[y].losses for y in study.years
+                  if study.campaigns[y].losses is not None]
+        if losses:
+            print()
+            print(execution_losses_table(losses).render())
+        if study.resilience is not None:
+            print(study.resilience.describe())
         if tracer is not None:
             manifest = build_manifest(
                 "simulate", tracer,
@@ -364,6 +496,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 collection_reports={
                     y: study.campaigns[y].collection for y in study.years
                 },
+                resilience=study.resilience,
+                losses=losses,
             )
             _write_manifest(manifest, args, args.out)
         _write_trace(tracer, args)
@@ -609,6 +743,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     }
     try:
         return handlers[args.command](args)
+    except ChaosKill as exc:
+        # The chaos harness killed the run mid-campaign on purpose;
+        # a distinct exit code lets the CI smoke job (and the resume
+        # tests) tell "interrupted as planned" from a real error.
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 3
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -8,13 +8,27 @@ Campaign execution is split into three orthogonal pieces:
 - :mod:`repro.engine.executor` — pluggable execution of shard work units,
   serially or over a process pool with timeout and serial fallback;
 - :mod:`repro.engine.merge` — canonical-order reassembly of shard-local
-  dataset chunks and collection accounting.
+  dataset chunks and collection accounting;
+- :mod:`repro.engine.resilience` — self-healing execution: shard
+  checkpoint/resume, bounded retries with deterministic backoff,
+  deadline-based timeouts, and explicit partial-results loss accounting;
+- :mod:`repro.engine.chaos` — deterministic fault injection (worker
+  crashes, hangs, parent-side kills, checkpoint corruption) used to prove
+  the recovery paths preserve results.
 
 The hard guarantee: for any valid configuration (including nonzero
 ``FaultPlan``\\ s), ``n_jobs=1`` and ``n_jobs=k`` produce bit-for-bit
-identical ``CampaignDataset``\\ s and equal ``CollectionReport``\\ s.
+identical ``CampaignDataset``\\ s and equal ``CollectionReport``\\ s — and
+so do interrupted-then-resumed runs versus uninterrupted ones.
 """
 
+from repro.engine.chaos import (
+    ChaosCrash,
+    ChaosKill,
+    ChaosMonkey,
+    ChaosPlan,
+    corrupt_checkpoints,
+)
 from repro.engine.executor import (
     JOBS_ENV_VAR,
     ExecutionInfo,
@@ -28,9 +42,20 @@ from repro.engine.merge import (
     ShardOutput,
     merge_chunks,
     merge_reports,
+    missing_shards,
     ordered_outputs,
 )
 from repro.engine.planner import Shard, ShardPlan, ShardPlanner
+from repro.engine.resilience import (
+    CheckpointStore,
+    ExecutionLosses,
+    ResilienceConfig,
+    ResilienceReport,
+    RetryPolicy,
+    ShardAttemptLog,
+    ShardFailure,
+    config_key,
+)
 
 __all__ = [
     "JOBS_ENV_VAR",
@@ -43,8 +68,22 @@ __all__ = [
     "ShardOutput",
     "merge_chunks",
     "merge_reports",
+    "missing_shards",
     "ordered_outputs",
     "Shard",
     "ShardPlan",
     "ShardPlanner",
+    "CheckpointStore",
+    "ExecutionLosses",
+    "ResilienceConfig",
+    "ResilienceReport",
+    "RetryPolicy",
+    "ShardAttemptLog",
+    "ShardFailure",
+    "config_key",
+    "ChaosCrash",
+    "ChaosKill",
+    "ChaosMonkey",
+    "ChaosPlan",
+    "corrupt_checkpoints",
 ]

@@ -8,10 +8,25 @@ Two implementations:
 
 - :class:`SerialExecutor` runs units inline in the calling process.
 - :class:`ParallelExecutor` fans units out over a
-  :class:`concurrent.futures.ProcessPoolExecutor` with a per-shard timeout.
-  Any worker failure (crash, timeout, broken pool, unpicklable unit) makes
-  that unit **fall back to serial execution in the parent** — a flaky pool
-  degrades throughput, never results.
+  :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Both classify every failed attempt into a structured
+:class:`~repro.engine.resilience.ShardFailure` (``crash`` vs ``timeout``
+vs ``broken-pool`` vs ``submit``) and keep a per-unit
+:class:`~repro.engine.resilience.ShardAttemptLog` in :attr:`history`. With
+a :class:`~repro.engine.resilience.RetryPolicy`, transient failures retry
+(in-pool for the parallel executor) with deterministic backoff before the
+last-resort serial fallback in the parent; with ``allow_partial``, units
+that exhaust every recovery are **dropped** (their result is ``None``) and
+counted instead of aborting the run.
+
+Shard timeouts are *deadlines measured from the observed start of each
+shard*, never from its position in the submission queue: a fast shard
+queued behind a hung sibling is not charged for the wait, and total stall
+time is bounded by the deadline itself rather than by ``n_shards ×
+timeout`` sequential waits. When a deadline fires, the (unkillable) hung
+worker's pool is discarded and every in-flight sibling restarts on a fresh
+pool without being charged an attempt.
 
 ``resolve_jobs`` turns a requested worker count into an effective one,
 honouring the ``REPRO_JOBS`` environment variable so whole test suites can
@@ -21,10 +36,25 @@ be routed through the parallel path without touching call sites.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
+from repro.engine.resilience import (
+    FAILURE_SUBMIT,
+    FAILURE_TIMEOUT,
+    OUTCOME_DROPPED,
+    OUTCOME_FAILED,
+    OUTCOME_FALLBACK,
+    OUTCOME_OK,
+    OUTCOME_RETRIED,
+    RetryPolicy,
+    ShardAttemptLog,
+    ShardFailure,
+    classify_exception,
+    describe_exception,
+)
 from repro.errors import ConfigurationError
 
 T = TypeVar("T")
@@ -32,6 +62,12 @@ R = TypeVar("R")
 
 #: Environment variable consulted when no explicit worker count is given.
 JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: Drain-loop poll granularity when a deadline or backoff is being watched.
+_POLL_S = 0.05
+
+#: Callback invoked as each unit completes: ``on_result(unit_index, result)``.
+ResultCallback = Callable[[int, R], None]
 
 
 @dataclass(frozen=True)
@@ -73,42 +109,136 @@ def resolve_jobs(n_jobs: Optional[int] = None, default: int = 1) -> int:
 
 
 def make_executor(
-    n_jobs: int, shard_timeout_s: Optional[float] = None
+    n_jobs: int,
+    shard_timeout_s: Optional[float] = None,
+    policy: Optional[RetryPolicy] = None,
+    allow_partial: bool = False,
 ) -> "Executor":
     """The executor for ``n_jobs`` workers (1 disables the pool)."""
     if n_jobs <= 1:
-        return SerialExecutor()
-    return ParallelExecutor(n_jobs, shard_timeout_s=shard_timeout_s)
+        return SerialExecutor(policy=policy, allow_partial=allow_partial)
+    return ParallelExecutor(
+        n_jobs, shard_timeout_s=shard_timeout_s, policy=policy,
+        allow_partial=allow_partial,
+    )
 
 
-class SerialExecutor:
-    """Runs every unit inline in the calling process."""
+class _ResilienceMixin:
+    """Shared attempt accounting for both executors."""
+
+    policy: Optional[RetryPolicy]
+    allow_partial: bool
+
+    def _init_accounting(self) -> None:
+        #: Units re-run serially after a worker failure (lifetime count).
+        self.fallbacks = 0
+        #: In-pool retry submissions (lifetime count).
+        self.retries = 0
+        #: Units dropped after exhausting every recovery (partial mode).
+        self.dropped = 0
+        #: Every classified failed attempt, in observation order.
+        self.failures: List[ShardFailure] = []
+        #: Per-unit attempt logs, appended in unit order per run() call.
+        self.history: List[ShardAttemptLog] = []
+
+    @property
+    def max_attempts(self) -> int:
+        return self.policy.max_attempts if self.policy is not None else 1
+
+    def _record_failure(
+        self, log: ShardAttemptLog, kind: str, exc: Optional[BaseException],
+        elapsed_s: float, charge_attempt: bool = True,
+    ) -> ShardFailure:
+        if charge_attempt:
+            log.attempts += 1
+        failure = ShardFailure(
+            unit_index=log.unit_index, attempt=log.attempts, kind=kind,
+            error=(describe_exception(exc) if exc is not None else kind),
+            elapsed_s=elapsed_s,
+        )
+        log.failures.append(failure)
+        self.failures.append(failure)
+        return failure
+
+
+class SerialExecutor(_ResilienceMixin):
+    """Runs every unit inline in the calling process.
+
+    With a :class:`RetryPolicy`, a failing unit is retried (with the same
+    deterministic backoff as the pool path) before failing hard — or being
+    dropped when ``allow_partial`` is set. Deadlines are not enforced
+    inline: a timeout needs a second process to observe it.
+    """
 
     name = "serial"
     n_jobs = 1
 
-    def __init__(self) -> None:
-        self.fallbacks = 0
+    def __init__(self, policy: Optional[RetryPolicy] = None,
+                 allow_partial: bool = False) -> None:
+        self.policy = policy
+        self.allow_partial = allow_partial
+        self._init_accounting()
 
-    def run(self, fn: Callable[[T], R], units: Sequence[T]) -> List[R]:
-        return [fn(unit) for unit in units]
+    def run(
+        self,
+        fn: Callable[[T], R],
+        units: Sequence[T],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[Optional[R]]:
+        results: List[Optional[R]] = []
+        for index, unit in enumerate(units):
+            results.append(self._run_unit(fn, unit, index, on_result))
+        return results
+
+    def _run_unit(self, fn, unit, index, on_result):
+        log = ShardAttemptLog(unit_index=index)
+        self.history.append(log)
+        while True:
+            started = time.monotonic()
+            try:
+                result = fn(unit)
+            except Exception as exc:
+                self._record_failure(
+                    log, classify_exception(exc), exc,
+                    time.monotonic() - started,
+                )
+                if log.attempts < self.max_attempts:
+                    self.retries += 1
+                    time.sleep(self.policy.backoff_s(index, log.attempts))
+                    continue
+                if self.allow_partial:
+                    log.outcome = OUTCOME_DROPPED
+                    self.dropped += 1
+                    return None
+                log.outcome = OUTCOME_FAILED
+                raise
+            log.attempts += 1
+            log.outcome = OUTCOME_OK if log.attempts == 1 else OUTCOME_RETRIED
+            if on_result is not None:
+                on_result(index, result)
+            return result
 
     def close(self) -> None:
         """Nothing to release."""
 
 
-class ParallelExecutor:
-    """Process-pool executor with per-shard timeout and serial fallback.
+class ParallelExecutor(_ResilienceMixin):
+    """Process-pool executor with deadlines, in-pool retry and fallback.
 
     The pool is created lazily on the first :meth:`run` and reused across
     calls (a study's years share one pool), so :meth:`close` must be called
-    when done — or use the executor as a context manager.
+    when done — or use the executor as a context manager. A pool poisoned
+    by a hung or crashed worker is replaced transparently.
     """
 
     name = "parallel"
 
     def __init__(
-        self, n_jobs: int, shard_timeout_s: Optional[float] = None
+        self,
+        n_jobs: int,
+        shard_timeout_s: Optional[float] = None,
+        policy: Optional[RetryPolicy] = None,
+        allow_partial: bool = False,
     ) -> None:
         if n_jobs < 2:
             raise ConfigurationError(
@@ -120,45 +250,170 @@ class ParallelExecutor:
             )
         self.n_jobs = n_jobs
         self.shard_timeout_s = shard_timeout_s
-        #: Units re-run serially after a worker failure (lifetime count).
-        self.fallbacks = 0
+        self.policy = policy
+        self.allow_partial = allow_partial
+        self._init_accounting()
         self._pool: Optional[ProcessPoolExecutor] = None
 
-    def run(self, fn: Callable[[T], R], units: Sequence[T]) -> List[R]:
+    @property
+    def _deadline_s(self) -> Optional[float]:
+        if self.policy is not None and self.policy.shard_timeout_s is not None:
+            return self.policy.shard_timeout_s
+        return self.shard_timeout_s
+
+    def run(
+        self,
+        fn: Callable[[T], R],
+        units: Sequence[T],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[Optional[R]]:
         if not units:
             return []
-        futures = None
-        try:
-            if self._pool is None:
-                self._pool = ProcessPoolExecutor(max_workers=self.n_jobs)
-            futures = [self._pool.submit(fn, unit) for unit in units]
-        except Exception:
-            # The pool could not even be built or fed (fork failure,
-            # unpicklable unit): run everything serially.
-            self._discard_pool()
-            self.fallbacks += len(units)
-            return [fn(unit) for unit in units]
+        n = len(units)
+        results: List[Optional[R]] = [None] * n
+        logs = [ShardAttemptLog(unit_index=i) for i in range(n)]
+        self.history.extend(logs)
+        exhausted: List[int] = []  # units needing the serial last resort
 
-        results: List[Optional[R]] = [None] * len(units)
-        failed: List[int] = []
-        poisoned = False
-        for i, future in enumerate(futures):
+        pending: Dict[Future, int] = {}
+        started: Dict[Future, float] = {}
+        retry_at: Dict[int, float] = {}
+        deadline = self._deadline_s
+
+        def submit(index: int) -> None:
             try:
-                results[i] = future.result(timeout=self.shard_timeout_s)
-            except Exception:
-                # Worker crash, timeout, or broken pool: remember the unit
-                # and keep draining so healthy results are not discarded.
-                future.cancel()
-                failed.append(i)
-                poisoned = True
-        if poisoned:
-            # A pool that timed out or broke may still hold stragglers;
-            # don't block on them — replace the pool on the next run.
-            self._discard_pool()
-        for i in failed:
-            results[i] = fn(units[i])
-        self.fallbacks += len(failed)
-        return results  # type: ignore[return-value]
+                if self._pool is None:
+                    self._pool = ProcessPoolExecutor(max_workers=self.n_jobs)
+                future = self._pool.submit(fn, units[index])
+            except Exception as exc:
+                # The pool could not be built or fed (fork failure,
+                # unpicklable work): not retryable in-pool.
+                self._record_failure(logs[index], FAILURE_SUBMIT, exc, 0.0)
+                self._discard_pool()
+                exhausted.append(index)
+                return
+            pending[future] = index
+
+        def settle_failure(index: int, kind: str,
+                           exc: Optional[BaseException],
+                           elapsed_s: float) -> None:
+            self._record_failure(logs[index], kind, exc, elapsed_s)
+            if logs[index].attempts < self.max_attempts:
+                self.retries += 1
+                retry_at[index] = time.monotonic() + self.policy.backoff_s(
+                    index, logs[index].attempts
+                )
+            else:
+                exhausted.append(index)
+
+        for i in range(n):
+            submit(i)
+
+        while pending or retry_at:
+            now = time.monotonic()
+            for index in [i for i, at in retry_at.items() if at <= now]:
+                del retry_at[index]
+                submit(index)
+            if not pending:
+                if retry_at:
+                    time.sleep(
+                        min(max(0.0, min(retry_at.values()) - time.monotonic()),
+                            _POLL_S)
+                    )
+                continue
+            wait_s = _POLL_S if (deadline is not None or retry_at) else None
+            finished, _ = wait(
+                set(pending), timeout=wait_s, return_when=FIRST_COMPLETED
+            )
+            now = time.monotonic()
+            pool_broken = False
+            for future in finished:
+                index = pending.pop(future)
+                start = started.pop(future, None)
+                elapsed = (now - start) if start is not None else 0.0
+                try:
+                    value = future.result()
+                except Exception as exc:
+                    kind = classify_exception(exc)
+                    if kind != "crash":
+                        pool_broken = True
+                    settle_failure(index, kind, exc, elapsed)
+                else:
+                    log = logs[index]
+                    log.attempts += 1
+                    log.outcome = (OUTCOME_OK if log.attempts == 1
+                                   else OUTCOME_RETRIED)
+                    results[index] = value
+                    if on_result is not None:
+                        on_result(index, value)
+            if pool_broken:
+                # Every sibling future on the broken pool fails alongside
+                # (concurrent.futures fails them all), so just drop it.
+                self._discard_pool()
+            if deadline is not None and pending:
+                expired: List[Future] = []
+                for future, index in pending.items():
+                    if future not in started and future.running():
+                        started[future] = now
+                    begun = started.get(future)
+                    if begun is not None and now - begun > deadline:
+                        expired.append(future)
+                if expired:
+                    for future in expired:
+                        index = pending.pop(future)
+                        begun = started.pop(future)
+                        future.cancel()
+                        settle_failure(
+                            index, FAILURE_TIMEOUT,
+                            TimeoutError(
+                                f"shard exceeded its {deadline:g}s deadline"
+                            ),
+                            now - begun,
+                        )
+                    # A hung worker cannot be killed through the pool API;
+                    # abandon the whole pool and restart the unexpired
+                    # in-flight units on a fresh one, free of charge.
+                    self._discard_pool()
+                    for future in list(pending):
+                        index = pending.pop(future)
+                        started.pop(future, None)
+                        future.cancel()
+                        submit(index)
+
+        for index in sorted(exhausted):
+            self._serial_last_resort(fn, units, index, logs[index],
+                                     results, on_result)
+        return results
+
+    def _serial_last_resort(self, fn, units, index, log, results, on_result):
+        """Re-run an exhausted unit inline, or drop it in partial mode.
+
+        A unit whose last failure was a *timeout* is never re-run inline in
+        partial mode — a hung work function would hang the parent, which is
+        exactly what ``--partial-results`` exists to avoid.
+        """
+        timed_out = bool(log.failures) and \
+            log.failures[-1].kind == FAILURE_TIMEOUT
+        if self.allow_partial and timed_out:
+            log.outcome = OUTCOME_DROPPED
+            self.dropped += 1
+            return
+        self.fallbacks += 1
+        try:
+            value = fn(units[index])
+        except Exception as exc:
+            self._record_failure(log, classify_exception(exc), exc, 0.0,
+                                 charge_attempt=False)
+            if self.allow_partial:
+                log.outcome = OUTCOME_DROPPED
+                self.dropped += 1
+                return
+            log.outcome = OUTCOME_FAILED
+            raise
+        log.outcome = OUTCOME_FALLBACK
+        results[index] = value
+        if on_result is not None:
+            on_result(index, value)
 
     def _discard_pool(self) -> None:
         if self._pool is not None:
@@ -186,8 +441,17 @@ try:  # pragma: no cover - typing nicety only
         name: str
         n_jobs: int
         fallbacks: int
+        retries: int
+        dropped: int
+        failures: List[ShardFailure]
+        history: List[ShardAttemptLog]
 
-        def run(self, fn: Callable[[T], R], units: Sequence[T]) -> List[R]:
+        def run(
+            self,
+            fn: Callable[[T], R],
+            units: Sequence[T],
+            on_result: Optional[ResultCallback] = None,
+        ) -> List[Optional[R]]:
             ...
 
         def close(self) -> None:

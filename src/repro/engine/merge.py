@@ -12,6 +12,12 @@ Merging validates engine invariants hard: every shard present exactly once,
 device coverage matching the plan. A violated invariant raises
 :class:`~repro.errors.EngineError` — a merge that silently dropped or
 reordered a shard would corrupt results while looking healthy.
+
+``allow_missing`` relaxes exactly one invariant — shards may be *absent* —
+for ``--partial-results`` runs, where the resilience layer has already
+recorded which shards were dropped (see
+:class:`~repro.engine.resilience.ExecutionLosses`). Present shards are
+still validated hard: no duplicates, no coverage mismatches.
 """
 
 from __future__ import annotations
@@ -49,53 +55,88 @@ class ShardOutput:
 
 
 def ordered_outputs(
-    outputs: Sequence[ShardOutput], plan: ShardPlan
+    outputs: Sequence[Optional[ShardOutput]],
+    plan: ShardPlan,
+    allow_missing: bool = False,
 ) -> List[ShardOutput]:
-    """Outputs sorted into canonical shard order, validated against ``plan``."""
-    if len(outputs) != plan.n_shards:
+    """Outputs sorted into canonical shard order, validated against ``plan``.
+
+    ``None`` entries (dropped shards) are tolerated only with
+    ``allow_missing``; present outputs are always validated for unique,
+    in-range shard indexes and exact device coverage.
+    """
+    present = [out for out in outputs if out is not None]
+    if not allow_missing and len(present) != plan.n_shards:
         raise EngineError(
-            f"expected {plan.n_shards} shard outputs, got {len(outputs)}"
+            f"expected {plan.n_shards} shard outputs, got {len(present)}"
         )
-    by_index = sorted(outputs, key=lambda out: out.shard_index)
-    for out, shard in zip(by_index, plan.shards):
-        if out.shard_index != shard.index:
+    by_index = sorted(present, key=lambda out: out.shard_index)
+    seen = set()
+    for out in by_index:
+        if not 0 <= out.shard_index < plan.n_shards:
             raise EngineError(
-                f"missing or duplicate shard: expected index {shard.index}, "
-                f"got {out.shard_index}"
+                f"shard index {out.shard_index} outside plan "
+                f"(n_shards={plan.n_shards})"
             )
+        if out.shard_index in seen:
+            raise EngineError(
+                f"missing or duplicate shard: index {out.shard_index} "
+                f"appears more than once"
+            )
+        seen.add(out.shard_index)
+        shard = plan.shards[out.shard_index]
         if tuple(out.device_ids) != shard.device_ids:
             raise EngineError(
                 f"shard {shard.index} covered devices {out.device_ids}, "
                 f"plan expected {shard.device_ids}"
             )
+    if not allow_missing and len(by_index) != plan.n_shards:
+        raise EngineError(
+            f"missing or duplicate shard: expected {plan.n_shards} unique "
+            f"shards, got {len(by_index)}"
+        )
     return by_index
+
+
+def missing_shards(
+    outputs: Sequence[Optional[ShardOutput]], plan: ShardPlan
+) -> Tuple[int, ...]:
+    """Plan shard indexes with no output (the dropped shards)."""
+    covered = {out.shard_index for out in outputs if out is not None}
+    return tuple(
+        shard.index for shard in plan.shards if shard.index not in covered
+    )
 
 
 def merge_chunks(
     builder: DatasetBuilder,
-    outputs: Sequence[ShardOutput],
+    outputs: Sequence[Optional[ShardOutput]],
     plan: ShardPlan,
+    allow_missing: bool = False,
 ) -> None:
     """Append every shard's column chunks to ``builder`` canonically."""
-    for out in ordered_outputs(outputs, plan):
+    for out in ordered_outputs(outputs, plan, allow_missing=allow_missing):
         builder.merge_chunks(out.chunks)
 
 
 def merge_reports(
-    outputs: Sequence[ShardOutput],
+    outputs: Sequence[Optional[ShardOutput]],
     plan: ShardPlan,
     n_slots: int,
+    allow_missing: bool = False,
 ) -> CollectionReport:
     """Roll shard-local collection accounting into one campaign report.
 
     Device stats are concatenated in canonical shard order — identical to
     the order a serial run records them in — and the server-side counters
-    are summed.
+    are summed. Dropped shards (``allow_missing``) simply contribute
+    nothing: their devices are absent from the report, exactly like users
+    whose data never reached the server.
     """
     devices: List[DeviceCollectionStats] = []
     batches_received = 0
     duplicates_dropped = 0
-    for out in ordered_outputs(outputs, plan):
+    for out in ordered_outputs(outputs, plan, allow_missing=allow_missing):
         if len(out.stats) != len(out.device_ids):
             raise EngineError(
                 f"shard {out.shard_index} returned {len(out.stats)} device "

@@ -771,14 +771,32 @@ def _measured_text(value) -> str:
     return str(value)
 
 
+def _context_is_partial(ctx) -> bool:
+    """Whether the context's study dropped shards (``--partial-results``).
+
+    Scoring a partial run against full-panel references is meaningless:
+    any check may fail or blow up on the holes, so extractor errors are
+    downgraded to ``skip`` rather than crashing the scoreboard.
+    """
+    study = getattr(ctx, "study", None)
+    if study is None:
+        return False
+    return any(
+        getattr(result, "losses", None) is not None
+        for result in getattr(study, "campaigns", {}).values()
+    )
+
+
 def _score_one(ref: PaperRef, ctx) -> FidelityRecord:
     from repro.errors import AnalysisError
 
     extractor = _EXTRACTORS[ref.check_id]
+    skip_on = ((_SkipCheck, AnalysisError, Exception)
+               if _context_is_partial(ctx) else (_SkipCheck, AnalysisError))
     try:
         with get_tracer().span("fidelity.check", check=ref.check_id):
             measured = extractor(ctx)
-    except (_SkipCheck, AnalysisError) as exc:
+    except skip_on as exc:
         return FidelityRecord(
             check_id=ref.check_id, experiment_id=ref.experiment_id,
             paper_item=paper_item_of(ref.experiment_id),

@@ -78,6 +78,12 @@ class RunManifest:
     counters: Dict[str, Union[int, float]] = field(default_factory=dict)
     #: Full exported span tree (empty when telemetry was off).
     spans: dict = field(default_factory=dict)
+    #: Per-shard attempt/outcome history from the resilience layer
+    #: (``[{"year", "shard", "attempts", "outcome", "failures"}, ...]``;
+    #: empty when no resilience was configured and nothing failed).
+    shard_attempts: List[dict] = field(default_factory=list)
+    #: Per-year partial-results loss accounting (empty = complete run).
+    losses: List[dict] = field(default_factory=list)
     environment: Dict[str, object] = field(default_factory=_environment)
     schema_version: int = MANIFEST_SCHEMA_VERSION
 
@@ -123,13 +129,17 @@ def build_manifest(
     shards: Optional[List[Dict[str, int]]] = None,
     cache_stats=None,
     collection_reports: Optional[Dict[int, object]] = None,
+    resilience=None,
+    losses: Optional[List[object]] = None,
     extra_counters: Optional[Dict[str, Union[int, float]]] = None,
 ) -> RunManifest:
     """Assemble a manifest from a run's telemetry and accounting objects.
 
     Every argument is optional so each CLI entry point contributes what it
     actually has: ``simulate`` has collection reports but no cache stats,
-    ``analyze`` the reverse, ``bench`` both.
+    ``analyze`` the reverse, ``bench`` both. ``resilience`` takes a
+    ``ResilienceReport``; ``losses`` a list of per-year
+    ``ExecutionLosses``.
     """
     registry = MetricsRegistry()
     spans: dict = {}
@@ -143,6 +153,11 @@ def build_manifest(
             registry.ingest_collection_report(report, year=year)
     if execution is not None:
         registry.ingest_execution(execution)
+    if resilience is not None:
+        registry.ingest_resilience(resilience)
+    for loss in losses or []:
+        if loss is not None:
+            registry.ingest_losses(loss)
     for name, value in (extra_counters or {}).items():
         registry.set(name, value)
     metrics = registry.as_dict()
@@ -158,4 +173,7 @@ def build_manifest(
         stages=metrics["stages"],
         counters=metrics["counters"],
         spans=spans,
+        shard_attempts=list(resilience.shard_attempts)
+        if resilience is not None else [],
+        losses=[loss.to_dict() for loss in losses or [] if loss is not None],
     )

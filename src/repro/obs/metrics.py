@@ -102,6 +102,30 @@ class MetricsRegistry:
         self.set(f"{prefix}.executor_parallel",
                  int(getattr(info, "executor", "serial") != "serial"))
 
+    def ingest_resilience(self, report, prefix: str = "engine") -> None:
+        """Fold a ``ResilienceReport``-shaped object into ``counters``.
+
+        Records the self-healing accounting: in-pool retries, serial
+        fallbacks, shards dropped under partial mode, classified failure
+        counts, and checkpoint traffic.
+        """
+        self.count(f"{prefix}.retries", report.retries)
+        self.count(f"{prefix}.fallbacks", report.fallbacks)
+        self.count(f"{prefix}.dropped_shards", report.dropped_shards)
+        for kind, n in sorted(report.failures_by_kind.items()):
+            self.count(f"{prefix}.failures.{kind}", n)
+        self.count("checkpoint.saved", report.checkpoint_saved)
+        self.count("checkpoint.hits", report.checkpoint_hits)
+        self.count("checkpoint.corrupt", report.checkpoint_corrupt)
+
+    def ingest_losses(self, losses, prefix: str = "engine") -> None:
+        """Fold an ``ExecutionLosses``-shaped object into ``counters``."""
+        base = f"{prefix}.{losses.year}"
+        self.count(f"{base}.shards_dropped", len(losses.dropped_shards))
+        self.count(f"{base}.devices_dropped", losses.dropped_devices)
+        self.set(f"{base}.device_completeness",
+                 round(losses.device_completeness, 6))
+
     def ingest_span_tree(self, exported: Optional[Mapping]) -> None:
         """Aggregate an exported span tree into per-stage timings.
 

@@ -72,3 +72,28 @@ def render_collection_report(
         + "\n\n"
         + completeness_cdf_table(report).render()
     )
+
+
+def execution_losses_table(
+    losses: Sequence,
+    title: str = "Execution completeness (--partial-results)",
+) -> Table:
+    """Per-year shard/device loss accounting as a table.
+
+    ``losses`` is a sequence of
+    :class:`~repro.engine.resilience.ExecutionLosses`-shaped objects (one
+    per campaign year that dropped shards) — the execution-layer analogue
+    of the collection completeness summary above.
+    """
+    table = Table(
+        title,
+        ("year", "shards dropped", "devices dropped", "device completeness"),
+    )
+    for loss in losses:
+        table.add_row(
+            loss.year,
+            f"{len(loss.dropped_shards)}/{loss.n_shards}",
+            f"{loss.dropped_devices}/{loss.n_devices}",
+            f"{loss.device_completeness:.1%}",
+        )
+    return table

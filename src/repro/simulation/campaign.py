@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import os
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from datetime import date
 from typing import List, Optional, Sequence
 
@@ -39,14 +39,26 @@ from repro.apps.updates import UpdateModel
 from repro.collection.faults import CollectionReport, FaultPlan
 from repro.collection.pipeline import CollectionPump
 from repro.collection.server import CollectionServer
+from repro.engine.chaos import ChaosInjector, ChaosMonkey
 from repro.engine.executor import (
     ExecutionInfo,
     Executor,
     make_executor,
     resolve_jobs,
 )
-from repro.engine.merge import ShardOutput, merge_chunks, merge_reports
+from repro.engine.merge import (
+    ShardOutput,
+    merge_chunks,
+    merge_reports,
+    missing_shards,
+)
 from repro.engine.planner import ShardPlan, ShardPlanner
+from repro.engine.resilience import (
+    ExecutionLosses,
+    ResilienceConfig,
+    ResilienceReport,
+    config_key,
+)
 from repro.errors import ConfigurationError, EngineError
 from repro.net.accesspoint import AccessPoint
 from repro.obs.span import Tracer, get_tracer, use_tracer
@@ -112,6 +124,11 @@ class CampaignResult:
     collection: Optional[CollectionReport] = None
     #: How the campaign was executed (None for reloaded datasets).
     execution: Optional[ExecutionInfo] = None
+    #: Shards dropped under ``--partial-results`` (None = complete run).
+    losses: Optional[ExecutionLosses] = None
+    #: Retry/checkpoint accounting (None when no resilience was configured
+    #: and every shard succeeded first try).
+    resilience: Optional[ResilienceReport] = None
 
 
 @dataclass
@@ -330,12 +347,158 @@ def _simulate_shard_impl(work: ShardWork) -> ShardOutput:
     )
 
 
+def identity_of(plans: Sequence[CampaignPlan]) -> dict:
+    """The checkpoint-compatibility identity of a set of campaign plans.
+
+    Everything that determines whether a spilled shard may be merged into
+    this run: per-year config hashes (which fold in every simulation
+    parameter including the seed), the seeds themselves (explicit, for a
+    readable mismatch message), and the shard layout (resuming with a
+    different ``--jobs`` would repartition the panel).
+    """
+    return {
+        "seeds": {str(p.config.year): p.config.seed for p in plans},
+        "config_keys": {str(p.config.year): config_key(p.config)
+                        for p in plans},
+        "n_shards": {str(p.config.year): p.shard_plan.n_shards
+                     for p in plans},
+    }
+
+
+def execute_plans(
+    plans: Sequence[CampaignPlan],
+    executor: Executor,
+    resilience: Optional[ResilienceConfig] = None,
+) -> "tuple[List[List[Optional[ShardOutput]]], Optional[ResilienceReport]]":
+    """Run every plan's shards through ``executor``, self-healing as asked.
+
+    The workhorse behind :func:`run_campaign` and ``Study.run``: loads
+    already-checkpointed shards when resuming, fans the remaining work
+    units across the executor (chaos-wrapped when a plan is injected),
+    spills each completed shard to the checkpoint store as it arrives, and
+    aggregates the executor's attempt history into a
+    :class:`~repro.engine.resilience.ResilienceReport`.
+
+    Returns one output list per plan, indexed by shard (``None`` marks a
+    shard dropped in partial mode), plus the report (None when no
+    resilience was configured and nothing went wrong).
+    """
+    res = resilience
+    store = res.store if res is not None else None
+    outputs: List[List[Optional[ShardOutput]]] = [
+        [None] * plan.shard_plan.n_shards for plan in plans
+    ]
+    keys = [config_key(plan.config) for plan in plans]
+    tracer = get_tracer()
+
+    if store is not None:
+        store.initialize(identity_of(plans), resume=res.resume)
+        if res.resume:
+            with tracer.span("load_checkpoints"):
+                for pi, plan in enumerate(plans):
+                    for shard in plan.shard_plan.shards:
+                        loaded = store.load(
+                            keys[pi], plan.config.seed, shard.index
+                        )
+                        if loaded is not None:
+                            outputs[pi][shard.index] = loaded
+            tracer.count("checkpoint_hits", store.hits)
+            tracer.count("checkpoint_corrupt", store.corrupt)
+
+    pending: List["tuple[int, ShardWork]"] = [
+        (pi, work)
+        for pi, plan in enumerate(plans)
+        for work in plan.work
+        if outputs[pi][work.shard_index] is None
+    ]
+
+    chaos = res.chaos if res is not None else None
+    fn = simulate_shard
+    monkey = None
+    if chaos is not None:
+        if chaos.injects_worker_faults:
+            fn = ChaosInjector(simulate_shard, chaos)
+        if chaos.kill_after_shards is not None:
+            monkey = ChaosMonkey(chaos)
+
+    def _accept(local_index: int, output: ShardOutput) -> None:
+        pi, work = pending[local_index]
+        outputs[pi][work.shard_index] = output
+        if store is not None:
+            # Spans are wall-clock telemetry from THIS run; a resumed run
+            # must not graft a dead run's timings into its trace.
+            spilled = replace(output, spans=None) if output.spans else output
+            store.save(keys[pi], plans[pi].config.seed,
+                       work.shard_index, spilled)
+        if monkey is not None:
+            monkey.on_shard_complete()
+
+    history_before = len(getattr(executor, "history", ()))
+    counts_before = {
+        name: getattr(executor, name, 0)
+        for name in ("retries", "fallbacks", "dropped")
+    }
+    executor.run(fn, [work for _, work in pending], on_result=_accept)
+
+    report = _resilience_report(
+        executor, history_before, counts_before, pending, store, res
+    )
+    return outputs, report
+
+
+def _resilience_report(
+    executor: Executor,
+    history_before: int,
+    counts_before: dict,
+    pending: Sequence["tuple[int, ShardWork]"],
+    store,
+    res: Optional[ResilienceConfig],
+) -> Optional[ResilienceReport]:
+    history = list(getattr(executor, "history", ()))[history_before:]
+    failures_by_kind: dict = {}
+    shard_attempts = []
+    for log in history:
+        _, work = pending[log.unit_index]
+        entry = log.to_dict()
+        entry["year"] = work.config.year
+        entry["shard"] = work.shard_index
+        shard_attempts.append(entry)
+        for failure in log.failures:
+            failures_by_kind[failure.kind] = \
+                failures_by_kind.get(failure.kind, 0) + 1
+    eventful = bool(failures_by_kind) or bool(
+        store and (store.hits or store.saved or store.corrupt)
+    )
+    if res is None and not eventful:
+        return None
+    return ResilienceReport(
+        shard_attempts=shard_attempts,
+        retries=getattr(executor, "retries", 0) - counts_before["retries"],
+        fallbacks=getattr(executor, "fallbacks", 0)
+        - counts_before["fallbacks"],
+        dropped_shards=getattr(executor, "dropped", 0)
+        - counts_before["dropped"],
+        failures_by_kind=failures_by_kind,
+        checkpoint_saved=store.saved if store is not None else 0,
+        checkpoint_hits=store.hits if store is not None else 0,
+        checkpoint_corrupt=store.corrupt if store is not None else 0,
+    )
+
+
 def merge_campaign(
     plan: CampaignPlan,
-    outputs: Sequence[ShardOutput],
+    outputs: Sequence[Optional[ShardOutput]],
     execution: Optional[ExecutionInfo] = None,
+    allow_partial: bool = False,
 ) -> CampaignResult:
-    """Reassemble shard outputs into a finished campaign, canonically."""
+    """Reassemble shard outputs into a finished campaign, canonically.
+
+    With ``allow_partial``, shards may be missing (``None`` or absent):
+    the merged dataset covers only the surviving shards' records — dropped
+    devices keep their roster entries with zero records, like recruited
+    users whose data never arrived — and the loss is accounted explicitly
+    in :attr:`CampaignResult.losses`. At least one shard must survive.
+    """
     config = plan.config
     world = plan.world
     tracer = get_tracer()
@@ -343,22 +506,51 @@ def merge_campaign(
     # stage that ran the shards), not under merge_campaign — shard wall
     # time is execution time, not merge time.
     for out in outputs:
-        tracer.attach(out.spans)
+        if out is not None:
+            tracer.attach(out.spans)
+    dropped = missing_shards(outputs, plan.shard_plan)
+    losses: Optional[ExecutionLosses] = None
+    if dropped:
+        if not allow_partial:
+            # Fall through to the merge layer's hard validation for the
+            # canonical EngineError message.
+            pass
+        elif len(dropped) == plan.shard_plan.n_shards:
+            raise EngineError(
+                f"campaign {config.year} lost every shard; nothing to merge "
+                f"(partial results need at least one surviving shard)"
+            )
+        else:
+            losses = ExecutionLosses(
+                year=config.year,
+                n_shards=plan.shard_plan.n_shards,
+                dropped_shards=dropped,
+                n_devices=plan.shard_plan.n_devices,
+                dropped_devices=sum(
+                    plan.shard_plan.shards[i].n_devices for i in dropped
+                ),
+            )
     with tracer.span("merge_campaign", year=config.year,
                      n_shards=plan.shard_plan.n_shards):
         builder = DatasetBuilder(config.year, config.axis)
         for info in world.infos:
             builder.add_device(info)
-        merge_chunks(builder, outputs, plan.shard_plan)
+        merge_chunks(builder, outputs, plan.shard_plan,
+                     allow_missing=allow_partial)
 
         report: Optional[CollectionReport] = None
         if not config.direct_build:
-            report = merge_reports(outputs, plan.shard_plan, config.axis.n_slots)
+            report = merge_reports(outputs, plan.shard_plan,
+                                   config.axis.n_slots,
+                                   allow_missing=allow_partial)
             totals = report.totals()
             tracer.count("batches_delivered", totals["delivered"])
             tracer.count("batches_dropped", totals["dropped"])
             tracer.count("batches_churned", totals["churned"])
             tracer.count("duplicates_dropped", report.duplicates_dropped)
+        if losses is not None:
+            tracer.count("shards_dropped", len(losses.dropped_shards))
+            tracer.count("devices_dropped", losses.dropped_devices)
 
         _register_observed_aps(builder, world.deployment)
         builder.ground_truth = _ground_truth(world.profiles, world.deployment)
@@ -366,6 +558,7 @@ def merge_campaign(
     return CampaignResult(
         config=config, dataset=dataset, profiles=world.profiles,
         deployment=world.deployment, collection=report, execution=execution,
+        losses=losses,
     )
 
 
@@ -373,12 +566,16 @@ def run_campaign(
     config: CampaignConfig,
     n_jobs: Optional[int] = None,
     executor: Optional[Executor] = None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> CampaignResult:
     """Simulate one campaign and return its dataset and context.
 
     ``n_jobs`` selects the executor: ``None`` consults ``$REPRO_JOBS`` and
     defaults to 1 (serial); values ``<= 0`` mean one worker per CPU. A
     caller-supplied ``executor`` is reused as-is (and not closed here).
+    ``resilience`` enables checkpoint/resume, retry, partial results, and
+    chaos injection; when an executor is built here, the resilience
+    policy/partial settings are threaded into it.
     """
     tracer = get_tracer()
     with tracer.span("run_campaign", year=config.year):
@@ -386,12 +583,18 @@ def run_campaign(
         plan = plan_campaign(config, n_jobs)
         own_executor = executor is None
         if executor is None:
-            executor = make_executor(n_jobs)
+            executor = make_executor(
+                n_jobs,
+                policy=resilience.policy if resilience else None,
+                allow_partial=resilience.partial if resilience else False,
+            )
         fallbacks_before = executor.fallbacks
         try:
             with tracer.span("execute_shards", executor=executor.name,
                              n_jobs=executor.n_jobs):
-                outputs = executor.run(simulate_shard, plan.work)
+                outputs, report = execute_plans(
+                    [plan], executor, resilience=resilience
+                )
                 tracer.count("shard_fallbacks",
                              executor.fallbacks - fallbacks_before)
         finally:
@@ -402,7 +605,12 @@ def run_campaign(
             n_jobs=executor.n_jobs,
             n_shards=plan.shard_plan.n_shards,
         )
-        return merge_campaign(plan, outputs, execution=execution)
+        result = merge_campaign(
+            plan, outputs[0], execution=execution,
+            allow_partial=resilience.partial if resilience else False,
+        )
+        result.resilience = report
+        return result
 
 
 def _register_observed_aps(builder: DatasetBuilder, deployment: Deployment) -> None:

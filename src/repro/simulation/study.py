@@ -32,12 +32,13 @@ from repro.network_env.home_wifi import HomeWifiConfig
 from repro.network_env.public_wifi import PublicWifiConfig
 from repro.population.recruitment import RecruitmentConfig
 from repro.population.survey import SurveyResponse, run_survey
+from repro.engine.resilience import ResilienceConfig, ResilienceReport
 from repro.simulation.campaign import (
     CampaignConfig,
     CampaignResult,
+    execute_plans,
     merge_campaign,
     plan_campaign,
-    simulate_shard,
 )
 from repro.simulation.params import default_params
 
@@ -154,11 +155,15 @@ class Study:
     surveys: Dict[int, List[SurveyResponse]] = field(default_factory=dict)
     #: How the most recent :meth:`run` executed (None before running).
     execution: Optional[ExecutionInfo] = None
+    #: Retry/checkpoint accounting for the most recent :meth:`run` (None
+    #: when no resilience was configured and nothing went wrong).
+    resilience: Optional[ResilienceReport] = None
 
     def run(
         self,
         n_jobs: Optional[int] = None,
         executor: Optional[Executor] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> "Study":
         """Simulate every configured campaign year.
 
@@ -168,6 +173,11 @@ class Study:
         once and stays saturated across year boundaries. Results are merged
         per year in canonical shard order — worker count never changes
         results. A caller-supplied ``executor`` is reused and not closed.
+
+        ``resilience`` turns on checkpoint/resume, bounded retries,
+        partial results, and chaos injection (see
+        :class:`~repro.engine.resilience.ResilienceConfig`); the retry
+        policy and partial flag are threaded into executors built here.
         """
         tracer = get_tracer()
         with tracer.span("study.run", scale=self.config.scale,
@@ -184,33 +194,41 @@ class Study:
                 )
                 for year in self.config.years
             ]
-            units = [work for plan in plans for work in plan.work]
+            n_units = sum(len(plan.work) for plan in plans)
             own_executor = executor is None
             if executor is None:
-                executor = make_executor(n_jobs)
+                executor = make_executor(
+                    n_jobs,
+                    policy=resilience.policy if resilience else None,
+                    allow_partial=resilience.partial if resilience else False,
+                )
             fallbacks_before = executor.fallbacks
             try:
                 with tracer.span("execute_shards", executor=executor.name,
                                  n_jobs=executor.n_jobs):
-                    outputs = executor.run(simulate_shard, units)
+                    outputs, report = execute_plans(
+                        plans, executor, resilience=resilience
+                    )
                     tracer.count("shard_fallbacks",
                                  executor.fallbacks - fallbacks_before)
             finally:
                 if own_executor:
                     executor.close()
-            offset = 0
-            for year, plan in zip(self.config.years, plans):
-                n_units = len(plan.work)
+            self.resilience = report
+            allow_partial = resilience.partial if resilience else False
+            for year, plan, plan_outputs in zip(
+                self.config.years, plans, outputs
+            ):
                 result = merge_campaign(
                     plan,
-                    outputs[offset:offset + n_units],
+                    plan_outputs,
                     execution=ExecutionInfo(
                         executor=executor.name,
                         n_jobs=executor.n_jobs,
                         n_shards=plan.shard_plan.n_shards,
                     ),
+                    allow_partial=allow_partial,
                 )
-                offset += n_units
                 self.campaigns[year] = result
                 with tracer.span("survey", year=year):
                     survey_rng = np.random.default_rng(
@@ -222,7 +240,7 @@ class Study:
             self.execution = ExecutionInfo(
                 executor=executor.name,
                 n_jobs=executor.n_jobs,
-                n_shards=len(units),
+                n_shards=n_units,
             )
         return self
 
@@ -247,9 +265,12 @@ def run_study(
     faults: Optional[FaultPlan] = None,
     n_jobs: Optional[int] = None,
     executor: Optional[Executor] = None,
+    resilience: Optional[ResilienceConfig] = None,
 ) -> Study:
     """Convenience: run the full study at ``scale`` and return it."""
     config = StudyConfig(
         scale=scale, seed=seed, years=years or YEARS, faults=faults
     )
-    return Study(config).run(n_jobs=n_jobs, executor=executor)
+    return Study(config).run(
+        n_jobs=n_jobs, executor=executor, resilience=resilience
+    )
