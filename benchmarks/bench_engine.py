@@ -56,21 +56,33 @@ def _time_campaign(scale: float, n_jobs: int) -> dict:
 
 
 def run_benchmark(n_jobs: int) -> dict:
+    cpu_count = os.cpu_count() or 1
     cells = []
     for scale in SCALES:
         serial = _time_campaign(scale, 1)
         parallel = _time_campaign(scale, n_jobs)
-        cells.append({
+        cell = {
             "scale": scale,
             "year": YEAR,
             "seed": SEED,
             "serial": serial,
             "parallel": parallel,
-            "speedup": round(serial["wall_s"] / parallel["wall_s"], 3),
-        })
+        }
+        if cpu_count >= 2:
+            cell["speedup"] = round(serial["wall_s"] / parallel["wall_s"], 3)
+        else:
+            # A single core cannot show parallel speedup; recording the
+            # <1.0 ratio would bake a bogus regression target into the
+            # baseline (``bench --check`` skips the criterion instead).
+            cell["speedup"] = None
+            cell["speedup_note"] = (
+                "single-core host: parallel wall time is pool overhead, "
+                "not a speedup measurement"
+            )
+        cells.append(cell)
     return {
         "benchmark": "engine_serial_vs_parallel",
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
         "parallel_jobs": n_jobs,
         "repeats_best_of": REPEATS,
         "scales": cells,
@@ -90,9 +102,11 @@ def main(argv=None) -> int:
     report = run_benchmark(n_jobs)
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     for cell in report["scales"]:
+        speedup = (f"speedup {cell['speedup']}x" if cell["speedup"]
+                   else "speedup n/a (single core)")
         print(f"scale {cell['scale']}: serial {cell['serial']['wall_s']}s, "
               f"parallel({n_jobs}) {cell['parallel']['wall_s']}s "
-              f"-> speedup {cell['speedup']}x")
+              f"-> {speedup}")
     print(f"wrote {args.out} (cpu_count={report['cpu_count']})")
     return 0
 

@@ -98,6 +98,11 @@ def build_parser() -> argparse.ArgumentParser:
                                "(default: $REPRO_JOBS, else one per CPU; "
                                "1 disables the pool; results are identical "
                                "for any value)")
+    simulate.add_argument("--kernel", choices=["batch", "legacy"],
+                          default="batch",
+                          help="simulation kernel: the columnar batch "
+                               "kernel (default) or the scalar legacy "
+                               "per-device path (kept for one release)")
     faults = simulate.add_argument_group(
         "fault injection", "route campaigns through a lossy collection "
         "pipeline and report completeness")
@@ -255,6 +260,10 @@ def build_parser() -> argparse.ArgumentParser:
     fidelity.add_argument("--jobs", type=int, default=None, metavar="N",
                           help="worker processes for the study (reports "
                                "are bit-identical for any value)")
+    fidelity.add_argument("--kernel", choices=["batch", "legacy"],
+                          default="batch",
+                          help="simulation kernel for the scored study "
+                               "(default batch)")
     fidelity.add_argument("--out", type=Path,
                           default=Path("fidelity_report.json"),
                           help="FidelityReport JSON output path "
@@ -461,7 +470,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     tracer = _start_telemetry(args)
     try:
         study = run_study(scale=args.scale, seed=args.seed, faults=faults,
-                          n_jobs=n_jobs, resilience=resilience)
+                          n_jobs=n_jobs, resilience=resilience,
+                          kernel=args.kernel)
         args.out.mkdir(parents=True, exist_ok=True)
         if study.execution is not None:
             print(f"executor: {study.execution.describe()}")
@@ -492,6 +502,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                     *(study.campaigns[y].config for y in study.years)
                 ),
                 seed=args.seed, scale=args.scale, years=list(study.years),
+                kernel=args.kernel,
                 execution=study.execution, shards=_study_shards(study),
                 collection_reports={
                     y: study.campaigns[y].collection for y in study.years
@@ -638,7 +649,7 @@ def cmd_fidelity(args: argparse.Namespace) -> int:
         else:
             n_jobs = resolve_jobs(args.jobs, default=1)
             study = run_study(scale=args.scale, seed=args.seed,
-                              n_jobs=n_jobs)
+                              n_jobs=n_jobs, kernel=args.kernel)
         cache = AnalysisContext(study)
         report = fidelity_mod.score_fidelity(
             cache, checks=args.checks or None,
@@ -663,6 +674,7 @@ def cmd_fidelity(args: argparse.Namespace) -> int:
                              if args.data is not None
                              else config_hash_of(study.config)),
                 seed=args.seed, scale=args.scale, years=list(study.years),
+                kernel="" if args.data is not None else args.kernel,
                 execution=study.execution,
                 shards=_study_shards(study) if study.execution else None,
                 cache_stats=cache.stats,

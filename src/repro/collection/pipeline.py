@@ -110,6 +110,46 @@ class CollectionPump:
             tracer.count("pump.upload_failures", transport.failures)
         return stats
 
+    def transmit_bulk(
+        self,
+        info: DeviceInfo,
+        tables: Mapping[str, Mapping[str, np.ndarray]],
+    ) -> DeviceCollectionStats:
+        """Upload one device's campaign output, skipping per-tick replay
+        when the fault plan is lossless.
+
+        With a zero plan the per-tick pipeline is pure bookkeeping — no
+        fault can fire, every batch delivers — so the batch kernel's
+        columnar output goes to the server in one bulk hand-off with
+        closed-form accounting. Any non-zero plan falls back to
+        :meth:`transmit`, whose tick-by-tick replay the fault machinery
+        needs.
+        """
+        if not self.plan.is_zero:
+            return self.transmit(info, tables)
+        ticks = self.server.receive_bulk(info.device_id, tables, self.n_slots)
+        stats = DeviceCollectionStats(
+            device_id=info.device_id,
+            ticks=ticks,
+            churn_slot=None,
+            churned=0,
+            uploaded=ticks,
+            delivered=ticks,
+            duplicates=0,
+            dropped=0,
+            cached=0,
+        )
+        self._stats.append(stats)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.count("pump.batches_uploaded", stats.uploaded)
+            tracer.count("pump.batches_delivered", stats.delivered)
+            tracer.count("pump.batches_dropped", 0)
+            tracer.count("pump.batches_churned", 0)
+            tracer.count("pump.duplicates_sent", 0)
+            tracer.count("pump.upload_failures", 0)
+        return stats
+
     def report(self) -> CollectionReport:
         """Roll device accounting up into a campaign report."""
         return CollectionReport(

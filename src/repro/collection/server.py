@@ -15,12 +15,13 @@ with the same bulk appends as the direct builder path.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Mapping, Set, Tuple
 
 import numpy as np
 
 from repro.collection.agent import ColumnarRecords, Records
 from repro.collection.uploader import UploadBatch
+from repro.constants import SAMPLES_PER_DAY
 from repro.errors import CollectionError
 from repro.timeutil import TimeAxis
 from repro.traces.dataset import DatasetBuilder
@@ -90,6 +91,58 @@ class CollectionServer:
             self.builder.add_update(update)
         for sample in records.battery:
             self.builder.add_battery(sample)
+
+    def receive_bulk(
+        self,
+        device_id: int,
+        tables: Mapping[str, Mapping[str, np.ndarray]],
+        n_slots: int,
+    ) -> int:
+        """Ingest one device's whole campaign output in a single call.
+
+        Equivalent to replaying every per-slot upload through
+        :meth:`receive` over a fault-free transport: same registration and
+        window checks, same counters (one batch per slot holding data), and
+        a bit-identical built dataset — ``build`` sorts stably by
+        (device, t), so per-slot and whole-device appends interleave rows
+        within one (device, slot) in the same original order.  Returns the
+        number of upload batches accounted.
+        """
+        if device_id not in self._registered:
+            raise CollectionError(
+                f"upload from unregistered device {device_id}"
+            )
+        occupied = np.zeros(n_slots, dtype=bool)
+        any_rows = False
+        for name, cols in tables.items():
+            n = len(next(iter(cols.values())))
+            if n == 0:
+                continue
+            device = np.asarray(cols["device"])
+            if int(device[0]) != device_id or int(device[-1]) != device_id:
+                raise CollectionError(
+                    f"table {name!r} holds rows for a foreign device"
+                )
+            if "t" in cols:
+                key = np.asarray(cols["t"], dtype=np.int64)
+            else:
+                # Daily tables upload at the end of their day.
+                key = (np.asarray(cols["day"], np.int64) + 1) * SAMPLES_PER_DAY - 1
+            if key.min() < 0 or key.max() >= n_slots:
+                raise CollectionError(
+                    f"table {name!r} has records outside the campaign window"
+                )
+            any_rows = True
+            occupied[key] = True
+            self._buffers[name].append([cols, 0, n])
+        if not any_rows:
+            return 0
+        ticks = int(np.count_nonzero(occupied))
+        self.batches_received += ticks
+        self.received_by_device[device_id] = (
+            self.received_by_device.get(device_id, 0) + ticks
+        )
+        return ticks
 
     def _buffer_columns(self, records: ColumnarRecords) -> None:
         for table, (cols, lo, hi) in records.ranges.items():

@@ -33,7 +33,12 @@ DaySchedule = np.ndarray  # int8 array of LocationState codes, length 144
 
 def _slot(hour: float) -> int:
     """Slot-of-day index for a fractional hour, clamped to the day."""
-    return int(np.clip(round(hour * SAMPLES_PER_HOUR), 0, SAMPLES_PER_DAY))
+    # Pure-python clamp: this runs tens of thousands of times per shard
+    # and scalar np.clip dominates schedule generation otherwise.
+    slot = round(hour * SAMPLES_PER_HOUR)
+    if slot < 0:
+        return 0
+    return slot if slot < SAMPLES_PER_DAY else SAMPLES_PER_DAY
 
 
 def _fill(schedule: np.ndarray, start_h: float, end_h: float, state: LocationState) -> None:

@@ -60,10 +60,14 @@ class PublicWifiConfig:
             raise ConfigurationError("shared_infra_fraction must be in [0, 1]")
 
 
+#: Normalized once so each draw skips the array build (draws unchanged).
+_PROVIDER_WEIGHTS = np.array([w for _, w, _ in PROVIDER_ESSIDS])
+_PROVIDER_P = _PROVIDER_WEIGHTS / _PROVIDER_WEIGHTS.sum()
+
+
 def provider_essid_for(rng: np.random.Generator) -> Tuple[str, Optional[str]]:
     """Sample a provider ESSID; returns (essid, carrier restriction)."""
-    weights = np.array([w for _, w, _ in PROVIDER_ESSIDS])
-    idx = int(rng.choice(len(PROVIDER_ESSIDS), p=weights / weights.sum()))
+    idx = int(rng.choice(len(PROVIDER_ESSIDS), p=_PROVIDER_P))
     essid, _, carrier = PROVIDER_ESSIDS[idx]
     return essid, carrier
 

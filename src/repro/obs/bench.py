@@ -448,6 +448,27 @@ def check_regression(
                     f"({1000 * base_cost:.1f}ms -> {1000 * cost:.1f}ms "
                     f"per device)"
                 )
+        # Parallel-speedup criterion: only meaningful when both the
+        # baseline host and the current host actually had cores to spread
+        # over — a single-core "speedup" is pool overhead, so the check is
+        # skipped (never failed) rather than gating on a bogus ratio.
+        sharded = _result(current, "campaign_sharded")
+        base_speedup = cell.get("speedup")
+        if (
+            sharded is not None
+            and sharded.get("wall_s")
+            and base_speedup
+            and (current.get("cpu_count") or 1) >= 2
+            and (baseline.get("cpu_count") or 1) >= 2
+        ):
+            speedup = serial["wall_s"] / sharded["wall_s"]
+            if speedup * factor < float(base_speedup):
+                failures.append(
+                    f"{baseline_name}: parallel speedup regressed "
+                    f"{float(base_speedup) / speedup:.2f}x "
+                    f"(baseline {float(base_speedup):.2f}x, "
+                    f"now {speedup:.2f}x)"
+                )
     elif kind == "all":
         if baseline.get("scale") != current.get("scale"):
             return []  # wall times are not comparable across scales

@@ -68,6 +68,9 @@ class RunManifest:
     seed: int
     scale: float
     years: List[int] = field(default_factory=list)
+    #: Which simulation kernel ran the devices ("batch" or "legacy";
+    #: empty for runs that did not simulate, e.g. --data reloads).
+    kernel: str = ""
     executor: str = "serial"
     n_jobs: int = 1
     #: Per-year shard layout: ``[{"year", "n_shards", "n_devices"}, ...]``.
@@ -125,6 +128,7 @@ def build_manifest(
     seed: int = 0,
     scale: float = 0.0,
     years: Optional[List[int]] = None,
+    kernel: str = "",
     execution=None,
     shards: Optional[List[Dict[str, int]]] = None,
     cache_stats=None,
@@ -167,6 +171,7 @@ def build_manifest(
         seed=seed,
         scale=scale,
         years=list(years or []),
+        kernel=kernel,
         executor=getattr(execution, "executor", "serial"),
         n_jobs=getattr(execution, "n_jobs", 1),
         shards=list(shards or []),

@@ -66,6 +66,7 @@ from repro.network_env.deployment import Deployment, DeploymentConfig, build_dep
 from repro.population.profiles import UserProfile
 from repro.population.recruitment import RecruitmentConfig, recruit
 from repro.simulation.device import DeviceSimulator
+from repro.simulation.kernel import DEFAULT_KERNEL, KERNEL_NAMES, simulate_devices
 from repro.simulation.params import SimParams
 from repro.timeutil import TimeAxis
 from repro.traces.dataset import CampaignDataset, DatasetBuilder, GroundTruth
@@ -91,6 +92,10 @@ class CampaignConfig:
     #: Bypass the collection pipeline and write simulator output straight
     #: into the builder (legacy fast path; used to verify equivalence).
     direct_build: bool = False
+    #: Which simulation kernel runs the devices: the columnar ``batch``
+    #: kernel (default) or the scalar per-day ``legacy`` path (kept for
+    #: one release; see ARCHITECTURE.md "Simulation kernel").
+    kernel: str = DEFAULT_KERNEL
 
     def __post_init__(self) -> None:
         if self.n_days <= 0:
@@ -101,6 +106,10 @@ class CampaignConfig:
             raise ConfigurationError(
                 "direct_build bypasses the collection pipeline; a nonzero "
                 "FaultPlan would be silently ignored"
+            )
+        if self.kernel not in KERNEL_NAMES:
+            raise ConfigurationError(
+                f"unknown kernel {self.kernel!r}; expected one of {KERNEL_NAMES}"
             )
 
     @property
@@ -301,38 +310,61 @@ def _simulate_shard_impl(work: ShardWork) -> ShardOutput:
         )
         builder = server.builder
 
-    # Fresh per shard: the model remembers which devices already updated,
-    # and every check is per-device, so shard placement cannot change a
-    # decision — but reusing one instance across runs would.
-    update_model: Optional[UpdateModel] = None
-    if config.params.update_policy is not None:
-        update_model = UpdateModel(config.params.update_policy)
-
     tracer = get_tracer()
     stats = []
-    with tracer.span("simulate_devices", n_devices=len(work.device_ids)):
-        for device_id in work.device_ids:
-            profile = world.profiles[device_id]
-            if profile.user_id != device_id:
-                raise EngineError(
-                    f"panel is not dense: profile {profile.user_id} at "
-                    f"position {device_id}"
-                )
-            user_rng = np.random.default_rng((config.seed, config.year, device_id))
-            simulator = DeviceSimulator(
-                profile=profile,
-                axis=axis,
-                deployment=world.deployment,
-                demand=world.demand,
-                params=config.params,
-                update_model=update_model,
-                rng=user_rng,
+    for device_id in work.device_ids:
+        if world.profiles[device_id].user_id != device_id:
+            raise EngineError(
+                f"panel is not dense: profile "
+                f"{world.profiles[device_id].user_id} at position {device_id}"
             )
-            if pump is None:
-                simulator.run(builder)
-            else:
-                stats.append(pump.transmit(world.infos[device_id], simulator.collect()))
-            tracer.count("devices")
+    with tracer.span("simulate_devices", n_devices=len(work.device_ids),
+                     kernel=config.kernel):
+        if config.kernel == "batch":
+            # Columnar kernel: per-device streams key only on the device
+            # id, so any shard layout produces bit-identical output.
+            for result in simulate_devices(
+                world.profiles, axis, world.deployment, world.demand,
+                config.params, seed=config.seed, year=config.year,
+                device_ids=work.device_ids,
+            ):
+                if pump is None:
+                    for name, columns in result.tables.items():
+                        getattr(builder, f"extend_{name}")(**columns)
+                else:
+                    stats.append(pump.transmit_bulk(
+                        world.infos[result.device_id], result.tables
+                    ))
+                tracer.count("devices")
+        else:
+            # Fresh per shard: the model remembers which devices already
+            # updated, and every check is per-device, so shard placement
+            # cannot change a decision — but reusing one instance across
+            # runs would.
+            update_model: Optional[UpdateModel] = None
+            if config.params.update_policy is not None:
+                update_model = UpdateModel(config.params.update_policy)
+            for device_id in work.device_ids:
+                user_rng = np.random.default_rng(
+                    (config.seed, config.year, device_id)
+                )
+                simulator = DeviceSimulator(
+                    profile=world.profiles[device_id],
+                    axis=axis,
+                    deployment=world.deployment,
+                    demand=world.demand,
+                    params=config.params,
+                    update_model=update_model,
+                    rng=user_rng,
+                    kernel="legacy",
+                )
+                if pump is None:
+                    simulator.run(builder)
+                else:
+                    stats.append(pump.transmit(
+                        world.infos[device_id], simulator._collect_impl()
+                    ))
+                tracer.count("devices")
 
     if server is not None:
         with tracer.span("flush_buffers"):

@@ -10,14 +10,19 @@ higher throttled rate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Deque, Tuple
 from collections import deque
+
+import numpy as np
 
 from repro.constants import (
     CAP_LIMIT_BPS,
     CAP_THRESHOLD_BYTES,
     CAP_WINDOW_DAYS,
     SAMPLE_PERIOD_SECONDS,
+    SAMPLES_PER_DAY,
+    SAMPLES_PER_HOUR,
 )
 from repro.errors import ConfigurationError
 
@@ -48,6 +53,23 @@ class SoftCapPolicy:
     def limit_bytes_per_slot(self) -> float:
         """Maximum bytes a throttled device moves in one 10-minute slot."""
         return self.limit_bps * SAMPLE_PERIOD_SECONDS / 8.0
+
+
+@lru_cache(maxsize=None)
+def throttled_slot_limits(policy: SoftCapPolicy) -> np.ndarray:
+    """Per-slot byte limits for one *throttled* day under ``policy``.
+
+    A read-only length-144 array: the policy's slot limit during peak
+    hours, inf elsewhere — exactly ``slot_limit(hour)`` with the throttle
+    active. Policies are frozen dataclasses, so one table per distinct
+    policy serves the whole campaign instead of being rebuilt for every
+    device-day.
+    """
+    hours = np.arange(SAMPLES_PER_DAY) // SAMPLES_PER_HOUR
+    limits = np.full(SAMPLES_PER_DAY, float("inf"))
+    limits[np.isin(hours, policy.peak_hours)] = policy.limit_bytes_per_slot
+    limits.setflags(write=False)
+    return limits
 
 
 @dataclass

@@ -21,6 +21,7 @@ import numpy as np
 from repro.apps.demand import DemandModel
 from repro.apps.updates import UpdateModel
 from repro.constants import SAMPLES_PER_DAY, SAMPLES_PER_HOUR
+from repro.errors import ConfigurationError
 from repro.geo.coords import cell_index
 from repro.mobility.model import DayMobility, MobilityModel
 from repro.mobility.schedule import LocationState
@@ -30,7 +31,7 @@ from repro.network_env.deployment import Deployment
 from repro.network_env.public_wifi import PROVIDER_ESSIDS
 from repro.population.profiles import UserProfile, WifiPolicy
 from repro.radio.pathloss import PathLossModel, RssiModel
-from repro.simulation.cap import SoftCapTracker
+from repro.simulation.cap import SoftCapTracker, throttled_slot_limits
 from repro.simulation.params import SimParams
 from repro.timeutil import TimeAxis
 from repro.traces.dataset import DatasetBuilder
@@ -91,7 +92,13 @@ class DeviceSimulator:
         params: SimParams,
         update_model: Optional[UpdateModel],
         rng: np.random.Generator,
+        kernel: str = "batch",
     ) -> None:
+        if kernel not in ("batch", "legacy"):
+            raise ConfigurationError(
+                f"unknown kernel {kernel!r}; expected 'batch' or 'legacy'"
+            )
+        self.kernel = kernel
         self.profile = profile
         self.axis = axis
         self.deployment = deployment
@@ -122,7 +129,7 @@ class DeviceSimulator:
 
     def run(self, builder: DatasetBuilder) -> None:
         """Simulate every campaign day and append records to ``builder``."""
-        for name, columns in self.collect().items():
+        for name, columns in self._collect_impl().items():
             getattr(builder, f"extend_{name}")(**columns)
 
     def collect(self) -> Dict[str, Dict[str, np.ndarray]]:
@@ -132,11 +139,66 @@ class DeviceSimulator:
         arguments of the matching ``DatasetBuilder.extend_*`` method). This
         is the raw on-device record store the collection pipeline uploads
         from; :meth:`run` is the equivalent direct bulk append.
+
+        .. deprecated::
+            ``DeviceSimulator`` is a single-device compatibility wrapper;
+            new code should call
+            :func:`repro.simulation.kernel.simulate_devices`, which
+            simulates whole shards through the columnar batch kernel.
+            Migration: replace per-device ``DeviceSimulator(...).collect()``
+            loops with one ``simulate_devices(profiles, axis, deployment,
+            demand, params, seed=..., year=...)`` call and read
+            ``DeviceResult.tables`` (the same table-name → column-arrays
+            mapping). By default this method already routes through the
+            batch kernel; construct with ``kernel="legacy"`` for the old
+            scalar per-day path (kept for one release).
         """
+        import warnings
+
+        warnings.warn(
+            "DeviceSimulator.collect() is deprecated; use "
+            "repro.simulation.kernel.simulate_devices for whole shards "
+            "(see the method docstring for the migration recipe)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._collect_impl()
+
+    def _collect_impl(self) -> Dict[str, Dict[str, np.ndarray]]:
+        """Dispatch to the selected kernel (no deprecation warning)."""
+        if self.kernel == "batch":
+            return self._collect_batch()
         cols = _Columns([], [], [], [], [], [], [], [])
         for day in range(self.axis.n_days):
             self._simulate_day(day, cols)
         return self._tables(cols)
+
+    def _collect_batch(self) -> Dict[str, Dict[str, np.ndarray]]:
+        """Run this one device through the columnar batch kernel.
+
+        The caller-supplied ``rng`` becomes the device's kernel stream (so
+        two wrappers with the same generator state agree), the explicit
+        ``update_model`` is honored (``None`` disables updates, exactly as
+        the scalar path treats it), and the kernel's per-day cap decisions
+        are replayed into :attr:`cap` so callers inspecting throttle state
+        see what the device experienced.
+        """
+        # Imported here: kernel.py imports this module's RSSI tables, so a
+        # module-level import would cycle.
+        from repro.simulation.kernel import simulate_devices
+
+        device_id = self.profile.user_id
+        result = next(simulate_devices(
+            {device_id: self.profile}, self.axis, self.deployment,
+            self.demand, self.params,
+            seed=0, year=0,  # unused: rng_for overrides the stream
+            device_ids=[device_id],
+            rng_for=lambda _device_id: self.rng,
+            update_model=self.update_model,
+        ))
+        for rx_cell in result.day_rx_cell:
+            self.cap.record_day(float(rx_cell))
+        return result.tables
 
     # ------------------------------------------------------------------
 
@@ -164,8 +226,16 @@ class DeviceSimulator:
         if self.cap.throttled_today():
             volumes.rx_cell = volumes.rx_cell * self.params.cap_demand_response
             volumes.tx_cell = volumes.tx_cell * self.params.cap_demand_response
-        limits = np.array([self.cap.slot_limit(int(h)) for h in _HOURS])
-        limits = np.minimum(limits, self._cell_slot_capacity)
+            # Cached per-policy table: slot_limit(hour) for a throttled
+            # day, hoisted out of the per-device-day loop.
+            limits = np.minimum(
+                throttled_slot_limits(self.params.cap_policy),
+                self._cell_slot_capacity,
+            )
+        else:
+            # Unthrottled, slot_limit is inf everywhere: only the radio
+            # link's own per-slot capacity binds.
+            limits = self._cell_slot_capacity
         volumes.rx_cell = np.minimum(volumes.rx_cell, limits)
 
         update_bytes = self._maybe_update(day, weekend, on_wifi, cols, rng)

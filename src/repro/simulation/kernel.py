@@ -1,0 +1,993 @@
+"""Columnar batch simulation kernel.
+
+This is the vectorized replacement for the per-day, per-slot scalar loop in
+:mod:`repro.simulation.device`. One :func:`simulate_devices` call walks a
+whole shard of devices through the campaign as device×slot numpy arrays:
+mobility states, interface policy, AP association (home/office attach,
+venue and commute segments, pocket routers), cap-aware traffic draws, the
+battery walk, OS-update events, Android scans/sightings and daily per-app
+records — emitting each device's records as ready-to-ingest column tables
+(the exact format of ``DeviceSimulator.collect()``) instead of per-record
+appends.
+
+RNG stream layout
+-----------------
+Each device owns exactly one stream,
+``default_rng((seed, year, device_id, _KERNEL_STREAM))``, keyed only by
+campaign identity and the device id — never by shard index or position —
+so batch draws are deterministic and shard-layout-independent: any
+partition of the panel produces bit-identical per-device output. The
+stream key is disjoint from the legacy per-device streams
+(``(seed, year, device_id)``) and the collection-fault streams
+(``(..., plan_seed, 104729)``), so kernels never alias.
+
+Within a device the draw order is fixed (and documented here, because the
+jobs=1 == jobs=k guarantee rests on it):
+
+1. traits: sleep-disconnect gate, initial battery level, home and office
+   base RSSI (two draws each);
+2. schedule habits (``ScheduleGenerator.__post_init__``), then one
+   ``generator.day`` call per campaign day;
+3. activity gamma noise, one campaign-length draw;
+4. daily anchor points (commuters only: per-day uniform + venue gate);
+5. rest-day gates, one campaign-length draw;
+6. associations: home attach delays, home obs noise, office obs noise,
+   venue segments in day order, commute segments in day order, pocket
+   router gates then per-day RSSI draws;
+7. traffic: day factors, background, tx noise (WiFi then cellular), sync
+   gates + bursts, binge gates + bursts;
+8. iOS update rolls in day order (hazard gate, then start-slot pick);
+9. Android scans (poisson 2.4/5 GHz, then strong binomials), sightings
+   (one poisson over hourly scan slots, per-slot AP picks, then RSSI),
+   and app-split gamma noise, one ``(n_groups, 26)`` draw.
+
+The legacy path draws in per-day order from a differently keyed stream, so
+batch and legacy are *distributionally* equivalent (same models, same
+parameters) but not bit-identical; ``tests/test_kernel_equivalence.py``
+pins the equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.demand import DemandModel, _RX_TX
+from repro.apps.updates import UpdateModel
+from repro.constants import SAMPLES_PER_DAY, SAMPLES_PER_HOUR
+from repro.geo.coords import Coordinate, cell_index
+from repro.mobility.model import _HOURLY_ACTIVITY, _STATE_ACTIVITY, _jitter
+from repro.mobility.schedule import LocationState, ScheduleGenerator
+from repro.net.accesspoint import APType
+from repro.net.cellular import CellularNetwork
+from repro.network_env.deployment import Deployment
+from repro.network_env.public_wifi import PROVIDER_ESSIDS
+from repro.population.profiles import UserProfile, WifiPolicy
+from repro.simulation.cap import SoftCapTracker, throttled_slot_limits
+from repro.simulation.device import (
+    _HOME_RSSI_MODEL,
+    _OFFICE_RSSI_MODEL,
+    _PUBLIC_RSSI_MODEL,
+)
+from repro.simulation.params import SimParams
+from repro.timeutil import TimeAxis
+from repro.traces.records import DeviceOS, IfaceKind, WifiStateCode
+
+__all__ = ["DeviceResult", "simulate_devices", "device_stream",
+           "KERNEL_NAMES", "DEFAULT_KERNEL", "_KERNEL_STREAM"]
+
+#: Stream-key suffix separating kernel draws from every other stream family.
+_KERNEL_STREAM = 7919
+
+#: Sentinel: ``simulate_devices`` builds its own update model from params.
+_BUILD_UPDATE_MODEL = object()
+
+KERNEL_NAMES = ("batch", "legacy")
+DEFAULT_KERNEL = "batch"
+
+_ESSID_CARRIER: Dict[str, Optional[str]] = {
+    essid: carrier for essid, _, carrier in PROVIDER_ESSIDS
+}
+
+_HOURS = np.arange(SAMPLES_PER_DAY) // SAMPLES_PER_HOUR
+_STATE_CODES = tuple(int(s) for s in LocationState)
+_N_STATES = len(_STATE_CODES)
+
+_HOME = int(LocationState.HOME)
+_WORK = int(LocationState.WORK)
+_COMMUTE = int(LocationState.COMMUTE)
+_VENUE = int(LocationState.PUBLIC_VENUE)
+_OUT = int(LocationState.OUT)
+
+#: Activity multiplier per state code, as a lookup table.
+_STATE_MULT = np.array([_STATE_ACTIVITY[code] for code in _STATE_CODES])
+
+_RSSI_MODELS = {
+    APType.HOME: _HOME_RSSI_MODEL,
+    APType.OFFICE: _OFFICE_RSSI_MODEL,
+    APType.PUBLIC: _PUBLIC_RSSI_MODEL,
+    APType.OPEN: _PUBLIC_RSSI_MODEL,
+    APType.MOBILE: _HOME_RSSI_MODEL,
+}
+
+
+def device_stream(seed: int, year: int, device_id: int) -> np.random.Generator:
+    """The batch kernel's per-device RNG stream (shard-layout independent)."""
+    return np.random.default_rng((seed, year, device_id, _KERNEL_STREAM))
+
+
+@dataclass
+class DeviceResult:
+    """One device's simulated campaign, as columnar record tables.
+
+    ``tables`` maps table name to named column arrays — the keyword
+    arguments of the matching ``DatasetBuilder.extend_*`` method, i.e. the
+    exact shape ``DeviceSimulator.collect()`` returns. ``day_rx_cell`` is
+    the post-cap daily cellular download (the values fed to
+    ``SoftCapTracker.record_day``), kept so per-device wrappers can replay
+    cap state.
+    """
+
+    device_id: int
+    tables: Dict[str, Dict[str, np.ndarray]]
+    day_rx_cell: np.ndarray
+
+
+class _CampaignGrid:
+    """Campaign-shaped constants shared by every device (no RNG)."""
+
+    def __init__(self, axis: TimeAxis, params: SimParams) -> None:
+        self.axis = axis
+        self.n_days = axis.n_days
+        self.n_slots = axis.n_slots
+        n_days, n_slots = self.n_days, self.n_slots
+        self.day_index = np.repeat(np.arange(n_days), SAMPLES_PER_DAY)
+        self.weekday = (np.arange(n_days) + axis.start.weekday()) % 7
+        self.weekend = self.weekday >= 5
+
+        hours = _HOURS
+        # Diurnal activity base, weekend-adjusted, for every campaign slot.
+        base = _HOURLY_ACTIVITY[hours].copy()
+        weekend_base = base.copy()
+        weekend_base[6 * SAMPLES_PER_HOUR:9 * SAMPLES_PER_HOUR] *= 0.55
+        weekend_base[9 * SAMPLES_PER_HOUR:18 * SAMPLES_PER_HOUR] *= 1.1
+        self.activity_base = np.where(
+            np.repeat(self.weekend, SAMPLES_PER_DAY),
+            np.tile(weekend_base, n_days), np.tile(base, n_days),
+        )
+
+        self.evening = np.tile((hours >= 19) | (hours <= 1), n_days)
+        self.asleep = np.tile((hours >= 2) & (hours < 6), n_days)
+        #: Charging-window / force-plug hour flags (one day, slot-of-day).
+        self.charge_window_hours = (hours >= 21) | (hours < 7)
+        self.plug_hours = (hours >= 22) | (hours < 7)
+        self.battery_report = np.arange(0, n_slots, 3)
+        self.day_bounds = [
+            (d * SAMPLES_PER_DAY, (d + 1) * SAMPLES_PER_DAY)
+            for d in range(n_days)
+        ]
+
+
+class _VenueApIndex:
+    """Memoized usable-venue-AP lists, shared by all devices of a shard.
+
+    Usability depends only on (cell, carrier, public-vs-open), never on the
+    device, so the filter from ``DeviceSimulator._pick_venue_ap`` is paid
+    once per distinct key instead of once per pick.
+    """
+
+    def __init__(self, deployment: Deployment) -> None:
+        self.deployment = deployment
+        self._usable: Dict[tuple, list] = {}
+        self._candidates: Dict[tuple, Optional[np.ndarray]] = {}
+
+    def candidate_array(self, cell: tuple) -> Optional[np.ndarray]:
+        """All venue APs in a cell as an id array (None when empty)."""
+        arr = self._candidates.get(cell, False)
+        if arr is False:
+            raw = self.deployment.venue_aps_by_cell.get(cell)
+            arr = np.asarray(raw, dtype=np.int64) if raw else None
+            self._candidates[cell] = arr
+        return arr
+
+    def usable(self, cell: tuple, carrier: str, public: bool) -> list:
+        key = (cell, carrier if public else None, public)
+        cached = self._usable.get(key)
+        if cached is not None:
+            return cached
+        deployment = self.deployment
+        usable: list = []
+        for ap_id in deployment.venue_aps_by_cell.get(cell, ()):
+            ap = deployment.ap(ap_id)
+            if public:
+                if ap.ap_type is not APType.PUBLIC:
+                    continue
+                restriction = _ESSID_CARRIER.get(ap.essid)
+                if restriction is not None and restriction != carrier:
+                    continue
+            elif ap.ap_type is not APType.OPEN:
+                continue
+            usable.append(ap_id)
+        self._usable[key] = usable
+        return usable
+
+
+def _draw_base_rssi(ap_type: APType, params: SimParams,
+                    rng: np.random.Generator) -> float:
+    """Habitual device<->AP RSSI: same model and draw order as legacy."""
+    if ap_type is APType.MOBILE:
+        median = 2.0
+    elif ap_type is APType.HOME:
+        median = params.home_distance_m
+    elif ap_type is APType.OFFICE:
+        median = params.office_distance_m
+    else:
+        median = params.public_distance_m
+    distance = median * float(np.exp(rng.normal(0.0, params.distance_sigma)))
+    return _RSSI_MODELS[ap_type].sample(distance, rng)
+
+
+def _day_segments(mask: np.ndarray, grid: _CampaignGrid) -> List[Tuple[int, int]]:
+    """[start, end) runs of ``mask`` that never cross a day boundary.
+
+    Returned in slot order (equivalently: day order, then segment order
+    within the day), matching the legacy per-day ``_segments`` sweep.
+    """
+    if not mask.any():
+        return []
+    prev = np.empty_like(mask)
+    prev[0] = False
+    prev[1:] = mask[:-1]
+    prev[::SAMPLES_PER_DAY] = False  # day boundaries break runs
+    nxt = np.empty_like(mask)
+    nxt[-1] = False
+    nxt[:-1] = mask[1:]
+    nxt[SAMPLES_PER_DAY - 1::SAMPLES_PER_DAY] = False
+    starts = np.flatnonzero(mask & ~prev)
+    ends = np.flatnonzero(mask & ~nxt) + 1
+    return list(zip(starts.tolist(), ends.tolist()))
+
+
+# ----------------------------------------------------------------------
+# Per-device pass
+# ----------------------------------------------------------------------
+
+class _DevicePass:
+    """Everything about one device except the (block-level) battery walk."""
+
+    __slots__ = (
+        "profile", "tables", "day_rx_cell",
+        "drain", "at_home", "battery0",
+    )
+
+    def __init__(self, profile, tables, day_rx_cell, drain, at_home, battery0):
+        self.profile = profile
+        self.tables = tables
+        self.day_rx_cell = day_rx_cell
+        self.drain = drain
+        self.at_home = at_home
+        self.battery0 = battery0
+
+
+def _simulate_device(
+    profile: UserProfile,
+    grid: _CampaignGrid,
+    deployment: Deployment,
+    demand: DemandModel,
+    params: SimParams,
+    update_model: Optional[UpdateModel],
+    venue_index: _VenueApIndex,
+    rng: np.random.Generator,
+) -> _DevicePass:
+    n_days, n_slots = grid.n_days, grid.n_slots
+    android = profile.os is DeviceOS.ANDROID
+
+    # -- 1. traits ------------------------------------------------------
+    sleep_p = 0.60 if android else 0.30
+    sleep_disconnects = bool(rng.random() < sleep_p)
+    battery0 = float(rng.uniform(55.0, 100.0))
+    home_rssi_base = _draw_base_rssi(APType.HOME, params, rng)
+    office_rssi_base = _draw_base_rssi(APType.OFFICE, params, rng)
+    tx_frac_wifi = demand.tx_fraction(profile.mix, on_wifi=True)
+    tx_frac_cell = demand.tx_fraction(profile.mix, on_wifi=False)
+    cell_iface = int(IfaceKind.from_technology(profile.technology))
+    cell_capacity = CellularNetwork(
+        profile.technology, profile.carrier
+    ).capacity_bytes(600.0)
+
+    # -- 2. schedule ----------------------------------------------------
+    generator = ScheduleGenerator(
+        occupation=profile.occupation, rng=rng,
+        is_commuter=profile.is_commuter,
+    )
+    states = np.empty(n_slots, dtype=np.int64)
+    for day, (lo, hi) in enumerate(grid.day_bounds):
+        states[lo:hi] = generator.day(int(grid.weekday[day]), rng)
+
+    # -- 3. activity ----------------------------------------------------
+    noise = rng.gamma(3.0, 1.0 / 3.0, size=n_slots)
+    activity = grid.activity_base * _STATE_MULT[states] * noise
+
+    # -- 4. anchors -----------------------------------------------------
+    home = profile.home
+    office = profile.office
+    if office is not None:
+        fracs = rng.uniform(0.3, 0.9, n_days)
+        near_office = rng.random(n_days) < 0.7
+        venue_far = _jitter(home, 3.0)
+        venue_near = _jitter(office, 1.0)
+        venue_points = [venue_near if near else venue_far
+                        for near in near_office]
+        commute_points = [
+            Coordinate(home.lat + (office.lat - home.lat) * f,
+                       home.lon + (office.lon - home.lon) * f)
+            for f in fracs.tolist()
+        ]
+    else:
+        venue_points = [_jitter(home, 4.0)] * n_days
+        commute_points = [_jitter(home, 3.0)] * n_days
+
+    # Cell per (day, state): HOME/WORK/OUT anchors are campaign-constant.
+    work_loc = office if office is not None else home
+    out_loc = _jitter(home, 2.0)
+    home_cell = cell_index(home)
+    work_cell = cell_index(work_loc)
+    out_cell = cell_index(out_loc)
+    cell_col = np.empty((n_days, _N_STATES), dtype=np.int64)
+    cell_row = np.empty((n_days, _N_STATES), dtype=np.int64)
+    cell_col[:, _HOME], cell_row[:, _HOME] = home_cell
+    cell_col[:, _WORK], cell_row[:, _WORK] = work_cell
+    cell_col[:, _OUT], cell_row[:, _OUT] = out_cell
+    venue_cells = [cell_index(p) for p in venue_points]
+    commute_cells = [cell_index(p) for p in commute_points]
+    cell_col[:, _VENUE] = [c[0] for c in venue_cells]
+    cell_row[:, _VENUE] = [c[1] for c in venue_cells]
+    cell_col[:, _COMMUTE] = [c[0] for c in commute_cells]
+    cell_row[:, _COMMUTE] = [c[1] for c in commute_cells]
+
+    # -- 5. interface policy --------------------------------------------
+    rest_factor = 1.15 if android else 0.55
+    rest_day = rng.random(n_days) < params.rest_day_p * rest_factor
+    policy = profile.wifi_policy
+    if policy is WifiPolicy.ALWAYS_OFF:
+        wifi_on = np.zeros(n_slots, dtype=bool)
+    elif policy is WifiPolicy.NO_CONFIG:
+        wifi_on = np.ones(n_slots, dtype=bool)
+    else:
+        if policy is WifiPolicy.ALWAYS_ON:
+            wifi_on = np.ones(n_slots, dtype=bool)
+        else:  # DAYTIME_OFF
+            wifi_on = np.zeros(n_slots, dtype=bool)
+            if profile.has_home_ap:
+                wifi_on |= states == _HOME
+            if profile.office_has_ap:
+                wifi_on |= states == _WORK
+        wifi_on &= ~np.repeat(rest_day, SAMPLES_PER_DAY)
+
+    # -- 6. associations ------------------------------------------------
+    assoc = np.full(n_slots, -1, dtype=np.int64)
+    rssi = np.zeros(n_slots, dtype=np.float64)
+    if policy not in (WifiPolicy.ALWAYS_OFF, WifiPolicy.NO_CONFIG):
+        _associate(
+            profile, grid, deployment, params, venue_index,
+            states, wifi_on, assoc, rssi,
+            home_rssi_base, office_rssi_base,
+            venue_points, commute_points, rng,
+        )
+    if sleep_disconnects:
+        # The interface drops overnight but the last observed RSSI is not
+        # cleared (legacy quirk, kept: Android rows retain stale RSSI).
+        assoc = np.where(grid.asleep, -1, assoc)
+    on_wifi = assoc >= 0
+
+    # -- 7. traffic -----------------------------------------------------
+    day_factor = np.exp(rng.normal(0.0, params.day_sigma, n_days))
+    day_totals = activity.reshape(n_days, SAMPLES_PER_DAY).sum(axis=1)
+    scale = np.where(day_totals > 0,
+                     profile.appetite_bytes * day_factor
+                     / np.where(day_totals > 0, day_totals, 1.0), 0.0)
+    base = activity * np.repeat(scale, SAMPLES_PER_DAY)
+    background = rng.exponential(params.background_bytes, n_slots)
+    demand_slots = base + background
+
+    rx_wifi = np.where(on_wifi, demand_slots * params.wifi_uplift, 0.0)
+    rx_cell = np.where(on_wifi, 0.0, demand_slots)
+    leak = profile.home_cell_leak
+    rx_cell = rx_cell + rx_wifi * leak
+    rx_wifi = rx_wifi * (1.0 - leak)
+    if profile.cellular_data_off:
+        rx_cell = rx_cell * params.data_off_cell_factor
+
+    tx_wifi = rx_wifi * tx_frac_wifi * np.exp(rng.normal(0.0, 0.3, n_slots))
+    tx_cell = rx_cell * tx_frac_cell * np.exp(rng.normal(0.0, 0.3, n_slots))
+
+    wifi_evening = on_wifi & grid.evening
+    sync_slots = wifi_evening & (rng.random(n_slots) < params.sync_burst_p)
+    n_sync = int(sync_slots.sum())
+    if n_sync:
+        burst = params.sync_burst_mb * 1e6 * rng.lognormal(0.0, 0.8, n_sync)
+        tx_wifi[sync_slots] += burst * 0.85
+        rx_wifi[sync_slots] += burst * 0.15
+    p_binge = min(0.25, params.binge_burst_p * profile.binge_propensity)
+    binge_rate = np.where(grid.evening, p_binge, p_binge * 0.4)
+    binge_slots = on_wifi & (rng.random(n_slots) < binge_rate)
+    n_binge = int(binge_slots.sum())
+    if n_binge:
+        burst = params.binge_mb * 1e6 * rng.lognormal(0.0, 1.2, n_binge)
+        rx_wifi[binge_slots] += burst * 0.92
+        tx_wifi[binge_slots] += burst * 0.08
+
+    # -- soft cap (sequential by day, exact tracker semantics) ----------
+    cap = SoftCapTracker(params.cap_policy)
+    throttled_limits = np.minimum(
+        throttled_slot_limits(params.cap_policy), cell_capacity
+    )
+    day_rx_cell = np.empty(n_days)
+    response = params.cap_demand_response
+    for day, (lo, hi) in enumerate(grid.day_bounds):
+        day_rx = rx_cell[lo:hi]
+        if cap.throttled_today():
+            day_rx *= response
+            tx_cell[lo:hi] *= response
+            np.minimum(day_rx, throttled_limits, out=day_rx)
+        else:
+            np.minimum(day_rx, cell_capacity, out=day_rx)
+        total = float(day_rx.sum())
+        cap.record_day(total)
+        day_rx_cell[day] = total
+
+    # -- 8. iOS update --------------------------------------------------
+    tables: Dict[str, Dict[str, np.ndarray]] = {}
+    if update_model is not None and profile.os is DeviceOS.IOS:
+        _roll_update(profile, grid, update_model, on_wifi, rx_wifi,
+                     tables, rng)
+
+    # -- emissions ------------------------------------------------------
+    user_id = profile.user_id
+    _emit_traffic(user_id, cell_iface, rx_wifi, tx_wifi, rx_cell, tx_cell,
+                  tables)
+    _emit_wifi(user_id, android, wifi_on, assoc, rssi, tables)
+
+    day_of = grid.day_index
+    geo_col = cell_col[day_of, states]
+    geo_row = cell_row[day_of, states]
+    tables["geo"] = dict(
+        device=np.full(n_slots, user_id), t=np.arange(n_slots),
+        col=geo_col, row=geo_row,
+    )
+
+    if android:
+        density24, density5 = _scan_densities(
+            profile, grid, deployment, params, states, cell_col, cell_row
+        )
+        _emit_scans(user_id, grid, params, venue_index, states, wifi_on,
+                    cell_col, cell_row, density24, density5, tables, rng)
+        _emit_apps(profile, grid, demand, params, states, assoc,
+                   cell_col, cell_row, rx_wifi, tx_wifi, rx_cell, tx_cell,
+                   tables, rng)
+
+    # -- battery inputs (walked at block level; consumes no RNG) --------
+    means = activity.reshape(n_days, SAMPLES_PER_DAY).mean(axis=1)
+    norm = activity / np.repeat(means + 1e-9, SAMPLES_PER_DAY)
+    drain = 0.05 + 0.28 * norm
+    drain += np.where(wifi_on, np.where(on_wifi, 0.03, 0.05), 0.0)
+    at_home = states == _HOME
+
+    return _DevicePass(profile, tables, day_rx_cell, drain, at_home, battery0)
+
+
+def _associate(
+    profile, grid, deployment, params, venue_index,
+    states, wifi_on, assoc, rssi,
+    home_rssi_base, office_rssi_base,
+    venue_points, commute_points, rng,
+) -> None:
+    """Fill ``assoc``/``rssi`` in place (home, office, venue, commute,
+    pocket router — same precedence as the legacy path)."""
+    n_slots = grid.n_slots
+    sigma = params.rssi_obs_sigma
+
+    at_home = (states == _HOME) & wifi_on
+    if profile.home_ap_id >= 0 and at_home.any():
+        attached = at_home.copy()
+        run_starts = [s for s, _ in _day_segments(at_home, grid)]
+        eligible = [s for s in run_starts if s % SAMPLES_PER_DAY != 0]
+        if eligible:
+            delays = rng.exponential(
+                params.home_attach_delay_h * SAMPLES_PER_HOUR, len(eligible)
+            )
+            for start, delay in zip(eligible, delays.tolist()):
+                delay = int(delay)
+                if delay > 0:
+                    day_end = (start // SAMPLES_PER_DAY + 1) * SAMPLES_PER_DAY
+                    attached[start:min(start + delay, day_end)] = False
+        n_att = int(attached.sum())
+        if n_att:
+            assoc[attached] = profile.home_ap_id
+            rssi[attached] = home_rssi_base + rng.normal(0.0, sigma, n_att)
+
+    at_work = (states == _WORK) & wifi_on
+    if profile.office_ap_id >= 0 and at_work.any():
+        assoc[at_work] = profile.office_ap_id
+        rssi[at_work] = office_rssi_base + rng.normal(
+            0.0, sigma, int(at_work.sum())
+        )
+
+    carrier = profile.carrier.name
+    always_on = profile.wifi_policy is WifiPolicy.ALWAYS_ON
+
+    for start, end in _day_segments(states == _VENUE, grid):
+        if not wifi_on[start:end].any():
+            continue
+        day = start // SAMPLES_PER_DAY
+        ap_id = None
+        if profile.public_enrolled:
+            n24, n5 = deployment.public_density(venue_points[day])
+            density = (n24 + n5) * params.scan_scale
+            p = params.venue_assoc_p * (1.0 - np.exp(-density / 40.0))
+            if rng.random() < p:
+                ap_id = _pick_venue_ap(
+                    venue_index, venue_points[day], carrier, True, rng
+                )
+        if ap_id is None and always_on:
+            if rng.random() < params.open_assoc_p:
+                familiar = deployment.familiar_open_aps.get(profile.user_id)
+                if familiar:
+                    ap_id = int(rng.choice(familiar))
+                else:
+                    ap_id = _pick_venue_ap(
+                        venue_index, venue_points[day], carrier, False, rng
+                    )
+        if ap_id is None:
+            continue
+        length = max(1, min(end - start, 1 + int(rng.geometric(0.35))))
+        offset = start if end - start <= length else int(
+            rng.integers(start, end - length + 1)
+        )
+        base = _draw_base_rssi(deployment.ap(ap_id).ap_type, params, rng)
+        assoc[offset:offset + length] = ap_id
+        rssi[offset:offset + length] = base + rng.normal(0.0, sigma, length)
+
+    if profile.public_enrolled:
+        p = params.commute_assoc_p * profile.commute_public_exposure
+        for start, end in _day_segments(states == _COMMUTE, grid):
+            if not wifi_on[start:end].any() or rng.random() >= p * (end - start):
+                continue
+            day = start // SAMPLES_PER_DAY
+            ap_id = _pick_venue_ap(
+                venue_index, commute_points[day], carrier, True, rng
+            )
+            if ap_id is None:
+                continue
+            length = min(end - start, 1 + int(rng.random() < 0.35))
+            base = _draw_base_rssi(APType.PUBLIC, params, rng)
+            assoc[start:start + length] = ap_id
+            rssi[start:start + length] = base + rng.normal(0.0, sigma, length)
+
+    if profile.mobile_ap_id >= 0:
+        away = (states != _HOME) & wifi_on & (assoc < 0)
+        away_days = away.reshape(grid.n_days, SAMPLES_PER_DAY)
+        gates = rng.random(grid.n_days)
+        for day in np.flatnonzero(away_days.any(axis=1)):
+            if gates[day] >= 0.75:
+                continue
+            base = _draw_base_rssi(APType.MOBILE, params, rng)
+            lo, hi = grid.day_bounds[day]
+            mask = away[lo:hi]
+            idx = lo + np.flatnonzero(mask)
+            assoc[idx] = profile.mobile_ap_id
+            rssi[idx] = base + rng.normal(0.0, sigma, len(idx))
+
+
+def _pick_venue_ap(venue_index, coord, carrier, public, rng) -> Optional[int]:
+    usable = venue_index.usable(cell_index(coord), carrier, public)
+    if not usable:
+        return None
+    return int(usable[int(rng.integers(0, len(usable)))])
+
+
+def _roll_update(profile, grid, update_model, on_wifi, rx_wifi, tables, rng):
+    """Per-day iOS update rolls; mutates ``rx_wifi`` and fills updates."""
+    on_by_day = on_wifi.reshape(grid.n_days, SAMPLES_PER_DAY)
+    wifi_slots_per_day = on_by_day.sum(axis=1)
+    policy = update_model.policy
+    for day in range(grid.n_days):
+        wifi_hours = float(wifi_slots_per_day[day]) / SAMPLES_PER_HOUR
+        took = update_model.maybe_update(
+            profile.user_id, day, bool(grid.weekend[day]), wifi_hours, rng
+        )
+        if not took:
+            continue
+        day_on = on_by_day[day]
+        slots = np.flatnonzero(day_on)
+        evening = slots[(_HOURS[slots] >= 18) | (_HOURS[slots] <= 1)]
+        pool = evening if len(evening) >= 3 else slots
+        start = int(pool[int(rng.integers(0, max(1, len(pool) - 2)))])
+        spread = [s for s in range(start, min(start + 3, SAMPLES_PER_DAY))
+                  if day_on[s]]
+        if not spread:
+            spread = [start]
+        lo = grid.day_bounds[day][0]
+        for s in spread:
+            rx_wifi[lo + s] += policy.size_bytes / len(spread)
+        tables["updates"] = dict(
+            device=np.full(1, profile.user_id),
+            t=np.array([lo + spread[0]], dtype=np.int64),
+            bytes=np.array([policy.size_bytes]),
+        )
+        break  # one update per campaign; later rolls would all be no-ops
+
+
+def _emit_traffic(user_id, cell_iface, rx_wifi, tx_wifi, rx_cell, tx_cell,
+                  tables) -> None:
+    wifi_slots = np.flatnonzero((rx_wifi + tx_wifi) >= 100.0)
+    cell_slots = np.flatnonzero((rx_cell + tx_cell) >= 100.0)
+    n = len(wifi_slots) + len(cell_slots)
+    if not n:
+        return
+    # WiFi rows before cellular rows: equal-t rows keep the legacy order
+    # after the builder's stable (device, t) sort.
+    tables["traffic"] = dict(
+        device=np.full(n, user_id),
+        t=np.concatenate([wifi_slots, cell_slots]),
+        iface=np.concatenate([
+            np.full(len(wifi_slots), int(IfaceKind.WIFI)),
+            np.full(len(cell_slots), cell_iface),
+        ]),
+        rx=np.concatenate([rx_wifi[wifi_slots], rx_cell[cell_slots]]),
+        tx=np.concatenate([tx_wifi[wifi_slots], tx_cell[cell_slots]]),
+    )
+
+
+def _emit_wifi(user_id, android, wifi_on, assoc, rssi, tables) -> None:
+    associated = assoc >= 0
+    if not android:
+        slots = np.flatnonzero(associated)
+        if not len(slots):
+            return
+        tables["wifi"] = dict(
+            device=np.full(len(slots), user_id), t=slots,
+            state=np.full(len(slots), int(WifiStateCode.ASSOCIATED)),
+            ap_id=assoc[slots], rssi=rssi[slots],
+        )
+        return
+    n_slots = len(assoc)
+    state = np.where(
+        associated, int(WifiStateCode.ASSOCIATED),
+        np.where(wifi_on, int(WifiStateCode.AVAILABLE),
+                 int(WifiStateCode.OFF)),
+    )
+    tables["wifi"] = dict(
+        device=np.full(n_slots, user_id), t=np.arange(n_slots),
+        state=state, ap_id=assoc, rssi=rssi,
+    )
+
+
+def _scan_densities(profile, grid, deployment, params, states,
+                    cell_col, cell_row):
+    """Audible public-AP densities per slot, from the day's cells."""
+    frac = np.array([
+        params.audible_frac_home, params.audible_frac_commute,
+        params.audible_frac_work, params.audible_frac_venue,
+        params.audible_frac_commute,
+    ])
+    counts = deployment.public_counts_by_cell
+    d24 = np.empty((grid.n_days, _N_STATES))
+    d5 = np.empty((grid.n_days, _N_STATES))
+    for day in range(grid.n_days):
+        for code in _STATE_CODES:
+            n24, n5 = counts.get(
+                (int(cell_col[day, code]), int(cell_row[day, code])), (0, 0)
+            )
+            d24[day, code] = n24 * params.scan_scale * frac[code]
+            d5[day, code] = n5 * params.scan_scale * frac[code]
+    day_of = grid.day_index
+    return d24[day_of, states], d5[day_of, states]
+
+
+def _emit_scans(user_id, grid, params, venue_index, states, wifi_on,
+                cell_col, cell_row, density24, density5, tables, rng) -> None:
+    on_slots = np.flatnonzero(wifi_on)
+    if not len(on_slots):
+        return
+    n24_all = rng.poisson(density24[on_slots])
+    n5_all = rng.poisson(density5[on_slots])
+    n24_strong = rng.binomial(n24_all, params.scan_strong_p)
+    n5_strong = rng.binomial(n5_all, params.scan_strong_p)
+    tables["scans"] = dict(
+        device=np.full(len(on_slots), user_id), t=on_slots,
+        n24_all=n24_all, n24_strong=n24_strong,
+        n5_all=n5_all, n5_strong=n5_strong,
+    )
+
+    # Hourly detailed sightings: one poisson across every scan slot, then
+    # per-slot without-replacement AP picks and a vectorized RSSI draw.
+    hourly = on_slots[
+        (on_slots % SAMPLES_PER_DAY) % params.sighting_period_slots == 0
+    ]
+    if not len(hourly):
+        return
+    lam = np.minimum(density24[hourly] + density5[hourly], 30.0)
+    n_raw = rng.poisson(lam)
+    alive = n_raw > 0
+    if not alive.any():
+        return
+    slots = hourly[alive]
+    wanted = n_raw[alive]
+    pair = grid.day_index[slots] * _N_STATES + states[slots]
+    # Group sighting slots by (day, state): one candidate set per group,
+    # one random matrix whose row-wise argsort yields an independent
+    # uniform permutation per slot (no per-slot python).
+    order = np.argsort(pair, kind="stable")
+    slots, wanted, pair = slots[order], wanted[order], pair[order]
+    uniq, starts = np.unique(pair, return_index=True)
+    bounds = np.append(starts, len(pair))
+    t_chunks: List[np.ndarray] = []
+    ap_chunks: List[np.ndarray] = []
+    for g, key in enumerate(uniq.tolist()):
+        day, code = divmod(key, _N_STATES)
+        cand = venue_index.candidate_array(
+            (int(cell_col[day, code]), int(cell_row[day, code]))
+        )
+        if cand is None:
+            continue
+        lo, hi = bounds[g], bounds[g + 1]
+        m = len(cand)
+        ks = np.minimum(wanted[lo:hi], min(m, 15))
+        perms = np.argsort(rng.random((hi - lo, m)), axis=1)
+        keep = np.arange(m) < ks[:, None]
+        ap_chunks.append(cand[perms[keep]])
+        t_chunks.append(np.repeat(slots[lo:hi], ks))
+    if not t_chunks:
+        return
+    sight_ap = np.concatenate(ap_chunks)
+    sight_t = np.concatenate(t_chunks)
+    n_rows = len(sight_ap)
+    distances = params.public_distance_m * np.exp(
+        rng.normal(0.0, params.distance_sigma, n_rows)
+    )
+    sight_rssi = _PUBLIC_RSSI_MODEL.sample_many(distances, rng)
+    tables["sightings"] = dict(
+        device=np.full(n_rows, user_id),
+        t=sight_t,
+        ap_id=sight_ap,
+        rssi=sight_rssi,
+    )
+
+
+def _emit_apps(profile, grid, demand, params, states, assoc,
+               cell_col, cell_row, rx_wifi, tx_wifi, rx_cell, tx_cell,
+               tables, rng) -> None:
+    """Daily per-category app records, vectorized across every group.
+
+    A *group* is (day, cell) for cellular volume or (day, ap) for WiFi
+    volume — the same partition the legacy path builds per day. All
+    groups' category splits share one ``(n_groups, 26)`` gamma draw and
+    one vectorized head-trim.
+    """
+    n_days = grid.n_days
+    day_of = grid.day_index
+
+    # Per-(day, state) cellular sums.
+    key = day_of * _N_STATES + states
+    minlength = n_days * _N_STATES
+    rx_by = np.bincount(key, weights=rx_cell, minlength=minlength) \
+        .reshape(n_days, _N_STATES)
+    tx_by = np.bincount(key, weights=tx_cell, minlength=minlength) \
+        .reshape(n_days, _N_STATES)
+    present = np.bincount(key, minlength=minlength).reshape(n_days, _N_STATES)
+
+    # Per-(day, ap) WiFi sums, with the first slot each pair appears in.
+    assoc_mask = assoc >= 0
+    ap_rows_by_day: Dict[int, list] = {}
+    if assoc_mask.any():
+        idx = np.flatnonzero(assoc_mask)
+        pair = day_of[idx].astype(np.int64) * (assoc.max() + 1) + assoc[idx]
+        uniq, first, inverse = np.unique(
+            pair, return_index=True, return_inverse=True
+        )
+        rxw = np.bincount(inverse, weights=rx_wifi[idx])
+        txw = np.bincount(inverse, weights=tx_wifi[idx])
+        first_slot = idx[first]
+        for g in range(len(uniq)):
+            slot = int(first_slot[g])
+            day = int(day_of[slot])
+            ap_rows_by_day.setdefault(day, []).append(
+                (int(assoc[slot]), float(rxw[g]), float(txw[g]),
+                 int(states[slot]))
+            )
+
+    # Assemble groups in day order: cellular cell-groups first (state-code
+    # sweep, volumes below 1 byte dropped per state), then WiFi ap-groups
+    # in ascending ap id — the legacy per-day emission order.
+    groups = []  # (day, cellular, ap_id, cell, rx_sum, tx_sum)
+    for day in range(n_days):
+        cell_groups: Dict[tuple, list] = {}
+        for code in _STATE_CODES:
+            if not present[day, code]:
+                continue
+            rx_sum = float(rx_by[day, code])
+            tx_sum = float(tx_by[day, code])
+            if rx_sum + tx_sum < 1.0:
+                continue
+            cell = (int(cell_col[day, code]), int(cell_row[day, code]))
+            acc = cell_groups.setdefault(cell, [0.0, 0.0])
+            acc[0] += rx_sum
+            acc[1] += tx_sum
+        for cell, (rx_sum, tx_sum) in cell_groups.items():
+            groups.append((day, True, -1, cell, rx_sum, tx_sum))
+        for ap_id, rx_sum, tx_sum, code in ap_rows_by_day.get(day, ()):
+            if rx_sum + tx_sum < 1.0:
+                continue
+            cell = (int(cell_col[day, code]), int(cell_row[day, code]))
+            groups.append((day, False, ap_id, cell, rx_sum, tx_sum))
+    if not groups:
+        return
+
+    n_groups = len(groups)
+    n_cats = len(_RX_TX)
+    shares_cell = profile.mix.context_shares(False)
+    shares_wifi = profile.mix.context_shares(True)
+    cellular = np.array([g[1] for g in groups])
+    shares = np.where(cellular[:, None], shares_cell, shares_wifi)
+    rx_sums = np.array([g[4] for g in groups])
+    tx_sums = np.array([g[5] for g in groups])
+
+    noisy = shares * rng.gamma(2.0, 0.5, size=(n_groups, n_cats))
+    totals = noisy.sum(axis=1)
+    degenerate = totals <= 0
+    if degenerate.any():
+        noisy[degenerate] = shares[degenerate]
+        totals = noisy.sum(axis=1)
+    rx_shares = noisy / totals[:, None]
+    tx_weights = rx_shares / _RX_TX
+    tx_totals = tx_weights.sum(axis=1)
+    safe = np.where(tx_totals > 0, tx_totals, 1.0)
+    tx_shares = np.where((tx_totals > 0)[:, None],
+                         tx_weights / safe[:, None], rx_shares)
+    cat_rx = rx_sums[:, None] * rx_shares
+    cat_tx = tx_sums[:, None] * tx_shares
+
+    # Head-trim to 99.5% of each group's volume (legacy _top_splits), then
+    # drop sub-byte rows.
+    mass = cat_rx + cat_tx
+    order = np.argsort(-mass, axis=1, kind="stable")
+    sorted_mass = np.take_along_axis(mass, order, axis=1)
+    csum = np.cumsum(sorted_mass, axis=1)
+    total_mass = mass.sum(axis=1)
+    before = csum - sorted_mass
+    keep = (before < 0.995 * total_mass[:, None]) \
+        & (total_mass[:, None] > 0) & (sorted_mass >= 1.0)
+    counts = keep.sum(axis=1)
+    if not counts.any():
+        return
+
+    cat_codes = np.broadcast_to(np.arange(n_cats), (n_groups, n_cats))
+    sorted_codes = np.take_along_axis(cat_codes, order, axis=1)
+    sorted_rx = np.take_along_axis(cat_rx, order, axis=1)
+    sorted_tx = np.take_along_axis(cat_tx, order, axis=1)
+
+    days = np.array([g[0] for g in groups])
+    aps = np.array([g[2] for g in groups])
+    cols = np.array([g[3][0] for g in groups])
+    rows = np.array([g[3][1] for g in groups])
+    tables["apps"] = dict(
+        device=np.full(int(counts.sum()), profile.user_id),
+        day=np.repeat(days, counts),
+        category=sorted_codes[keep],
+        cellular=np.repeat(cellular.astype(np.int64), counts),
+        ap_id=np.repeat(aps, counts),
+        col=np.repeat(cols, counts),
+        row=np.repeat(rows, counts),
+        rx=sorted_rx[keep],
+        tx=sorted_tx[keep],
+    )
+
+
+# ----------------------------------------------------------------------
+# Block-level battery walk
+# ----------------------------------------------------------------------
+
+def _walk_battery(passes: Sequence[_DevicePass], grid: _CampaignGrid) -> None:
+    """Run the sequential charge/drain recurrence for a block of devices.
+
+    The per-slot update is the exact legacy rule, but applied to the whole
+    block at once: the 4000+-iteration python loop is paid once per block
+    instead of once per device. The walk consumes no RNG (neither does the
+    legacy one), so it can run after every other draw.
+    """
+    n_dev = len(passes)
+    n_slots = grid.n_slots
+    drain = np.stack([p.drain for p in passes], axis=1)       # (S, B)
+    at_home = np.stack([p.at_home for p in passes], axis=1)   # (S, B)
+    level = np.array([p.battery0 for p in passes])
+    plugged = np.zeros(n_dev, dtype=bool)
+    report = grid.battery_report
+    levels = np.empty((len(report), n_dev))
+    charging = np.empty((len(report), n_dev), dtype=np.int8)
+    cw_hours = grid.charge_window_hours
+    plug_hours = grid.plug_hours
+    for i in range(n_slots):
+        hour_slot = i % SAMPLES_PER_DAY
+        if hour_slot == 0:
+            plugged[:] = False  # legacy walk starts each day unplugged
+        home_now = at_home[i]
+        if cw_hours[hour_slot]:
+            plugged |= home_now & ((level < 40.0) | plug_hours[hour_slot])
+        plugged &= (level < 100.0) & home_now
+        level = np.where(
+            plugged,
+            np.minimum(100.0, level + 1.6),
+            np.maximum(0.0, level - drain[i]),
+        )
+        if i % 3 == 0:
+            r = i // 3
+            levels[r] = level
+            charging[r] = plugged
+    t = report
+    for d, dev in enumerate(passes):
+        dev.tables["battery"] = dict(
+            device=np.full(len(t), dev.profile.user_id), t=t.copy(),
+            level=levels[:, d], charging=charging[:, d],
+        )
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+def simulate_devices(
+    profiles: Sequence[UserProfile],
+    axis: TimeAxis,
+    deployment: Deployment,
+    demand: DemandModel,
+    params: SimParams,
+    *,
+    seed: int,
+    year: int,
+    device_ids: Optional[Sequence[int]] = None,
+    rng_for: Optional[Callable[[int], np.random.Generator]] = None,
+    update_model: object = _BUILD_UPDATE_MODEL,
+    block_size: int = 256,
+) -> Iterator[DeviceResult]:
+    """Simulate ``device_ids`` (default: every profile) through the batch
+    kernel, yielding one :class:`DeviceResult` per device in input order.
+
+    ``rng_for`` overrides the per-device stream constructor (the
+    ``DeviceSimulator`` compatibility wrapper routes its caller-supplied
+    stream identity through it); by default every device uses
+    :func:`device_stream`, which is shard-layout independent.
+    ``update_model`` overrides the OS-update model — pass ``None`` to
+    disable updates entirely (the ``DeviceSimulator`` contract for an
+    explicit ``update_model=None``); by default one fresh model is built
+    from ``params.update_policy``.
+    """
+    grid = _CampaignGrid(axis, params)
+    venue_index = _VenueApIndex(deployment)
+    if update_model is _BUILD_UPDATE_MODEL:
+        update_model = (UpdateModel(params.update_policy)
+                        if params.update_policy is not None else None)
+    if device_ids is None:
+        device_ids = range(len(profiles))
+    if rng_for is None:
+        rng_for = lambda device_id: device_stream(seed, year, device_id)
+
+    ids = list(device_ids)
+    for lo in range(0, len(ids), max(1, block_size)):
+        block = ids[lo:lo + max(1, block_size)]
+        passes = [
+            _simulate_device(
+                profiles[device_id], grid, deployment, demand, params,
+                update_model, venue_index, rng_for(device_id),
+            )
+            for device_id in block
+        ]
+        _walk_battery(passes, grid)
+        for device_pass in passes:
+            yield DeviceResult(
+                device_id=device_pass.profile.user_id,
+                tables=device_pass.tables,
+                day_rx_cell=device_pass.day_rx_cell,
+            )

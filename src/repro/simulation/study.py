@@ -40,6 +40,7 @@ from repro.simulation.campaign import (
     merge_campaign,
     plan_campaign,
 )
+from repro.simulation.kernel import DEFAULT_KERNEL, KERNEL_NAMES
 from repro.simulation.params import default_params
 
 YEARS = (2013, 2014, 2015)
@@ -80,6 +81,7 @@ def default_campaign_config(
     scale: float = 1.0,
     seed: int = 7,
     faults: Optional[FaultPlan] = None,
+    kernel: str = DEFAULT_KERNEL,
 ) -> CampaignConfig:
     """Calibrated campaign configuration for ``year`` at panel ``scale``."""
     if year not in _PANEL:
@@ -124,6 +126,7 @@ def default_campaign_config(
         appetite_median_mb=_APPETITE_MB[year],
         seed=seed + year,
         faults=faults,
+        kernel=kernel,
     )
 
 
@@ -137,6 +140,8 @@ class StudyConfig:
     #: Fault plan applied to every campaign's collection pipeline
     #: (None = lossless zero-fault plan).
     faults: Optional[FaultPlan] = None
+    #: Simulation kernel for every campaign (``batch`` or ``legacy``).
+    kernel: str = DEFAULT_KERNEL
 
     def __post_init__(self) -> None:
         if not 0.0 < self.scale <= 1.0:
@@ -144,6 +149,11 @@ class StudyConfig:
         unknown = [y for y in self.years if y not in YEARS]
         if unknown:
             raise ConfigurationError(f"unknown study years: {unknown}")
+        if self.kernel not in KERNEL_NAMES:
+            raise ConfigurationError(
+                f"unknown kernel {self.kernel!r}; expected one of "
+                f"{KERNEL_NAMES}"
+            )
 
 
 @dataclass
@@ -188,7 +198,7 @@ class Study:
                 plan_campaign(
                     default_campaign_config(
                         year, scale=self.config.scale, seed=self.config.seed,
-                        faults=self.config.faults,
+                        faults=self.config.faults, kernel=self.config.kernel,
                     ),
                     n_jobs,
                 )
@@ -266,10 +276,12 @@ def run_study(
     n_jobs: Optional[int] = None,
     executor: Optional[Executor] = None,
     resilience: Optional[ResilienceConfig] = None,
+    kernel: str = DEFAULT_KERNEL,
 ) -> Study:
     """Convenience: run the full study at ``scale`` and return it."""
     config = StudyConfig(
-        scale=scale, seed=seed, years=years or YEARS, faults=faults
+        scale=scale, seed=seed, years=years or YEARS, faults=faults,
+        kernel=kernel,
     )
     return Study(config).run(
         n_jobs=n_jobs, executor=executor, resilience=resilience

@@ -1,0 +1,287 @@
+"""Property test: columnar bulk ingest == per-record ingest, bit for bit.
+
+The batch kernel hands whole-device column arrays to
+``DatasetBuilder.extend_*`` (direct build) or
+``CollectionServer.receive_bulk`` (zero-fault collection), while the
+legacy path feeds the same data one record dataclass at a time through
+``DatasetBuilder.add_*``. The builder's stable ``(device, t)`` lexsort
+makes all three ingest orders converge on the same built dataset, so the
+property is exact equality — not statistical agreement — for *any* batch,
+including the awkward ones (devices with no records at all, all-zero
+traffic rows, tethering rows that per-record ingest drops and columnar
+callers must pre-filter).
+
+Fuzzed with hypothesis over a small panel; example counts are kept modest
+because each example builds three datasets.
+"""
+
+from datetime import date
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collection.server import CollectionServer
+from repro.net.cellular import CellularTechnology
+from repro.timeutil import TimeAxis
+from repro.traces.dataset import DatasetBuilder
+from repro.traces.records import (
+    AppTrafficRecord,
+    BatterySample,
+    DeviceInfo,
+    DeviceOS,
+    GeoSample,
+    IfaceKind,
+    ScanSighting,
+    ScanSummary,
+    TrafficSample,
+    UpdateEvent,
+    WifiObservation,
+    WifiStateCode,
+)
+
+from tests.test_engine import assert_datasets_identical
+
+N_DAYS = 2
+N_SLOTS = N_DAYS * 144
+YEAR = 2015
+START = date(2015, 3, 2)
+
+
+def _axis():
+    return TimeAxis(START, N_DAYS)
+
+
+def _info(device_id):
+    return DeviceInfo(
+        device_id=device_id,
+        os=DeviceOS.ANDROID if device_id % 2 == 0 else DeviceOS.IOS,
+        carrier="docomo",
+        technology=CellularTechnology.LTE,
+        occupation="office worker",
+    )
+
+
+slots = st.integers(min_value=0, max_value=N_SLOTS - 1)
+days = st.integers(min_value=0, max_value=N_DAYS - 1)
+volumes = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False, width=32),
+)
+
+
+@st.composite
+def device_batch(draw):
+    """One device's campaign output as per-table row tuples."""
+    traffic = draw(st.lists(st.tuples(
+        slots,
+        st.sampled_from([0, 1, 2]),      # iface
+        volumes, volumes,                # rx, tx (both may be zero)
+        st.integers(0, 10_000), st.integers(0, 10_000),  # pkts
+        st.booleans(),                   # tethering (dropped at ingest)
+    ), max_size=6))
+    wifi = draw(st.lists(st.tuples(
+        slots,
+        st.sampled_from([0, 1, 2, 3]),   # WifiStateCode
+        st.integers(0, 50),              # ap_id (used when associated)
+        st.floats(-90.0, -30.0, width=32),
+    ), max_size=6))
+    geo = draw(st.lists(
+        st.tuples(slots, st.integers(0, 40), st.integers(0, 40)), max_size=6
+    ))
+    scans = draw(st.lists(st.tuples(
+        slots,
+        st.integers(0, 8), st.integers(0, 8),   # n24: strong + extra
+        st.integers(0, 8), st.integers(0, 8),   # n5: strong + extra
+    ), max_size=4))
+    sightings = draw(st.lists(st.tuples(
+        slots, st.integers(0, 50), st.floats(-90.0, -30.0, width=32)
+    ), max_size=4))
+    apps = draw(st.lists(st.tuples(
+        days,
+        st.integers(0, 7),               # category
+        st.booleans(),                   # cellular
+        st.integers(0, 50),              # ap_id (WiFi rows)
+        st.integers(0, 40), st.integers(0, 40),
+        volumes, volumes,
+    ), max_size=4))
+    updates = draw(st.lists(
+        st.tuples(slots, st.floats(0.0, 2e9, allow_nan=False)), max_size=2
+    ))
+    battery = draw(st.lists(st.tuples(
+        slots, st.floats(0.0, 100.0, allow_nan=False, width=32), st.booleans()
+    ), max_size=6))
+    return {
+        "traffic": traffic, "wifi": wifi, "geo": geo, "scans": scans,
+        "sightings": sightings, "apps": apps, "updates": updates,
+        "battery": battery,
+    }
+
+
+def _columns(device_id, batch):
+    """The batch as columnar tables, as the kernel would emit it.
+
+    Tethering traffic is pre-filtered: per-record ingest drops it inside
+    ``add_traffic``; columnar callers own that filter (the kernel never
+    emits tethering rows).
+    """
+    tables = {}
+    rows = [r for r in batch["traffic"] if not r[6]]
+    if rows:
+        t, iface, rx, tx, rxp, txp, _ = zip(*rows)
+        tables["traffic"] = dict(
+            device=np.full(len(rows), device_id), t=np.array(t),
+            iface=np.array(iface), rx=np.array(rx), tx=np.array(tx),
+            rx_pkts=np.array(rxp), tx_pkts=np.array(txp),
+        )
+    if batch["wifi"]:
+        t, state, ap_id, rssi = zip(*batch["wifi"])
+        ap = [a if s == 2 else -1 for s, a in zip(state, ap_id)]
+        tables["wifi"] = dict(
+            device=np.full(len(t), device_id), t=np.array(t),
+            state=np.array(state), ap_id=np.array(ap), rssi=np.array(rssi),
+        )
+    if batch["geo"]:
+        t, col, row = zip(*batch["geo"])
+        tables["geo"] = dict(
+            device=np.full(len(t), device_id), t=np.array(t),
+            col=np.array(col), row=np.array(row),
+        )
+    if batch["scans"]:
+        t, s24, e24, s5, e5 = zip(*batch["scans"])
+        tables["scans"] = dict(
+            device=np.full(len(t), device_id), t=np.array(t),
+            n24_all=np.array(s24) + np.array(e24), n24_strong=np.array(s24),
+            n5_all=np.array(s5) + np.array(e5), n5_strong=np.array(s5),
+        )
+    if batch["sightings"]:
+        t, ap_id, rssi = zip(*batch["sightings"])
+        tables["sightings"] = dict(
+            device=np.full(len(t), device_id), t=np.array(t),
+            ap_id=np.array(ap_id), rssi=np.array(rssi),
+        )
+    if batch["apps"]:
+        day, cat, cellular, ap_id, col, row, rx, tx = zip(*batch["apps"])
+        ap = [a if not c else -1 for c, a in zip(cellular, ap_id)]
+        tables["apps"] = dict(
+            device=np.full(len(day), device_id), day=np.array(day),
+            category=np.array(cat), cellular=np.array(cellular, dtype=int),
+            ap_id=np.array(ap), col=np.array(col), row=np.array(row),
+            rx=np.array(rx), tx=np.array(tx),
+        )
+    if batch["updates"]:
+        t, nbytes = zip(*batch["updates"])
+        tables["updates"] = dict(
+            device=np.full(len(t), device_id), t=np.array(t),
+            bytes=np.array(nbytes),
+        )
+    if batch["battery"]:
+        t, level, charging = zip(*batch["battery"])
+        tables["battery"] = dict(
+            device=np.full(len(t), device_id), t=np.array(t),
+            level=np.array(level), charging=np.array(charging, dtype=int),
+        )
+    return tables
+
+
+def _add_records(builder, device_id, batch):
+    """Feed the batch through the per-record ``add_*`` path, in order."""
+    for t, iface, rx, tx, rxp, txp, tether in batch["traffic"]:
+        builder.add_traffic(TrafficSample(
+            device_id, t, IfaceKind(iface), rx, tx,
+            rx_pkts=rxp, tx_pkts=txp, tethering=tether,
+        ))
+    for t, state, ap_id, rssi in batch["wifi"]:
+        code = WifiStateCode(state)
+        builder.add_wifi(WifiObservation(
+            device_id, t, code,
+            ap_id=ap_id if code is WifiStateCode.ASSOCIATED else -1,
+            rssi_dbm=rssi,
+        ))
+    for t, col, row in batch["geo"]:
+        builder.add_geo(GeoSample(device_id, t, col, row))
+    for t, s24, e24, s5, e5 in batch["scans"]:
+        builder.add_scan(ScanSummary(device_id, t, s24 + e24, s24, s5 + e5, s5))
+    for t, ap_id, rssi in batch["sightings"]:
+        builder.add_sighting(ScanSighting(device_id, t, ap_id, rssi))
+    for day, cat, cellular, ap_id, col, row, rx, tx in batch["apps"]:
+        builder.add_app_traffic(AppTrafficRecord(
+            device_id, day, cat, cellular,
+            ap_id if not cellular else -1, col, row, rx, tx,
+        ))
+    for t, nbytes in batch["updates"]:
+        builder.add_update(UpdateEvent(device_id, t, nbytes))
+    for t, level, charging in batch["battery"]:
+        builder.add_battery(BatterySample(device_id, t, level, charging))
+
+
+@given(st.lists(device_batch(), min_size=1, max_size=3))
+@settings(max_examples=30, deadline=None)
+def test_bulk_ingest_matches_per_record_ingest(batches):
+    infos = [_info(device_id) for device_id in range(len(batches))]
+
+    by_record = DatasetBuilder(YEAR, _axis())
+    by_chunk = DatasetBuilder(YEAR, _axis())
+    server = CollectionServer(YEAR, _axis())
+    for info in infos:
+        by_record.add_device(info)
+        by_chunk.add_device(info)
+        server.register_device(info)
+
+    for info, batch in zip(infos, batches):
+        _add_records(by_record, info.device_id, batch)
+        tables = _columns(info.device_id, batch)
+        for name, columns in tables.items():
+            getattr(by_chunk, f"extend_{name}")(**columns)
+        server.receive_bulk(info.device_id, tables, N_SLOTS)
+
+    expected = by_record.build()
+    assert_datasets_identical(expected, by_chunk.build())
+    assert_datasets_identical(expected, server.build_dataset())
+
+
+@given(device_batch())
+@settings(max_examples=10, deadline=None)
+def test_single_device_panel(batch):
+    """The one-device panel (DeviceSimulator's shape) holds too."""
+    info = _info(0)
+    by_record = DatasetBuilder(YEAR, _axis())
+    server = CollectionServer(YEAR, _axis())
+    by_record.add_device(info)
+    server.register_device(info)
+    _add_records(by_record, 0, batch)
+    tables = _columns(0, batch)
+    server.receive_bulk(0, tables, N_SLOTS)
+    assert_datasets_identical(by_record.build(), server.build_dataset())
+
+
+def test_empty_batch_is_zero_ticks():
+    """A device that reported nothing contributes no rows and no ticks."""
+    info = _info(0)
+    server = CollectionServer(YEAR, _axis())
+    server.register_device(info)
+    assert server.receive_bulk(0, {}, N_SLOTS) == 0
+    assert server.batches_received == 0
+    dataset = server.build_dataset()
+    for name in ("traffic", "wifi", "geo", "scans", "sightings", "apps",
+                 "updates", "battery"):
+        assert len(getattr(dataset, name)) == 0
+
+
+def test_all_zero_traffic_rows_are_kept():
+    """Zero-byte counter rows survive both ingest paths identically."""
+    info = _info(0)
+    by_record = DatasetBuilder(YEAR, _axis())
+    server = CollectionServer(YEAR, _axis())
+    by_record.add_device(info)
+    server.register_device(info)
+    batch = {
+        "traffic": [(5, 2, 0.0, 0.0, 0, 0, False),
+                    (6, 0, 0.0, 0.0, 0, 0, False)],
+        "wifi": [], "geo": [], "scans": [], "sightings": [], "apps": [],
+        "updates": [], "battery": [],
+    }
+    _add_records(by_record, 0, batch)
+    ticks = server.receive_bulk(0, _columns(0, batch), N_SLOTS)
+    assert ticks == 2
+    assert_datasets_identical(by_record.build(), server.build_dataset())

@@ -50,3 +50,42 @@ def test_guard_sees_the_allowed_calls_in_context():
     # an empty violation list above means the guard is looking correctly.
     text = (ANALYSIS_DIR / "context.py").read_text()
     assert GUARDED_CALLS.search(text)
+
+
+KERNEL_PATH = (
+    Path(__file__).resolve().parents[1]
+    / "src" / "repro" / "simulation" / "kernel.py"
+)
+
+#: The simulation kernel is a leaf compute layer: it must never reach up
+#: into presentation (``repro.reporting``) or the run-report side of obs
+#: (``repro.obs.report``) — such an import would invert the layering and
+#: drag matplotlib-adjacent code into every shard worker.
+FORBIDDEN_KERNEL_IMPORTS = re.compile(
+    r"^\s*(?:from|import)\s+repro\.(?:reporting\b|obs\.report\b)",
+    re.MULTILINE,
+)
+
+
+def test_kernel_never_imports_reporting_or_obs_report():
+    text = KERNEL_PATH.read_text()
+    matches = [m.group(0).strip() for m in
+               FORBIDDEN_KERNEL_IMPORTS.finditer(text)]
+    assert not matches, (
+        "simulation/kernel.py must stay a leaf compute layer; forbidden "
+        "imports found:\n" + "\n".join(matches)
+    )
+
+
+def test_kernel_guard_regex_catches_violations():
+    # Sanity-check the pattern against the imports it must catch.
+    for bad in (
+        "from repro.reporting import tables",
+        "import repro.reporting",
+        "from repro.obs.report import write_run_report",
+        "import repro.obs.report",
+    ):
+        assert FORBIDDEN_KERNEL_IMPORTS.search(bad), bad
+    assert not FORBIDDEN_KERNEL_IMPORTS.search(
+        "from repro.obs.span import get_tracer"
+    )
