@@ -100,9 +100,9 @@ def build_parser() -> argparse.ArgumentParser:
                                "for any value)")
     simulate.add_argument("--kernel", choices=["batch", "legacy"],
                           default="batch",
-                          help="simulation kernel: the columnar batch "
-                               "kernel (default) or the scalar legacy "
-                               "per-device path (kept for one release)")
+                          help="simulation kernel (batch). The removed "
+                               "scalar 'legacy' value is rejected with a "
+                               "migration message")
     faults = simulate.add_argument_group(
         "fault injection", "route campaigns through a lossy collection "
         "pipeline and report completeness")
@@ -262,8 +262,9 @@ def build_parser() -> argparse.ArgumentParser:
                                "are bit-identical for any value)")
     fidelity.add_argument("--kernel", choices=["batch", "legacy"],
                           default="batch",
-                          help="simulation kernel for the scored study "
-                               "(default batch)")
+                          help="simulation kernel (batch). The removed "
+                               "scalar 'legacy' value is rejected with a "
+                               "migration message")
     fidelity.add_argument("--out", type=Path,
                           default=Path("fidelity_report.json"),
                           help="FidelityReport JSON output path "
@@ -463,7 +464,25 @@ def _resilience_from_args(
     )
 
 
+def _check_kernel(args: argparse.Namespace) -> None:
+    """Reject the removed scalar kernel with a migration message.
+
+    The flag value is still parsed (so old scripts fail with a clear
+    explanation and exit code 2 instead of an argparse usage error) but
+    no code path behind it survives.
+    """
+    if getattr(args, "kernel", "batch") == "legacy":
+        raise ConfigurationError(
+            "--kernel legacy was removed: the scalar per-device loop and "
+            "DeviceSimulator.collect() are gone. The columnar batch kernel "
+            "is bit-for-bit identical for every configuration (this was "
+            "gated in CI for a full release); drop the flag or pass "
+            "--kernel batch."
+        )
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
+    _check_kernel(args)
     faults = _fault_plan_from_args(args)
     resilience = _resilience_from_args(args)
     n_jobs = resolve_jobs(args.jobs, default=0)  # default: auto (CPU count)
@@ -642,6 +661,7 @@ def cmd_fidelity(args: argparse.Namespace) -> int:
     # Lazy: the scorer reaches up into the analysis layer.
     from repro.obs import fidelity as fidelity_mod
 
+    _check_kernel(args)
     tracer = _start_telemetry(args)
     try:
         if args.data is not None:

@@ -6,7 +6,11 @@ Campaign execution is split into three orthogonal pieces:
   into shards (shard membership can never change results, because every
   device keeps its own ``(seed, year, user_id)`` RNG stream);
 - :mod:`repro.engine.executor` — pluggable execution of shard work units,
-  serially or over a process pool with timeout and serial fallback;
+  serially or over a warm (reused across runs) process pool with
+  work-stealing scheduling, timeouts, and serial fallback;
+- :mod:`repro.engine.transport` — zero-copy shard-result transport over
+  POSIX shared memory, with run-scoped segment names and an orphan
+  janitor so failures never leak ``/dev/shm`` segments;
 - :mod:`repro.engine.merge` — canonical-order reassembly of shard-local
   dataset chunks and collection accounting;
 - :mod:`repro.engine.resilience` — self-healing execution: shard
@@ -37,6 +41,8 @@ from repro.engine.executor import (
     SerialExecutor,
     make_executor,
     resolve_jobs,
+    shutdown_warm_pools,
+    warm_pool_stats,
 )
 from repro.engine.merge import (
     ShardOutput,
@@ -45,7 +51,20 @@ from repro.engine.merge import (
     missing_shards,
     ordered_outputs,
 )
-from repro.engine.planner import Shard, ShardPlan, ShardPlanner
+from repro.engine.planner import (
+    MIN_UNIT_DEVICES,
+    UNIT_OVERSPLIT,
+    Shard,
+    ShardPlan,
+    ShardPlanner,
+    plan_units,
+)
+from repro.engine.transport import (
+    ShardPayload,
+    run_token,
+    segment_names,
+    sweep_orphans,
+)
 from repro.engine.resilience import (
     CheckpointStore,
     ExecutionLosses,
@@ -65,6 +84,8 @@ __all__ = [
     "SerialExecutor",
     "make_executor",
     "resolve_jobs",
+    "shutdown_warm_pools",
+    "warm_pool_stats",
     "ShardOutput",
     "merge_chunks",
     "merge_reports",
@@ -73,6 +94,13 @@ __all__ = [
     "Shard",
     "ShardPlan",
     "ShardPlanner",
+    "plan_units",
+    "UNIT_OVERSPLIT",
+    "MIN_UNIT_DEVICES",
+    "ShardPayload",
+    "run_token",
+    "segment_names",
+    "sweep_orphans",
     "CheckpointStore",
     "ExecutionLosses",
     "ResilienceConfig",

@@ -8,9 +8,30 @@ Two implementations:
 
 - :class:`SerialExecutor` runs units inline in the calling process.
 - :class:`ParallelExecutor` fans units out over a
-  :class:`concurrent.futures.ProcessPoolExecutor`.
+  :class:`concurrent.futures.ProcessPoolExecutor` with a work-stealing
+  scheduler and a warm-pool cache.
 
-Both classify every failed attempt into a structured
+**Warm pools.** Spinning up a process pool costs fork + interpreter
+warm-up per worker, and a cold worker rebuilds its world cache on the
+first shard it touches. ``ParallelExecutor`` therefore draws its pool
+from a module-level cache keyed by worker count: :meth:`close` parks a
+healthy pool for the next executor (the next campaign, the next study,
+the next bench repetition) instead of tearing it down. Workers survive
+across runs, and with them the per-process world cache — keyed by config
+repr, so reuse is exact, never approximate. Pools that saw a hung or
+crashed worker are genuinely discarded and never parked. Call
+:func:`shutdown_warm_pools` (or let the ``atexit`` hook) to reap them.
+
+**Work stealing.** Units start on per-worker-slot deques under the same
+static contiguous assignment the planner used to bake in, but any slot
+that drains its own deque steals the hindmost unit from the richest
+sibling. Uneven units — a fat shard, a retried straggler — no longer
+serialize the tail; the steal count is surfaced as :attr:`steals` and
+lands in run manifests and metrics. Scheduling never affects results:
+unit → RNG stream binding is fixed by the planner, results are keyed by
+unit index, and the merge layer reassembles canonical order.
+
+Both executors classify every failed attempt into a structured
 :class:`~repro.engine.resilience.ShardFailure` (``crash`` vs ``timeout``
 vs ``broken-pool`` vs ``submit``) and keep a per-unit
 :class:`~repro.engine.resilience.ShardAttemptLog` in :attr:`history`. With
@@ -35,11 +56,13 @@ be routed through the parallel path without touching call sites.
 
 from __future__ import annotations
 
+import atexit
 import os
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+from typing import Callable, Deque, Dict, List, Optional, Sequence, TypeVar
 
 from repro.engine.resilience import (
     FAILURE_SUBMIT,
@@ -77,6 +100,10 @@ class ExecutionInfo:
     executor: str
     n_jobs: int
     n_shards: int
+    #: Work units an idle slot took from a sibling's deque.
+    steals: int = 0
+    #: Bytes of shard output moved through shared-memory segments.
+    transport_bytes: int = 0
 
     def describe(self) -> str:
         jobs = "job" if self.n_jobs == 1 else "jobs"
@@ -123,6 +150,72 @@ def make_executor(
     )
 
 
+# ---------------------------------------------------------------------------
+# Warm pool cache
+# ---------------------------------------------------------------------------
+
+#: Parked healthy pools by worker count, oldest first.
+_WARM_POOLS: Dict[int, List[ProcessPoolExecutor]] = {}
+#: Keep at most this many idle pools parked across all worker counts.
+_WARM_POOL_CAP = 4
+_POOL_STATS = {"created": 0, "reused": 0, "discarded": 0}
+_OWNER_PID = os.getpid()
+
+
+def _acquire_pool(n_jobs: int) -> ProcessPoolExecutor:
+    """A warm pool for ``n_jobs`` workers, or a fresh one."""
+    parked = _WARM_POOLS.get(n_jobs)
+    if parked:
+        _POOL_STATS["reused"] += 1
+        return parked.pop()
+    _POOL_STATS["created"] += 1
+    return ProcessPoolExecutor(max_workers=n_jobs)
+
+
+def _park_pool(n_jobs: int, pool: ProcessPoolExecutor) -> None:
+    """Return a healthy, drained pool to the cache for the next run."""
+    _WARM_POOLS.setdefault(n_jobs, []).append(pool)
+    while sum(len(v) for v in _WARM_POOLS.values()) > _WARM_POOL_CAP:
+        for jobs in sorted(_WARM_POOLS):
+            if _WARM_POOLS[jobs]:
+                eldest = _WARM_POOLS[jobs].pop(0)
+                eldest.shutdown(wait=False, cancel_futures=True)
+                _POOL_STATS["discarded"] += 1
+                break
+
+
+def warm_pool_stats() -> Dict[str, int]:
+    """Lifetime pool churn plus currently-parked count (for tests)."""
+    stats = dict(_POOL_STATS)
+    stats["parked"] = sum(len(v) for v in _WARM_POOLS.values())
+    return stats
+
+
+def shutdown_warm_pools(wait_for_workers: bool = True) -> int:
+    """Tear down every parked pool; returns how many were shut down."""
+    n = 0
+    for pools in _WARM_POOLS.values():
+        for pool in pools:
+            pool.shutdown(wait=wait_for_workers, cancel_futures=True)
+            n += 1
+        pools.clear()
+    return n
+
+
+def _atexit_cleanup() -> None:  # pragma: no cover - interpreter teardown
+    # Forked workers inherit this hook; only the owning parent may act
+    # (a worker sweeping the shared run token would unlink live segments).
+    if os.getpid() != _OWNER_PID:
+        return
+    shutdown_warm_pools()
+    from repro.engine.transport import run_token, sweep_orphans
+
+    sweep_orphans(run_token())
+
+
+atexit.register(_atexit_cleanup)
+
+
 class _ResilienceMixin:
     """Shared attempt accounting for both executors."""
 
@@ -136,6 +229,8 @@ class _ResilienceMixin:
         self.retries = 0
         #: Units dropped after exhausting every recovery (partial mode).
         self.dropped = 0
+        #: Units an idle slot stole from a sibling's deque (lifetime).
+        self.steals = 0
         #: Every classified failed attempt, in observation order.
         self.failures: List[ShardFailure] = []
         #: Per-unit attempt logs, appended in unit order per run() call.
@@ -223,12 +318,13 @@ class SerialExecutor(_ResilienceMixin):
 
 
 class ParallelExecutor(_ResilienceMixin):
-    """Process-pool executor with deadlines, in-pool retry and fallback.
+    """Work-stealing process-pool executor with deadlines and retry.
 
-    The pool is created lazily on the first :meth:`run` and reused across
-    calls (a study's years share one pool), so :meth:`close` must be called
-    when done — or use the executor as a context manager. A pool poisoned
-    by a hung or crashed worker is replaced transparently.
+    The pool comes from the warm cache on the first :meth:`run` and is
+    parked back by :meth:`close` (use the executor as a context manager),
+    so consecutive runs — a study's years, repeated campaigns — share
+    workers and their per-process world caches. A pool poisoned by a hung
+    or crashed worker is replaced transparently and never parked.
     """
 
     name = "parallel"
@@ -269,21 +365,69 @@ class ParallelExecutor(_ResilienceMixin):
     ) -> List[Optional[R]]:
         if not units:
             return []
+        try:
+            return self._run_stealing(fn, units, on_result)
+        except BaseException:
+            # An escaping exception (a ChaosKill from on_result, a strict-
+            # mode failure) must not leave workers running: drain the pool
+            # hard so no straggler packs a segment after our sweep, and
+            # never park a pool in an unknown state.
+            if self._pool is not None:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+                self._pool = None
+                _POOL_STATS["discarded"] += 1
+            raise
+
+    def _run_stealing(
+        self,
+        fn: Callable[[T], R],
+        units: Sequence[T],
+        on_result: Optional[ResultCallback],
+    ) -> List[Optional[R]]:
         n = len(units)
         results: List[Optional[R]] = [None] * n
         logs = [ShardAttemptLog(unit_index=i) for i in range(n)]
         self.history.extend(logs)
         exhausted: List[int] = []  # units needing the serial last resort
 
-        pending: Dict[Future, int] = {}
+        # Static contiguous initial assignment (what the old scheduler
+        # baked in), as per-slot deques so idle slots can steal.
+        n_slots = self.n_jobs
+        queues: List[Deque[int]] = [deque() for _ in range(n_slots)]
+        home = [0] * n
+        base, extra = divmod(n, n_slots)
+        lo = 0
+        for slot in range(n_slots):
+            hi = lo + base + (1 if slot < extra else 0)
+            for index in range(lo, hi):
+                queues[slot].append(index)
+                home[index] = slot
+            lo = hi
+
+        in_flight: Dict[Future, int] = {}
+        slot_of: Dict[Future, int] = {}
+        busy = [False] * n_slots
         started: Dict[Future, float] = {}
         retry_at: Dict[int, float] = {}
         deadline = self._deadline_s
 
-        def submit(index: int) -> None:
+        def next_unit(slot: int) -> Optional[int]:
+            """Own deque front, else steal the richest sibling's back."""
+            if queues[slot]:
+                return queues[slot].popleft()
+            victim = max(
+                range(n_slots),
+                key=lambda s: (len(queues[s]), -s),
+            )
+            if not queues[victim]:
+                return None
+            self.steals += 1
+            return queues[victim].pop()
+
+        def submit(slot: int, index: int) -> bool:
             try:
                 if self._pool is None:
-                    self._pool = ProcessPoolExecutor(max_workers=self.n_jobs)
+                    self._pool = _acquire_pool(self.n_jobs)
                 future = self._pool.submit(fn, units[index])
             except Exception as exc:
                 # The pool could not be built or fed (fork failure,
@@ -291,30 +435,31 @@ class ParallelExecutor(_ResilienceMixin):
                 self._record_failure(logs[index], FAILURE_SUBMIT, exc, 0.0)
                 self._discard_pool()
                 exhausted.append(index)
-                return
-            pending[future] = index
+                return False
+            in_flight[future] = index
+            slot_of[future] = slot
+            busy[slot] = True
+            return True
 
-        def settle_failure(index: int, kind: str,
-                           exc: Optional[BaseException],
-                           elapsed_s: float) -> None:
-            self._record_failure(logs[index], kind, exc, elapsed_s)
-            if logs[index].attempts < self.max_attempts:
-                self.retries += 1
-                retry_at[index] = time.monotonic() + self.policy.backoff_s(
-                    index, logs[index].attempts
-                )
-            else:
-                exhausted.append(index)
+        def release_slot(future: Future) -> None:
+            slot = slot_of.pop(future, None)
+            if slot is not None:
+                busy[slot] = False
 
-        for i in range(n):
-            submit(i)
-
-        while pending or retry_at:
+        while in_flight or retry_at or any(queues):
             now = time.monotonic()
+            # Backoff expiry requeues a unit at the front of its home
+            # slot: retries keep locality and run before new work.
             for index in [i for i, at in retry_at.items() if at <= now]:
                 del retry_at[index]
-                submit(index)
-            if not pending:
+                queues[home[index]].appendleft(index)
+            for slot in range(n_slots):
+                while not busy[slot]:
+                    index = next_unit(slot)
+                    if index is None:
+                        break
+                    submit(slot, index)
+            if not in_flight:
                 if retry_at:
                     time.sleep(
                         min(max(0.0, min(retry_at.values()) - time.monotonic()),
@@ -323,12 +468,13 @@ class ParallelExecutor(_ResilienceMixin):
                 continue
             wait_s = _POLL_S if (deadline is not None or retry_at) else None
             finished, _ = wait(
-                set(pending), timeout=wait_s, return_when=FIRST_COMPLETED
+                set(in_flight), timeout=wait_s, return_when=FIRST_COMPLETED
             )
             now = time.monotonic()
             pool_broken = False
             for future in finished:
-                index = pending.pop(future)
+                index = in_flight.pop(future)
+                release_slot(future)
                 start = started.pop(future, None)
                 elapsed = (now - start) if start is not None else 0.0
                 try:
@@ -337,7 +483,8 @@ class ParallelExecutor(_ResilienceMixin):
                     kind = classify_exception(exc)
                     if kind != "crash":
                         pool_broken = True
-                    settle_failure(index, kind, exc, elapsed)
+                    self._settle_failure(index, logs, retry_at, exhausted,
+                                         kind, exc, elapsed)
                 else:
                     log = logs[index]
                     log.attempts += 1
@@ -350,9 +497,9 @@ class ParallelExecutor(_ResilienceMixin):
                 # Every sibling future on the broken pool fails alongside
                 # (concurrent.futures fails them all), so just drop it.
                 self._discard_pool()
-            if deadline is not None and pending:
+            if deadline is not None and in_flight:
                 expired: List[Future] = []
-                for future, index in pending.items():
+                for future, index in in_flight.items():
                     if future not in started and future.running():
                         started[future] = now
                     begun = started.get(future)
@@ -360,30 +507,44 @@ class ParallelExecutor(_ResilienceMixin):
                         expired.append(future)
                 if expired:
                     for future in expired:
-                        index = pending.pop(future)
+                        index = in_flight.pop(future)
+                        release_slot(future)
                         begun = started.pop(future)
                         future.cancel()
-                        settle_failure(
-                            index, FAILURE_TIMEOUT,
+                        self._settle_failure(
+                            index, logs, retry_at, exhausted,
+                            FAILURE_TIMEOUT,
                             TimeoutError(
                                 f"shard exceeded its {deadline:g}s deadline"
                             ),
                             now - begun,
                         )
                     # A hung worker cannot be killed through the pool API;
-                    # abandon the whole pool and restart the unexpired
+                    # abandon the whole pool and requeue the unexpired
                     # in-flight units on a fresh one, free of charge.
                     self._discard_pool()
-                    for future in list(pending):
-                        index = pending.pop(future)
+                    for future in list(in_flight):
+                        index = in_flight.pop(future)
+                        release_slot(future)
                         started.pop(future, None)
                         future.cancel()
-                        submit(index)
+                        queues[home[index]].appendleft(index)
 
         for index in sorted(exhausted):
             self._serial_last_resort(fn, units, index, logs[index],
                                      results, on_result)
         return results
+
+    def _settle_failure(self, index, logs, retry_at, exhausted,
+                        kind, exc, elapsed_s) -> None:
+        self._record_failure(logs[index], kind, exc, elapsed_s)
+        if logs[index].attempts < self.max_attempts:
+            self.retries += 1
+            retry_at[index] = time.monotonic() + self.policy.backoff_s(
+                index, logs[index].attempts
+            )
+        else:
+            exhausted.append(index)
 
     def _serial_last_resort(self, fn, units, index, log, results, on_result):
         """Re-run an exhausted unit inline, or drop it in partial mode.
@@ -416,13 +577,16 @@ class ParallelExecutor(_ResilienceMixin):
             on_result(index, value)
 
     def _discard_pool(self) -> None:
+        """Abandon a poisoned pool: broken pools are never parked."""
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+            _POOL_STATS["discarded"] += 1
 
     def close(self) -> None:
+        """Park the (healthy, drained) pool for the next executor."""
         if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
+            _park_pool(self.n_jobs, self._pool)
             self._pool = None
 
     def __enter__(self) -> "ParallelExecutor":
@@ -443,6 +607,7 @@ try:  # pragma: no cover - typing nicety only
         fallbacks: int
         retries: int
         dropped: int
+        steals: int
         failures: List[ShardFailure]
         history: List[ShardAttemptLog]
 

@@ -22,13 +22,14 @@ still validated hard: no duplicates, no coverage mismatches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.collection.faults import CollectionReport, DeviceCollectionStats
 from repro.engine.planner import ShardPlan
+from repro.engine.transport import ShardPayload
 from repro.errors import EngineError
 from repro.traces.dataset import DatasetBuilder
 
@@ -38,11 +39,18 @@ ChunkMap = Dict[str, List[Dict[str, np.ndarray]]]
 
 @dataclass
 class ShardOutput:
-    """Everything one shard's worker sends back to the merge layer."""
+    """Everything one shard's worker sends back to the merge layer.
+
+    The columnar tables travel one of two ways: ``chunks`` carries them
+    inline (serial execution, checkpoint reloads), while ``payload``
+    references a shared-memory segment packed by a pool worker (see
+    :mod:`repro.engine.transport`). :meth:`chunk_map` hides the
+    difference from the merge layer; exactly one of the two is set.
+    """
 
     shard_index: int
     device_ids: Tuple[int, ...]
-    chunks: ChunkMap
+    chunks: Optional[ChunkMap] = None
     #: Per-device collection accounting in canonical device order
     #: (empty when the campaign bypassed the collection pipeline).
     stats: List[DeviceCollectionStats] = field(default_factory=list)
@@ -52,6 +60,38 @@ class ShardOutput:
     #: (None when the run was untraced); the merge layer grafts it back
     #: into the parent's trace. Carries no simulation state.
     spans: Optional[dict] = None
+    #: Shared-memory transport handle (parallel execution only).
+    payload: Optional[ShardPayload] = None
+
+    def chunk_map(self) -> ChunkMap:
+        """This shard's column chunks, wherever they live."""
+        if self.payload is not None:
+            return self.payload.chunk_map()
+        if self.chunks is None:
+            raise EngineError(
+                f"shard {self.shard_index} carries neither inline chunks "
+                f"nor a transport payload"
+            )
+        return self.chunks
+
+    @property
+    def transport_bytes(self) -> int:
+        """Bytes this shard moved through shared memory (0 if inline)."""
+        return self.payload.n_bytes if self.payload is not None else 0
+
+    def for_checkpoint(self) -> "ShardOutput":
+        """A self-contained copy that pickles safely to a spill file.
+
+        Shared-memory views must be materialised into ordinary arrays —
+        the segment is unlinked the moment the shard is accepted, and a
+        pickled view would drag the whole mapped buffer along. Span
+        trees are grafted into the parent tracer at accept time and
+        never replayed from a checkpoint, so they are dropped too.
+        """
+        if self.payload is None:
+            return replace(self, spans=None) if self.spans else self
+        return replace(self, chunks=self.payload.materialize(),
+                       payload=None, spans=None)
 
 
 def ordered_outputs(
@@ -114,9 +154,15 @@ def merge_chunks(
     plan: ShardPlan,
     allow_missing: bool = False,
 ) -> None:
-    """Append every shard's column chunks to ``builder`` canonically."""
+    """Append every shard's column chunks to ``builder`` canonically.
+
+    Shared-memory shards contribute zero-copy views straight off their
+    segment buffers; the builder holds those views until ``build()``
+    concatenates them, so no intermediate row objects or array copies
+    exist between worker and frozen dataset.
+    """
     for out in ordered_outputs(outputs, plan, allow_missing=allow_missing):
-        builder.merge_chunks(out.chunks)
+        builder.merge_chunks(out.chunk_map())
 
 
 def merge_reports(

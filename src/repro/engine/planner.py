@@ -10,6 +10,12 @@ the canonical order the merge layer reassembles results in.
 Every device keeps its existing per-user stream seeded by
 ``(seed, year, user_id)``; the planner only decides *where* a device is
 simulated, not *how*.
+
+For parallel runs, :func:`plan_units` oversplits the panel into more
+units than workers (work-stealing food): the executor's scheduler can
+then rebalance an uneven tail instead of waiting on the one fat shard.
+Unit membership is still a pure function of panel + worker count, so
+checkpoint identity and bit-for-bit equivalence are untouched.
 """
 
 from __future__ import annotations
@@ -18,6 +24,14 @@ from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 from repro.errors import ConfigurationError
+
+#: Target work units per worker when oversplitting for work stealing.
+UNIT_OVERSPLIT = 4
+
+#: Never split below this many devices per unit: tiny units pay more in
+#: per-unit overhead (IPC, collection setup) than stealing can recover,
+#: and small panels should keep exactly one unit per worker.
+MIN_UNIT_DEVICES = 16
 
 
 @dataclass(frozen=True)
@@ -92,3 +106,21 @@ class ShardPlanner:
             shards.append(Shard(index=index, device_ids=ids[lo:hi]))
             lo = hi
         return ShardPlan(n_devices=n, shards=tuple(shards))
+
+
+def plan_units(device_ids: Sequence[int], n_jobs: int) -> ShardPlan:
+    """The work-unit partition for an ``n_jobs``-worker run.
+
+    Serial runs get one unit. Parallel runs oversplit up to
+    :data:`UNIT_OVERSPLIT` units per worker, floored at
+    :data:`MIN_UNIT_DEVICES` devices per unit — a small panel therefore
+    keeps exactly one unit per worker (no behaviour change vs. the old
+    one-shard-per-worker plan), while a large one hands the scheduler
+    enough units to steal across. Deterministic in (panel, n_jobs) only.
+    """
+    if n_jobs <= 1:
+        return ShardPlanner().plan(device_ids, 1)
+    n = len(device_ids)
+    target = min(n_jobs * UNIT_OVERSPLIT,
+                 max(n_jobs, n // MIN_UNIT_DEVICES))
+    return ShardPlanner().plan(device_ids, max(1, target))

@@ -184,13 +184,27 @@ def _campaign_case(name: str, n_jobs: int) -> BenchCase:
         timing = best_of(timed, repeat=repeat, warmup=warmup,
                          setup=clear_world_cache)
         devices = timing.best_result.dataset.n_devices
-        return {
+        row = {
             "wall_s": round(timing.best_s, 6),
             "mean_s": round(timing.mean_s, 6),
             "n_jobs": n_jobs,
             "devices": devices,
             "devices_per_s": round(devices / timing.best_s, 2),
         }
+        info = timing.best_result.execution
+        if info is not None:
+            # Transport accounting: total shared-memory payload bytes and
+            # the per-shard average (zero on serial runs, which never pack
+            # a segment), plus work-stealing activity — auditable from the
+            # committed BENCH_all.json.
+            row["n_shards"] = info.n_shards
+            row["steals"] = getattr(info, "steals", 0)
+            row["transport_bytes"] = getattr(info, "transport_bytes", 0)
+            row["payload_bytes_per_shard"] = (
+                round(row["transport_bytes"] / info.n_shards)
+                if info.n_shards else 0
+            )
+        return row
 
     title = ("simulate one campaign, serial executor" if n_jobs == 1 else
              f"simulate one campaign, {n_jobs}-worker process pool")
@@ -468,6 +482,27 @@ def check_regression(
                     f"{float(base_speedup) / speedup:.2f}x "
                     f"(baseline {float(base_speedup):.2f}x, "
                     f"now {speedup:.2f}x)"
+                )
+        # Absolute floor (ROADMAP item 2): the baseline cell may commit a
+        # ``speedup_floor`` that the current host must clear outright.
+        # Unlike the relative criterion it does not care what the baseline
+        # host could measure — a single-core baseline records
+        # ``speedup: null`` but still carries the floor, so the gate arms
+        # the moment the *current* host has cores to spread over.
+        floor = cell.get("speedup_floor")
+        if (
+            sharded is not None
+            and sharded.get("wall_s")
+            and floor
+            and (current.get("cpu_count") or 1) >= 2
+        ):
+            speedup = serial["wall_s"] / sharded["wall_s"]
+            if speedup < float(floor):
+                failures.append(
+                    f"{baseline_name}: parallel speedup {speedup:.2f}x at "
+                    f"jobs={sharded.get('n_jobs')} is below the committed "
+                    f"{float(floor):.2f}x floor "
+                    f"(cpu_count={current.get('cpu_count')})"
                 )
     elif kind == "all":
         if baseline.get("scale") != current.get("scale"):

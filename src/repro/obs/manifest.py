@@ -68,8 +68,8 @@ class RunManifest:
     seed: int
     scale: float
     years: List[int] = field(default_factory=list)
-    #: Which simulation kernel ran the devices ("batch" or "legacy";
-    #: empty for runs that did not simulate, e.g. --data reloads).
+    #: Which simulation kernel ran the devices ("batch" is the only one
+    #: left; empty for runs that did not simulate, e.g. --data reloads).
     kernel: str = ""
     executor: str = "serial"
     n_jobs: int = 1

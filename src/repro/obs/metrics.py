@@ -101,6 +101,9 @@ class MetricsRegistry:
         self.count(f"{prefix}.shards", info.n_shards)
         self.set(f"{prefix}.executor_parallel",
                  int(getattr(info, "executor", "serial") != "serial"))
+        self.count(f"{prefix}.steals", getattr(info, "steals", 0))
+        self.count(f"{prefix}.transport_bytes",
+                   getattr(info, "transport_bytes", 0))
 
     def ingest_resilience(self, report, prefix: str = "engine") -> None:
         """Fold a ``ResilienceReport``-shaped object into ``counters``.

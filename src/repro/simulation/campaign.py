@@ -35,7 +35,6 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.apps.demand import DemandModel
-from repro.apps.updates import UpdateModel
 from repro.collection.faults import CollectionReport, FaultPlan
 from repro.collection.pipeline import CollectionPump
 from repro.collection.server import CollectionServer
@@ -52,20 +51,20 @@ from repro.engine.merge import (
     merge_reports,
     missing_shards,
 )
-from repro.engine.planner import ShardPlan, ShardPlanner
+from repro.engine.planner import ShardPlan, plan_units
 from repro.engine.resilience import (
     ExecutionLosses,
     ResilienceConfig,
     ResilienceReport,
     config_key,
 )
+from repro.engine.transport import ShardPayload, run_token, sweep_orphans
 from repro.errors import ConfigurationError, EngineError
 from repro.net.accesspoint import AccessPoint
 from repro.obs.span import Tracer, get_tracer, use_tracer
 from repro.network_env.deployment import Deployment, DeploymentConfig, build_deployment
 from repro.population.profiles import UserProfile
 from repro.population.recruitment import RecruitmentConfig, recruit
-from repro.simulation.device import DeviceSimulator
 from repro.simulation.kernel import DEFAULT_KERNEL, KERNEL_NAMES, simulate_devices
 from repro.simulation.params import SimParams
 from repro.timeutil import TimeAxis
@@ -92,9 +91,11 @@ class CampaignConfig:
     #: Bypass the collection pipeline and write simulator output straight
     #: into the builder (legacy fast path; used to verify equivalence).
     direct_build: bool = False
-    #: Which simulation kernel runs the devices: the columnar ``batch``
-    #: kernel (default) or the scalar per-day ``legacy`` path (kept for
-    #: one release; see ARCHITECTURE.md "Simulation kernel").
+    #: Which simulation kernel runs the devices. Only the columnar
+    #: ``batch`` kernel remains (the scalar ``legacy`` loop completed its
+    #: one-release deprecation window and was removed); the field stays so
+    #: config reprs — and with them checkpoint/world-cache keys — are
+    #: stable.
     kernel: str = DEFAULT_KERNEL
 
     def __post_init__(self) -> None:
@@ -166,6 +167,11 @@ class ShardWork:
     #: tree back on the :class:`ShardOutput` (set at plan time from the
     #: parent's tracer; never affects simulation results).
     telemetry: bool = False
+    #: Run token for shared-memory transport: when set (parallel
+    #: execution), the worker packs its chunks into a
+    #: :class:`~repro.engine.transport.ShardPayload` segment named under
+    #: this token instead of returning them inline.
+    shm_token: Optional[str] = None
 
 
 @dataclass
@@ -242,7 +248,7 @@ def plan_campaign(config: CampaignConfig, n_jobs: int = 1) -> CampaignPlan:
     tracer = get_tracer()
     with tracer.span("plan_campaign", year=config.year):
         world = _world_for(config)
-        shard_plan = ShardPlanner().plan(
+        shard_plan = plan_units(
             [info.device_id for info in world.infos], max(1, n_jobs)
         )
         work = [
@@ -320,62 +326,39 @@ def _simulate_shard_impl(work: ShardWork) -> ShardOutput:
             )
     with tracer.span("simulate_devices", n_devices=len(work.device_ids),
                      kernel=config.kernel):
-        if config.kernel == "batch":
-            # Columnar kernel: per-device streams key only on the device
-            # id, so any shard layout produces bit-identical output.
-            for result in simulate_devices(
-                world.profiles, axis, world.deployment, world.demand,
-                config.params, seed=config.seed, year=config.year,
-                device_ids=work.device_ids,
-            ):
-                if pump is None:
-                    for name, columns in result.tables.items():
-                        getattr(builder, f"extend_{name}")(**columns)
-                else:
-                    stats.append(pump.transmit_bulk(
-                        world.infos[result.device_id], result.tables
-                    ))
-                tracer.count("devices")
-        else:
-            # Fresh per shard: the model remembers which devices already
-            # updated, and every check is per-device, so shard placement
-            # cannot change a decision — but reusing one instance across
-            # runs would.
-            update_model: Optional[UpdateModel] = None
-            if config.params.update_policy is not None:
-                update_model = UpdateModel(config.params.update_policy)
-            for device_id in work.device_ids:
-                user_rng = np.random.default_rng(
-                    (config.seed, config.year, device_id)
-                )
-                simulator = DeviceSimulator(
-                    profile=world.profiles[device_id],
-                    axis=axis,
-                    deployment=world.deployment,
-                    demand=world.demand,
-                    params=config.params,
-                    update_model=update_model,
-                    rng=user_rng,
-                    kernel="legacy",
-                )
-                if pump is None:
-                    simulator.run(builder)
-                else:
-                    stats.append(pump.transmit(
-                        world.infos[device_id], simulator._collect_impl()
-                    ))
-                tracer.count("devices")
+        # Columnar kernel: per-device streams key only on the device
+        # id, so any shard layout produces bit-identical output.
+        for result in simulate_devices(
+            world.profiles, axis, world.deployment, world.demand,
+            config.params, seed=config.seed, year=config.year,
+            device_ids=work.device_ids,
+        ):
+            if pump is None:
+                for name, columns in result.tables.items():
+                    getattr(builder, f"extend_{name}")(**columns)
+            else:
+                stats.append(pump.transmit_bulk(
+                    world.infos[result.device_id], result.tables
+                ))
+            tracer.count("devices")
 
     if server is not None:
         with tracer.span("flush_buffers"):
             server.flush_buffers()
+    chunks = builder.export_chunks()
+    payload: Optional[ShardPayload] = None
+    if work.shm_token is not None:
+        with tracer.span("pack_payload", shard=work.shard_index):
+            payload = ShardPayload.pack(chunks, work.shm_token)
+        chunks = None
     return ShardOutput(
         shard_index=work.shard_index,
         device_ids=tuple(work.device_ids),
-        chunks=builder.export_chunks(),
+        chunks=chunks,
         stats=stats,
         batches_received=server.batches_received if server else 0,
         duplicates_dropped=server.duplicates_dropped if server else 0,
+        payload=payload,
     )
 
 
@@ -437,8 +420,13 @@ def execute_plans(
             tracer.count("checkpoint_hits", store.hits)
             tracer.count("checkpoint_corrupt", store.corrupt)
 
+    # Pool workers ship their chunks through shared-memory segments named
+    # under this run's token; serial (in-process) execution keeps them
+    # inline — no segment, no attach, bit-identical either way.
+    shm_token = run_token() if getattr(executor, "name", "") == "parallel" \
+        else None
     pending: List["tuple[int, ShardWork]"] = [
-        (pi, work)
+        (pi, replace(work, shm_token=shm_token))
         for pi, plan in enumerate(plans)
         for work in plan.work
         if outputs[pi][work.shard_index] is None
@@ -455,13 +443,21 @@ def execute_plans(
 
     def _accept(local_index: int, output: ShardOutput) -> None:
         pi, work = pending[local_index]
+        if output.payload is not None:
+            # Attach now and unlink immediately: the mapped memory lives
+            # as long as the handle, so the /dev/shm entry exists only
+            # for the worker→parent in-flight window and a later crash
+            # cannot leak it.
+            output.payload.attach()
+            output.payload.unlink()
+            tracer.count("transport_bytes", output.payload.n_bytes)
         outputs[pi][work.shard_index] = output
         if store is not None:
-            # Spans are wall-clock telemetry from THIS run; a resumed run
-            # must not graft a dead run's timings into its trace.
-            spilled = replace(output, spans=None) if output.spans else output
+            # Checkpoints must be self-contained: shared-memory views are
+            # materialised and spans dropped (wall-clock telemetry from
+            # THIS run must not be replayed into a resumed run's trace).
             store.save(keys[pi], plans[pi].config.seed,
-                       work.shard_index, spilled)
+                       work.shard_index, output.for_checkpoint())
         if monkey is not None:
             monkey.on_shard_complete()
 
@@ -621,6 +617,7 @@ def run_campaign(
                 allow_partial=resilience.partial if resilience else False,
             )
         fallbacks_before = executor.fallbacks
+        steals_before = getattr(executor, "steals", 0)
         try:
             with tracer.span("execute_shards", executor=executor.name,
                              n_jobs=executor.n_jobs):
@@ -632,10 +629,19 @@ def run_campaign(
         finally:
             if own_executor:
                 executor.close()
+            # The executor has drained (close waits for healthy futures),
+            # so any segment still named under this run's token is an
+            # orphan — a chaos-killed loop or a timed-out straggler on a
+            # discarded pool — and is reclaimed here.
+            sweep_orphans(run_token())
         execution = ExecutionInfo(
             executor=executor.name,
             n_jobs=executor.n_jobs,
             n_shards=plan.shard_plan.n_shards,
+            steals=getattr(executor, "steals", 0) - steals_before,
+            transport_bytes=sum(
+                out.transport_bytes for out in outputs[0] if out is not None
+            ),
         )
         result = merge_campaign(
             plan, outputs[0], execution=execution,

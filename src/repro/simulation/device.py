@@ -1,11 +1,17 @@
-"""Per-device campaign simulation.
+"""Per-device campaign simulation (single-device kernel wrapper).
 
-One :class:`DeviceSimulator` walks a single participant through every
-10-minute slot of a campaign: where they are (mobility), whether the WiFi
-interface is on (policy, rest days), which AP they associate with
-(environment + credentials), how much traffic moves on each interface
-(demand, WiFi uplift, home cellular leak, soft cap), and what the
-measurement agent records for all of it.
+One :class:`DeviceSimulator` walks a single participant through a whole
+campaign by handing the device to the columnar batch kernel
+(:func:`repro.simulation.kernel.simulate_devices`) and replaying the
+kernel's per-day cap decisions into a local :class:`SoftCapTracker`. The
+scalar per-day loop that used to live here completed its one-release
+deprecation window and was removed along with ``collect()``; campaigns
+simulate whole shards through the kernel directly, and this wrapper
+remains for single-device call sites (tests, examples, notebooks).
+
+This module still owns the calibrated RSSI models (``_HOME_RSSI_MODEL``
+et al.) that the kernel imports — they are measurement-environment
+facts, not kernel internals.
 
 Everything the agent can observe is appended to a
 :class:`~repro.traces.dataset.DatasetBuilder` in column chunks.
@@ -13,37 +19,23 @@ Everything the agent can observe is appended to a
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.apps.demand import DemandModel
 from repro.apps.updates import UpdateModel
-from repro.constants import SAMPLES_PER_DAY, SAMPLES_PER_HOUR
-from repro.errors import ConfigurationError
-from repro.geo.coords import cell_index
-from repro.mobility.model import DayMobility, MobilityModel
-from repro.mobility.schedule import LocationState
+from repro.mobility.model import MobilityModel
 from repro.net.accesspoint import APType
 from repro.net.cellular import CellularNetwork
 from repro.network_env.deployment import Deployment
-from repro.network_env.public_wifi import PROVIDER_ESSIDS
-from repro.population.profiles import UserProfile, WifiPolicy
+from repro.population.profiles import UserProfile
 from repro.radio.pathloss import PathLossModel, RssiModel
-from repro.simulation.cap import SoftCapTracker, throttled_slot_limits
+from repro.simulation.cap import SoftCapTracker
 from repro.simulation.params import SimParams
 from repro.timeutil import TimeAxis
 from repro.traces.dataset import DatasetBuilder
-from repro.traces.records import DeviceOS, IfaceKind, WifiStateCode
-
-_ESSID_CARRIER: Dict[str, Optional[str]] = {
-    essid: carrier for essid, _, carrier in PROVIDER_ESSIDS
-}
-
-_HOURS = np.arange(SAMPLES_PER_DAY) // SAMPLES_PER_HOUR
-
-_STATE_CODES = tuple(int(s) for s in LocationState)
+from repro.traces.records import DeviceOS, IfaceKind
 
 _HOME_RSSI_MODEL = RssiModel(
     tx_power_dbm=16.0, path_loss=PathLossModel(exponent=3.0), shadowing_sigma_db=3.0
@@ -54,30 +46,6 @@ _OFFICE_RSSI_MODEL = RssiModel(
 _PUBLIC_RSSI_MODEL = RssiModel(
     tx_power_dbm=17.0, path_loss=PathLossModel(exponent=3.0), shadowing_sigma_db=5.0
 )
-
-
-@dataclass
-class _Columns:
-    """Scratch column accumulators for one device."""
-
-    traffic: List[Tuple[np.ndarray, ...]]
-    wifi: List[Tuple[np.ndarray, ...]]
-    geo: List[Tuple[np.ndarray, ...]]
-    scans: List[Tuple[np.ndarray, ...]]
-    sightings: List[Tuple[np.ndarray, ...]]
-    apps: List[Tuple[np.ndarray, ...]]
-    updates: List[Tuple[int, float]]
-    battery: List[Tuple[np.ndarray, ...]]
-
-
-@dataclass
-class _DayTraffic:
-    """Per-slot volumes split by interface for one day."""
-
-    rx_wifi: np.ndarray
-    tx_wifi: np.ndarray
-    rx_cell: np.ndarray
-    tx_cell: np.ndarray
 
 
 class DeviceSimulator:
@@ -92,13 +60,7 @@ class DeviceSimulator:
         params: SimParams,
         update_model: Optional[UpdateModel],
         rng: np.random.Generator,
-        kernel: str = "batch",
     ) -> None:
-        if kernel not in ("batch", "legacy"):
-            raise ConfigurationError(
-                f"unknown kernel {kernel!r}; expected 'batch' or 'legacy'"
-            )
-        self.kernel = kernel
         self.profile = profile
         self.axis = axis
         self.deployment = deployment
@@ -106,6 +68,9 @@ class DeviceSimulator:
         self.params = params
         self.update_model = update_model
         self.rng = rng
+        # The constructor's draw order below is load-bearing: the kernel
+        # consumes ``rng`` where construction leaves it, so two wrappers
+        # built from the same generator state must agree bit for bit.
         self.mobility = MobilityModel(profile, axis, rng)
         self.cap = SoftCapTracker(params.cap_policy)
         #: Whether this device drops WiFi while the owner sleeps. Android's
@@ -132,56 +97,14 @@ class DeviceSimulator:
         for name, columns in self._collect_impl().items():
             getattr(builder, f"extend_{name}")(**columns)
 
-    def collect(self) -> Dict[str, Dict[str, np.ndarray]]:
-        """Simulate the campaign and return this device's records as columns.
-
-        The result maps table name to named column arrays (the keyword
-        arguments of the matching ``DatasetBuilder.extend_*`` method). This
-        is the raw on-device record store the collection pipeline uploads
-        from; :meth:`run` is the equivalent direct bulk append.
-
-        .. deprecated::
-            ``DeviceSimulator`` is a single-device compatibility wrapper;
-            new code should call
-            :func:`repro.simulation.kernel.simulate_devices`, which
-            simulates whole shards through the columnar batch kernel.
-            Migration: replace per-device ``DeviceSimulator(...).collect()``
-            loops with one ``simulate_devices(profiles, axis, deployment,
-            demand, params, seed=..., year=...)`` call and read
-            ``DeviceResult.tables`` (the same table-name → column-arrays
-            mapping). By default this method already routes through the
-            batch kernel; construct with ``kernel="legacy"`` for the old
-            scalar per-day path (kept for one release).
-        """
-        import warnings
-
-        warnings.warn(
-            "DeviceSimulator.collect() is deprecated; use "
-            "repro.simulation.kernel.simulate_devices for whole shards "
-            "(see the method docstring for the migration recipe)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._collect_impl()
-
     def _collect_impl(self) -> Dict[str, Dict[str, np.ndarray]]:
-        """Dispatch to the selected kernel (no deprecation warning)."""
-        if self.kernel == "batch":
-            return self._collect_batch()
-        cols = _Columns([], [], [], [], [], [], [], [])
-        for day in range(self.axis.n_days):
-            self._simulate_day(day, cols)
-        return self._tables(cols)
-
-    def _collect_batch(self) -> Dict[str, Dict[str, np.ndarray]]:
         """Run this one device through the columnar batch kernel.
 
         The caller-supplied ``rng`` becomes the device's kernel stream (so
         two wrappers with the same generator state agree), the explicit
-        ``update_model`` is honored (``None`` disables updates, exactly as
-        the scalar path treats it), and the kernel's per-day cap decisions
-        are replayed into :attr:`cap` so callers inspecting throttle state
-        see what the device experienced.
+        ``update_model`` is honored (``None`` disables updates), and the
+        kernel's per-day cap decisions are replayed into :attr:`cap` so
+        callers inspecting throttle state see what the device experienced.
         """
         # Imported here: kernel.py imports this module's RSSI tables, so a
         # module-level import would cycle.
@@ -201,215 +124,6 @@ class DeviceSimulator:
         return result.tables
 
     # ------------------------------------------------------------------
-
-    def _simulate_day(self, day: int, cols: _Columns) -> None:
-        rng = self.rng
-        profile = self.profile
-        mobility = self.mobility.day(day, rng)
-        states = mobility.states.astype(np.int64)
-        weekday = int(self.axis.weekday_of(day * SAMPLES_PER_DAY))
-        weekend = weekday >= 5
-
-        rest_factor = 1.15 if profile.os is DeviceOS.ANDROID else 0.55
-        rest_day = rng.random() < self.params.rest_day_p * rest_factor
-        wifi_on = self._interface_on(states, rest_day)
-        assoc_ap, assoc_rssi = self._associations(states, wifi_on, mobility, rng)
-        if self.sleep_disconnects:
-            asleep = (_HOURS >= 2) & (_HOURS < 6)
-            assoc_ap = np.where(asleep, -1, assoc_ap)
-        on_wifi = assoc_ap >= 0
-
-        volumes = self._traffic(mobility, on_wifi, rng)
-
-        # Soft bandwidth cap: capped users cut their cellular use (§3.8),
-        # and the carrier throttles peak-hour download on top of that.
-        if self.cap.throttled_today():
-            volumes.rx_cell = volumes.rx_cell * self.params.cap_demand_response
-            volumes.tx_cell = volumes.tx_cell * self.params.cap_demand_response
-            # Cached per-policy table: slot_limit(hour) for a throttled
-            # day, hoisted out of the per-device-day loop.
-            limits = np.minimum(
-                throttled_slot_limits(self.params.cap_policy),
-                self._cell_slot_capacity,
-            )
-        else:
-            # Unthrottled, slot_limit is inf everywhere: only the radio
-            # link's own per-slot capacity binds.
-            limits = self._cell_slot_capacity
-        volumes.rx_cell = np.minimum(volumes.rx_cell, limits)
-
-        update_bytes = self._maybe_update(day, weekend, on_wifi, cols, rng)
-        if update_bytes is not None:
-            volumes.rx_wifi = volumes.rx_wifi + update_bytes
-
-        self._emit_traffic(day, volumes, cols)
-        self._emit_wifi_obs(day, wifi_on, assoc_ap, assoc_rssi, cols)
-        cells = self._emit_geo(day, states, mobility, cols)
-        self._emit_battery(day, states, mobility, wifi_on, on_wifi, cols, rng)
-        if profile.os is DeviceOS.ANDROID:
-            self._emit_scans(day, states, wifi_on, cells, cols, rng)
-            self._emit_apps(day, states, assoc_ap, cells, volumes, cols, rng)
-
-        self.cap.record_day(float(volumes.rx_cell.sum()))
-
-    # ------------------------------------------------------------------
-    # Interface policy and association
-    # ------------------------------------------------------------------
-
-    def _interface_on(self, states: np.ndarray, rest_day: bool) -> np.ndarray:
-        policy = self.profile.wifi_policy
-        if policy is WifiPolicy.ALWAYS_OFF:
-            return np.zeros(SAMPLES_PER_DAY, dtype=bool)
-        if policy is WifiPolicy.NO_CONFIG:
-            # On but never associated; rest days do not apply (nothing to
-            # forget — the interface just stays enabled).
-            return np.ones(SAMPLES_PER_DAY, dtype=bool)
-        if rest_day:
-            return np.zeros(SAMPLES_PER_DAY, dtype=bool)
-        if policy is WifiPolicy.ALWAYS_ON:
-            return np.ones(SAMPLES_PER_DAY, dtype=bool)
-        # DAYTIME_OFF: on at home (given a home AP) and at the office when
-        # the workplace offers an AP the user configured.
-        on = np.zeros(SAMPLES_PER_DAY, dtype=bool)
-        if self.profile.has_home_ap:
-            on |= states == int(LocationState.HOME)
-        if self.profile.office_has_ap:
-            on |= states == int(LocationState.WORK)
-        return on
-
-    def _associations(
-        self,
-        states: np.ndarray,
-        wifi_on: np.ndarray,
-        mobility: DayMobility,
-        rng: np.random.Generator,
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Per-slot associated ap_id (-1 when none) and observed RSSI."""
-        profile = self.profile
-        assoc = np.full(SAMPLES_PER_DAY, -1, dtype=np.int64)
-        rssi = np.zeros(SAMPLES_PER_DAY, dtype=np.float64)
-        if profile.wifi_policy in (WifiPolicy.ALWAYS_OFF, WifiPolicy.NO_CONFIG):
-            return assoc, rssi
-
-        at_home = (states == int(LocationState.HOME)) & wifi_on
-        if profile.home_ap_id >= 0 and at_home.any():
-            attached = self._delayed_attach(at_home, rng)
-            assoc[attached] = profile.home_ap_id
-            rssi[attached] = self._home_rssi_base + rng.normal(
-                0.0, self.params.rssi_obs_sigma, int(attached.sum())
-            )
-
-        at_work = (states == int(LocationState.WORK)) & wifi_on
-        if profile.office_ap_id >= 0 and at_work.any():
-            assoc[at_work] = profile.office_ap_id
-            rssi[at_work] = self._office_rssi_base + rng.normal(
-                0.0, self.params.rssi_obs_sigma, int(at_work.sum())
-            )
-
-        self._venue_associations(states, wifi_on, assoc, rssi, mobility, rng)
-        self._commute_associations(states, wifi_on, assoc, rssi, mobility, rng)
-
-        if profile.mobile_ap_id >= 0:
-            away = (states != int(LocationState.HOME)) & wifi_on & (assoc < 0)
-            # The pocket router travels along most days.
-            if away.any() and rng.random() < 0.75:
-                base = self._draw_base_rssi(APType.MOBILE)
-                assoc[away] = profile.mobile_ap_id
-                rssi[away] = base + rng.normal(
-                    0.0, self.params.rssi_obs_sigma, int(away.sum())
-                )
-        return assoc, rssi
-
-    def _delayed_attach(self, at_home: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        """Shift home-association starts late (people don't race the router).
-
-        The midnight-spanning segment (slot 0) is a continuation of the
-        previous evening, so no delay applies there.
-        """
-        delay_slots_mean = self.params.home_attach_delay_h * SAMPLES_PER_HOUR
-        attached = at_home.copy()
-        padded = np.concatenate(([False], at_home))
-        starts = np.flatnonzero(~padded[:-1] & at_home)
-        for start in starts:
-            if start == 0:
-                continue
-            delay = int(rng.exponential(delay_slots_mean))
-            if delay > 0:
-                attached[start:start + delay] = False
-        return attached
-
-    def _venue_associations(self, states, wifi_on, assoc, rssi, mobility, rng) -> None:
-        profile = self.profile
-        params = self.params
-        for start, end in _segments(states, int(LocationState.PUBLIC_VENUE)):
-            if not wifi_on[start:end].any():
-                continue
-            ap_id = None
-            if profile.public_enrolled:
-                n24, n5 = self.deployment.public_density(mobility.venue_point)
-                density = (n24 + n5) * params.scan_scale
-                p = params.venue_assoc_p * (1.0 - np.exp(-density / 40.0))
-                if rng.random() < p:
-                    ap_id = self._pick_venue_ap(mobility.venue_point, rng, public=True)
-            if ap_id is None and profile.wifi_policy is WifiPolicy.ALWAYS_ON:
-                if rng.random() < params.open_assoc_p:
-                    familiar = self.deployment.familiar_open_aps.get(profile.user_id)
-                    if familiar:
-                        ap_id = int(rng.choice(familiar))
-                    else:
-                        ap_id = self._pick_venue_ap(
-                            mobility.venue_point, rng, public=False
-                        )
-            if ap_id is None:
-                continue
-            length = max(1, min(end - start, 1 + int(rng.geometric(0.35))))
-            offset = start if end - start <= length else int(
-                rng.integers(start, end - length + 1)
-            )
-            span = slice(offset, offset + length)
-            base = self._draw_base_rssi(self.deployment.ap(ap_id).ap_type)
-            assoc[span] = ap_id
-            rssi[span] = base + rng.normal(0.0, self.params.rssi_obs_sigma, length)
-
-    def _commute_associations(self, states, wifi_on, assoc, rssi, mobility, rng) -> None:
-        profile = self.profile
-        if not profile.public_enrolled:
-            return
-        p = self.params.commute_assoc_p * profile.commute_public_exposure
-        for start, end in _segments(states, int(LocationState.COMMUTE)):
-            if not wifi_on[start:end].any() or rng.random() >= p * (end - start):
-                continue
-            ap_id = self._pick_venue_ap(mobility.commute_point, rng, public=True)
-            if ap_id is None:
-                continue
-            length = min(end - start, 1 + int(rng.random() < 0.35))
-            span = slice(start, start + length)
-            base = self._draw_base_rssi(APType.PUBLIC)
-            assoc[span] = ap_id
-            rssi[span] = base + rng.normal(0.0, self.params.rssi_obs_sigma, length)
-
-    def _pick_venue_ap(
-        self, coord, rng: np.random.Generator, public: bool
-    ) -> Optional[int]:
-        candidates = self.deployment.venue_aps_near(coord)
-        if not candidates:
-            return None
-        carrier = self.profile.carrier.name
-        usable = []
-        for ap_id in candidates:
-            ap = self.deployment.ap(ap_id)
-            if public:
-                if ap.ap_type is not APType.PUBLIC:
-                    continue
-                restriction = _ESSID_CARRIER.get(ap.essid)
-                if restriction is not None and restriction != carrier:
-                    continue
-            elif ap.ap_type is not APType.OPEN:
-                continue
-            usable.append(ap_id)
-        if not usable:
-            return None
-        return int(usable[int(rng.integers(0, len(usable)))])
 
     def _draw_base_rssi(self, ap_type: APType) -> float:
         params = self.params
@@ -431,385 +145,3 @@ class DeviceSimulator:
             APType.MOBILE: _HOME_RSSI_MODEL,
         }
         return models[ap_type].sample(distance, self.rng)
-
-    # ------------------------------------------------------------------
-    # Traffic
-    # ------------------------------------------------------------------
-
-    def _traffic(
-        self,
-        mobility: DayMobility,
-        on_wifi: np.ndarray,
-        rng: np.random.Generator,
-    ) -> _DayTraffic:
-        params = self.params
-        profile = self.profile
-        day_factor = float(np.exp(rng.normal(0.0, params.day_sigma)))
-        weights = mobility.activity
-        total_weight = weights.sum()
-        if total_weight <= 0:
-            base = np.zeros(SAMPLES_PER_DAY)
-        else:
-            base = weights / total_weight * profile.appetite_bytes * day_factor
-        background = rng.exponential(params.background_bytes, SAMPLES_PER_DAY)
-        demand = base + background
-
-        rx_wifi = np.where(on_wifi, demand * params.wifi_uplift, 0.0)
-        rx_cell = np.where(on_wifi, 0.0, demand)
-
-        # At home on WiFi some traffic still leaks to cellular.
-        leak = profile.home_cell_leak
-        rx_cell = rx_cell + rx_wifi * leak
-        rx_wifi = rx_wifi * (1.0 - leak)
-
-        if profile.cellular_data_off:
-            rx_cell = rx_cell * params.data_off_cell_factor
-
-        tx_wifi = rx_wifi * self._tx_frac_wifi * np.exp(
-            rng.normal(0.0, 0.3, SAMPLES_PER_DAY)
-        )
-        tx_cell = rx_cell * self._tx_frac_cell * np.exp(
-            rng.normal(0.0, 0.3, SAMPLES_PER_DAY)
-        )
-
-        evening = (_HOURS >= 19) | (_HOURS <= 1)
-        wifi_evening = on_wifi & evening
-
-        # Upload-heavy WiFi-only sync bursts (online storage, §3.6).
-        sync_slots = wifi_evening & (
-            rng.random(SAMPLES_PER_DAY) < params.sync_burst_p
-        )
-        n_sync = int(sync_slots.sum())
-        if n_sync:
-            burst = params.sync_burst_mb * 1e6 * rng.lognormal(0.0, 0.8, n_sync)
-            tx_wifi[sync_slots] += burst * 0.85
-            rx_wifi[sync_slots] += burst * 0.15
-
-        # Download-heavy WiFi binges (video/bulk downloads on free networks).
-        # Propensity is per-user and heavy-tailed; daytime binges happen at
-        # a reduced rate (lunch video, public-WiFi streaming).
-        p_binge = min(0.25, params.binge_burst_p * self.profile.binge_propensity)
-        binge_rate = np.where(evening, p_binge, p_binge * 0.4)
-        binge_slots = on_wifi & (rng.random(SAMPLES_PER_DAY) < binge_rate)
-        n_binge = int(binge_slots.sum())
-        if n_binge:
-            burst = params.binge_mb * 1e6 * rng.lognormal(0.0, 1.2, n_binge)
-            rx_wifi[binge_slots] += burst * 0.92
-            # Bulk downloads still generate ACK/metadata upload.
-            tx_wifi[binge_slots] += burst * 0.08
-
-        return _DayTraffic(rx_wifi, tx_wifi, rx_cell, tx_cell)
-
-    def _maybe_update(
-        self,
-        day: int,
-        weekend: bool,
-        on_wifi: np.ndarray,
-        cols: _Columns,
-        rng: np.random.Generator,
-    ) -> Optional[np.ndarray]:
-        """Roll the iOS update; returns extra per-slot WiFi RX if taken."""
-        if self.update_model is None or self.profile.os is not DeviceOS.IOS:
-            return None
-        wifi_hours = float(on_wifi.sum()) / SAMPLES_PER_HOUR
-        took_update = self.update_model.maybe_update(
-            self.profile.user_id, day, weekend, wifi_hours, rng
-        )
-        if not took_update:
-            return None
-        policy = self.update_model.policy
-        slots = np.flatnonzero(on_wifi)
-        evening = slots[(_HOURS[slots] >= 18) | (_HOURS[slots] <= 1)]
-        pool = evening if len(evening) >= 3 else slots
-        start = int(pool[int(rng.integers(0, max(1, len(pool) - 2)))])
-        extra = np.zeros(SAMPLES_PER_DAY)
-        spread = [s for s in range(start, min(start + 3, SAMPLES_PER_DAY)) if on_wifi[s]]
-        if not spread:
-            spread = [start]
-        for s in spread:
-            extra[s] = policy.size_bytes / len(spread)
-        cols.updates.append((day * SAMPLES_PER_DAY + spread[0], policy.size_bytes))
-        return extra
-
-    # ------------------------------------------------------------------
-    # Record emission
-    # ------------------------------------------------------------------
-
-    def _emit_traffic(self, day: int, volumes: _DayTraffic, cols: _Columns) -> None:
-        t0 = day * SAMPLES_PER_DAY
-        for rx, tx, iface in (
-            (volumes.rx_wifi, volumes.tx_wifi, int(IfaceKind.WIFI)),
-            (volumes.rx_cell, volumes.tx_cell, self._cell_iface),
-        ):
-            keep = (rx + tx) >= 100.0
-            if not keep.any():
-                continue
-            slots = np.flatnonzero(keep)
-            device = np.full(len(slots), self.profile.user_id)
-            iface_col = np.full(len(slots), iface)
-            cols.traffic.append((device, t0 + slots, iface_col, rx[slots], tx[slots]))
-
-    def _emit_wifi_obs(self, day, wifi_on, assoc_ap, assoc_rssi, cols) -> None:
-        t0 = day * SAMPLES_PER_DAY
-        profile = self.profile
-        associated = assoc_ap >= 0
-        if profile.os is DeviceOS.IOS:
-            # iOS reports only the associated AP (§2).
-            slots = np.flatnonzero(associated)
-            if len(slots) == 0:
-                return
-            state = np.full(len(slots), int(WifiStateCode.ASSOCIATED))
-            device = np.full(len(slots), profile.user_id)
-            cols.wifi.append(
-                (device, t0 + slots, state, assoc_ap[slots], assoc_rssi[slots])
-            )
-            return
-        state = np.where(
-            associated,
-            int(WifiStateCode.ASSOCIATED),
-            np.where(wifi_on, int(WifiStateCode.AVAILABLE), int(WifiStateCode.OFF)),
-        )
-        slots = np.arange(SAMPLES_PER_DAY)
-        device = np.full(SAMPLES_PER_DAY, profile.user_id)
-        cols.wifi.append((device, t0 + slots, state, assoc_ap, assoc_rssi))
-
-    def _emit_geo(self, day, states, mobility, cols) -> Dict[int, Tuple[int, int]]:
-        """Emit geolocation rows; returns the state -> cell mapping."""
-        cells: Dict[int, Tuple[int, int]] = {}
-        for code in _STATE_CODES:
-            location = self.mobility.location_for(code, mobility)
-            cells[code] = cell_index(location)
-        cols_arr = np.array([cells[int(s)][0] for s in states])
-        rows_arr = np.array([cells[int(s)][1] for s in states])
-        t0 = day * SAMPLES_PER_DAY
-        slots = np.arange(SAMPLES_PER_DAY)
-        device = np.full(SAMPLES_PER_DAY, self.profile.user_id)
-        cols.geo.append((device, t0 + slots, cols_arr, rows_arr))
-        return cells
-
-    def _emit_battery(
-        self, day, states, mobility, wifi_on, on_wifi, cols, rng
-    ) -> None:
-        """Simple battery walk: drain with activity/WiFi, charge at home.
-
-        Reported half-hourly, mirroring the agent's battery-status stream
-        (§2). WiFi being on costs a little extra; scanning (on but
-        unassociated) costs slightly more than being associated.
-        """
-        activity = mobility.activity
-        norm = activity / (activity.mean() + 1e-9)
-        drain = 0.05 + 0.28 * norm
-        drain = drain + np.where(wifi_on, np.where(on_wifi, 0.03, 0.05), 0.0)
-        at_home = states == int(LocationState.HOME)
-        hours = _HOURS
-        charging_window = at_home & ((hours >= 21) | (hours < 7))
-        levels = np.empty(SAMPLES_PER_DAY, dtype=np.float64)
-        charging = np.zeros(SAMPLES_PER_DAY, dtype=np.int8)
-        level = self._battery_level
-        plugged = False
-        for slot_idx in range(SAMPLES_PER_DAY):
-            if not plugged and charging_window[slot_idx] and (
-                level < 40.0 or hours[slot_idx] >= 22 or hours[slot_idx] < 7
-            ):
-                plugged = True
-            if plugged and (level >= 100.0 or not at_home[slot_idx]):
-                plugged = False
-            if plugged:
-                level = min(100.0, level + 1.6)
-                charging[slot_idx] = 1
-            else:
-                level = max(0.0, level - drain[slot_idx])
-            levels[slot_idx] = level
-        self._battery_level = level
-        report = np.arange(0, SAMPLES_PER_DAY, 3)
-        t0 = day * SAMPLES_PER_DAY
-        device = np.full(len(report), self.profile.user_id)
-        cols.battery.append(
-            (device, t0 + report, levels[report], charging[report])
-        )
-
-    def _emit_scans(self, day, states, wifi_on, cells, cols, rng) -> None:
-        """Android scan summaries (+ hourly detailed sightings)."""
-        params = self.params
-        state_frac = {
-            int(LocationState.HOME): params.audible_frac_home,
-            int(LocationState.COMMUTE): params.audible_frac_commute,
-            int(LocationState.WORK): params.audible_frac_work,
-            int(LocationState.PUBLIC_VENUE): params.audible_frac_venue,
-            int(LocationState.OUT): params.audible_frac_commute,
-        }
-        density24 = np.zeros(SAMPLES_PER_DAY)
-        density5 = np.zeros(SAMPLES_PER_DAY)
-        for code, (col, row) in cells.items():
-            n24, n5 = self.deployment.public_counts_by_cell.get((col, row), (0, 0))
-            mask = states == code
-            frac = state_frac[code]
-            density24[mask] = n24 * params.scan_scale * frac
-            density5[mask] = n5 * params.scan_scale * frac
-        n_on = int(wifi_on.sum())
-        if n_on == 0:
-            return
-        n24_all = rng.poisson(density24[wifi_on])
-        n5_all = rng.poisson(density5[wifi_on])
-        n24_strong = rng.binomial(n24_all, params.scan_strong_p)
-        n5_strong = rng.binomial(n5_all, params.scan_strong_p)
-        slots = np.flatnonzero(wifi_on)
-        t0 = day * SAMPLES_PER_DAY
-        device = np.full(n_on, self.profile.user_id)
-        cols.scans.append((device, t0 + slots, n24_all, n24_strong, n5_all, n5_strong))
-
-        # Hourly detailed sightings for the density analyses.
-        hourly = slots[slots % params.sighting_period_slots == 0]
-        sight_dev, sight_t, sight_ap, sight_rssi = [], [], [], []
-        for slot in hourly:
-            code = int(states[slot])
-            cell = cells[code]
-            candidates = self.deployment.venue_aps_by_cell.get(cell)
-            if not candidates:
-                continue
-            lam = density24[slot] + density5[slot]
-            n = min(int(rng.poisson(min(lam, 30.0))), len(candidates), 15)
-            if n <= 0:
-                continue
-            picks = rng.choice(len(candidates), size=n, replace=False)
-            for p in picks:
-                sight_dev.append(self.profile.user_id)
-                sight_t.append(t0 + int(slot))
-                sight_ap.append(candidates[int(p)])
-                sight_rssi.append(self._draw_base_rssi(APType.PUBLIC))
-        if sight_dev:
-            cols.sightings.append(
-                (
-                    np.array(sight_dev), np.array(sight_t),
-                    np.array(sight_ap), np.array(sight_rssi),
-                )
-            )
-
-    def _emit_apps(
-        self, day, states, assoc_ap, cells, volumes: _DayTraffic, cols, rng
-    ) -> None:
-        """Daily per-category app records (Android only, §2)."""
-        profile = self.profile
-        # Cellular volume grouped by the 5 km cell it happened in.
-        cell_groups: Dict[Tuple[int, int], Tuple[float, float]] = {}
-        for code in _STATE_CODES:
-            mask = states == code
-            if not mask.any():
-                continue
-            rx_sum = float(volumes.rx_cell[mask].sum())
-            tx_sum = float(volumes.tx_cell[mask].sum())
-            if rx_sum + tx_sum < 1.0:
-                continue
-            cell = cells[code]
-            prev_rx, prev_tx = cell_groups.get(cell, (0.0, 0.0))
-            cell_groups[cell] = (prev_rx + rx_sum, prev_tx + tx_sum)
-        # WiFi volume grouped by AP.
-        ap_groups: Dict[int, Tuple[float, float]] = {}
-        for ap_id in np.unique(assoc_ap[assoc_ap >= 0]):
-            mask = assoc_ap == ap_id
-            ap_groups[int(ap_id)] = (
-                float(volumes.rx_wifi[mask].sum()),
-                float(volumes.tx_wifi[mask].sum()),
-            )
-
-        device_rows, day_rows, cat_rows, cellular_rows = [], [], [], []
-        ap_rows, col_rows, row_rows, rx_rows, tx_rows = [], [], [], [], []
-
-        def emit(cat_splits, cellular, ap_id, cell):
-            for code, cat_rx, cat_tx in cat_splits:
-                if cat_rx + cat_tx < 1.0:
-                    continue
-                device_rows.append(profile.user_id)
-                day_rows.append(day)
-                cat_rows.append(code)
-                cellular_rows.append(int(cellular))
-                ap_rows.append(ap_id)
-                col_rows.append(cell[0])
-                row_rows.append(cell[1])
-                rx_rows.append(cat_rx)
-                tx_rows.append(cat_tx)
-
-        for cell, (rx_sum, tx_sum) in cell_groups.items():
-            splits = self.demand.split_day(profile.mix, rx_sum, tx_sum, False, rng)
-            emit(_top_splits(splits), cellular=True, ap_id=-1, cell=cell)
-        for ap_id, (rx_sum, tx_sum) in ap_groups.items():
-            if rx_sum + tx_sum < 1.0:
-                continue
-            splits = self.demand.split_day(profile.mix, rx_sum, tx_sum, True, rng)
-            # App traffic on WiFi is located where the AP was used; reuse the
-            # cell of the first state the AP appears in.
-            mask = assoc_ap == ap_id
-            code = int(states[np.flatnonzero(mask)[0]])
-            emit(_top_splits(splits), cellular=False, ap_id=ap_id, cell=cells[code])
-
-        if device_rows:
-            cols.apps.append(
-                (
-                    np.array(device_rows), np.array(day_rows), np.array(cat_rows),
-                    np.array(cellular_rows), np.array(ap_rows),
-                    np.array(col_rows), np.array(row_rows),
-                    np.array(rx_rows), np.array(tx_rows),
-                )
-            )
-
-    # ------------------------------------------------------------------
-
-    def _tables(self, cols: _Columns) -> Dict[str, Dict[str, np.ndarray]]:
-        tables: Dict[str, Dict[str, np.ndarray]] = {}
-
-        def put(name: str, chunks, *colnames: str) -> None:
-            if chunks:
-                tables[name] = dict(zip(colnames, _stack(chunks)))
-
-        put("traffic", cols.traffic, "device", "t", "iface", "rx", "tx")
-        put("wifi", cols.wifi, "device", "t", "state", "ap_id", "rssi")
-        put("geo", cols.geo, "device", "t", "col", "row")
-        put("scans", cols.scans, "device", "t",
-            "n24_all", "n24_strong", "n5_all", "n5_strong")
-        put("sightings", cols.sightings, "device", "t", "ap_id", "rssi")
-        put("apps", cols.apps, "device", "day", "category", "cellular",
-            "ap_id", "col", "row", "rx", "tx")
-        put("battery", cols.battery, "device", "t", "level", "charging")
-        if cols.updates:
-            t = np.array([slot for slot, _ in cols.updates], dtype=np.int64)
-            size = np.array([size for _, size in cols.updates])
-            tables["updates"] = dict(
-                device=np.full(len(t), self.profile.user_id), t=t, bytes=size
-            )
-        return tables
-
-
-def _stack(chunks: List[Tuple[np.ndarray, ...]]) -> Tuple[np.ndarray, ...]:
-    n_cols = len(chunks[0])
-    return tuple(
-        np.concatenate([chunk[i] for chunk in chunks]) for i in range(n_cols)
-    )
-
-
-def _segments(states: np.ndarray, code: int) -> List[Tuple[int, int]]:
-    """Contiguous [start, end) runs where ``states == code``."""
-    mask = states == code
-    if not mask.any():
-        return []
-    padded = np.concatenate(([False], mask, [False]))
-    diff = np.diff(padded.astype(np.int8))
-    starts = np.flatnonzero(diff == 1)
-    ends = np.flatnonzero(diff == -1)
-    return list(zip(starts.tolist(), ends.tolist()))
-
-
-def _top_splits(splits, coverage: float = 0.995):
-    """Trim a category split to the head covering ``coverage`` of volume."""
-    if not splits:
-        return splits
-    ordered = sorted(splits, key=lambda s: s[1] + s[2], reverse=True)
-    total = sum(s[1] + s[2] for s in ordered)
-    if total <= 0:
-        return []
-    kept, acc = [], 0.0
-    for item in ordered:
-        kept.append(item)
-        acc += item[1] + item[2]
-        if acc >= coverage * total:
-            break
-    return kept

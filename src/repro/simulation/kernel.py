@@ -1,14 +1,15 @@
 """Columnar batch simulation kernel.
 
-This is the vectorized replacement for the per-day, per-slot scalar loop in
-:mod:`repro.simulation.device`. One :func:`simulate_devices` call walks a
-whole shard of devices through the campaign as device×slot numpy arrays:
+This is the simulation hot path: one :func:`simulate_devices` call walks a
+whole shard of devices through the campaign as device×slot numpy arrays —
 mobility states, interface policy, AP association (home/office attach,
 venue and commute segments, pocket routers), cap-aware traffic draws, the
 battery walk, OS-update events, Android scans/sightings and daily per-app
 records — emitting each device's records as ready-to-ingest column tables
-(the exact format of ``DeviceSimulator.collect()``) instead of per-record
-appends.
+instead of per-record appends. (It began life as the vectorized
+replacement for a per-day scalar loop in
+:mod:`repro.simulation.device`; that legacy loop completed its
+one-release deprecation window and is gone.)
 
 RNG stream layout
 -----------------
@@ -17,9 +18,9 @@ Each device owns exactly one stream,
 campaign identity and the device id — never by shard index or position —
 so batch draws are deterministic and shard-layout-independent: any
 partition of the panel produces bit-identical per-device output. The
-stream key is disjoint from the legacy per-device streams
+stream key is disjoint from the per-wrapper streams
 (``(seed, year, device_id)``) and the collection-fault streams
-(``(..., plan_seed, 104729)``), so kernels never alias.
+(``(..., plan_seed, 104729)``), so stream families never alias.
 
 Within a device the draw order is fixed (and documented here, because the
 jobs=1 == jobs=k guarantee rests on it):
@@ -41,10 +42,8 @@ jobs=1 == jobs=k guarantee rests on it):
    (one poisson over hourly scan slots, per-slot AP picks, then RSSI),
    and app-split gamma noise, one ``(n_groups, 26)`` draw.
 
-The legacy path draws in per-day order from a differently keyed stream, so
-batch and legacy are *distributionally* equivalent (same models, same
-parameters) but not bit-identical; ``tests/test_kernel_equivalence.py``
-pins the equivalence.
+``tests/test_kernel_equivalence.py`` pins the determinism and
+shard-layout independence of these streams.
 """
 
 from __future__ import annotations
@@ -84,7 +83,10 @@ _KERNEL_STREAM = 7919
 #: Sentinel: ``simulate_devices`` builds its own update model from params.
 _BUILD_UPDATE_MODEL = object()
 
-KERNEL_NAMES = ("batch", "legacy")
+#: The valid ``kernel`` configuration values. ``legacy`` was removed
+#: after its deprecation release; the CLI maps it to a hard error with a
+#: migration message.
+KERNEL_NAMES = ("batch",)
 DEFAULT_KERNEL = "batch"
 
 _ESSID_CARRIER: Dict[str, Optional[str]] = {

@@ -25,6 +25,7 @@ from repro.engine.executor import (
     make_executor,
     resolve_jobs,
 )
+from repro.engine.transport import run_token, sweep_orphans
 from repro.errors import ConfigurationError
 from repro.network_env.deployment import DeploymentConfig
 from repro.obs.span import get_tracer
@@ -140,7 +141,7 @@ class StudyConfig:
     #: Fault plan applied to every campaign's collection pipeline
     #: (None = lossless zero-fault plan).
     faults: Optional[FaultPlan] = None
-    #: Simulation kernel for every campaign (``batch`` or ``legacy``).
+    #: Simulation kernel for every campaign (only ``batch`` remains).
     kernel: str = DEFAULT_KERNEL
 
     def __post_init__(self) -> None:
@@ -213,6 +214,7 @@ class Study:
                     allow_partial=resilience.partial if resilience else False,
                 )
             fallbacks_before = executor.fallbacks
+            steals_before = getattr(executor, "steals", 0)
             try:
                 with tracer.span("execute_shards", executor=executor.name,
                                  n_jobs=executor.n_jobs):
@@ -224,6 +226,10 @@ class Study:
             finally:
                 if own_executor:
                     executor.close()
+                # Post-drain janitor: anything still named under this
+                # run's token was never accepted (chaos kill, timed-out
+                # straggler) and must not outlive the run.
+                sweep_orphans(run_token())
             self.resilience = report
             allow_partial = resilience.partial if resilience else False
             for year, plan, plan_outputs in zip(
@@ -236,6 +242,10 @@ class Study:
                         executor=executor.name,
                         n_jobs=executor.n_jobs,
                         n_shards=plan.shard_plan.n_shards,
+                        transport_bytes=sum(
+                            out.transport_bytes for out in plan_outputs
+                            if out is not None
+                        ),
                     ),
                     allow_partial=allow_partial,
                 )
@@ -251,6 +261,12 @@ class Study:
                 executor=executor.name,
                 n_jobs=executor.n_jobs,
                 n_shards=n_units,
+                steals=getattr(executor, "steals", 0) - steals_before,
+                transport_bytes=sum(
+                    out.transport_bytes
+                    for plan_outputs in outputs
+                    for out in plan_outputs if out is not None
+                ),
             )
         return self
 

@@ -362,6 +362,11 @@ class DatasetBuilder:
         Chunk order is preserved, so merging shard-local builders in
         canonical shard order reproduces the row order a single builder
         would have seen.
+
+        Zero-copy: the column arrays are adopted by reference, not
+        copied — callers may pass read-only views over attached
+        shared-memory transport segments and the builder holds those
+        views until :meth:`build` concatenates them into owned arrays.
         """
         for table, chunk_list in chunks.items():
             if table not in self._chunks:

@@ -10,54 +10,9 @@ from repro.network_env.deployment import DeploymentConfig, build_deployment
 from repro.network_env.home_wifi import HomeWifiConfig
 from repro.network_env.public_wifi import PublicWifiConfig
 from repro.population.recruitment import RecruitmentConfig, recruit
-from repro.simulation.device import DeviceSimulator, _segments, _stack, _top_splits
+from repro.simulation.device import DeviceSimulator
 from repro.simulation.params import default_params
 from repro.timeutil import TimeAxis
-
-
-class TestSegments:
-    def test_empty(self):
-        assert _segments(np.array([1, 1, 1]), 0) == []
-
-    def test_single_run(self):
-        states = np.array([0, 0, 3, 3, 3, 0])
-        assert _segments(states, 3) == [(2, 5)]
-
-    def test_multiple_runs(self):
-        states = np.array([3, 0, 3, 3, 0, 3])
-        assert _segments(states, 3) == [(0, 1), (2, 4), (5, 6)]
-
-    def test_full_array(self):
-        states = np.full(6, 2)
-        assert _segments(states, 2) == [(0, 6)]
-
-
-class TestTopSplits:
-    def test_empty(self):
-        assert _top_splits([]) == []
-
-    def test_keeps_head_covering_coverage(self):
-        splits = [(0, 90.0, 0.0), (1, 9.0, 0.0), (2, 0.5, 0.0), (3, 0.5, 0.0)]
-        kept = _top_splits(splits, coverage=0.99)
-        assert [s[0] for s in kept] == [0, 1]
-
-    def test_keeps_all_when_needed(self):
-        splits = [(0, 50.0, 0.0), (1, 50.0, 0.0)]
-        assert len(_top_splits(splits, coverage=0.999)) == 2
-
-    def test_zero_volume(self):
-        assert _top_splits([(0, 0.0, 0.0)]) == []
-
-
-class TestStack:
-    def test_concatenates_columns(self):
-        chunks = [
-            (np.array([1, 2]), np.array([10.0, 20.0])),
-            (np.array([3]), np.array([30.0])),
-        ]
-        a, b = _stack(chunks)
-        assert list(a) == [1, 2, 3]
-        assert list(b) == [10.0, 20.0, 30.0]
 
 
 class TestDeviceSimulator:

@@ -1,36 +1,21 @@
-"""Batch-kernel equivalence: the columnar kernel vs the legacy scalar loop.
+"""Batch-kernel determinism and bulk-collection equivalence.
 
-The batch kernel (`repro.simulation.kernel`) is a *documented equivalence*
-rewrite, not a bit-identity one: it draws from a per-device stream keyed
-``(seed, year, device_id, 7919)`` in a fixed 13-stage order, while the
-legacy `DeviceSimulator` interleaves draws tick by tick from
-``(seed, year, device_id)``. Same models, same parameters, different
-random realizations. What must therefore hold, and what this module pins:
+The columnar batch kernel (`repro.simulation.kernel`) is the only
+simulation kernel (the scalar legacy loop completed its deprecation
+window and was removed after a full release of CI-gated equivalence).
+What this module pins:
 
-* **Structure is exact.** Schemas, dtypes, the device registry, and the
-  deterministic sampling cadences (geo every slot, battery every third
-  slot) are identical between kernels — any drift here is a bug, not
-  noise.
-* **Distributions agree.** Per-device volumes, WiFi share, row counts,
-  and battery levels from the two kernels are different draws from the
-  same model, so their aggregates must land within tolerances calibrated
-  against the observed batch/legacy spread (roughly 2x the worst ratio
-  seen across the pinned cells; see each assertion).
-* **The batch kernel itself is fully deterministic** and its per-device
+* **The batch kernel is fully deterministic** and its per-device
   streams are shard-layout independent: simulating a panel in one call
   or any partition of calls yields bit-identical per-device tables.
 * **Bulk collection is exact.** With a zero fault plan,
   ``CollectionPump.transmit_bulk`` must produce a bit-identical built
   dataset and the same accounting as the per-tick replay it replaces.
-
-Cells: two scales x two seeds as required by the migration plan — small
-enough for CI, large enough that every table has rows.
 """
 
 import dataclasses
 
 import numpy as np
-import pytest
 
 from repro.collection.faults import FaultPlan
 from repro.collection.pipeline import CollectionPump
@@ -39,108 +24,7 @@ from repro.simulation.campaign import plan_campaign, run_campaign
 from repro.simulation.kernel import simulate_devices
 from repro.simulation.study import default_campaign_config
 
-from tests.test_engine import TABLES, assert_datasets_identical
-
-#: The migration-gate cells: two scales x two seeds.
-SCALES = (0.02, 0.04)
-SEEDS = (3, 7)
-YEAR = 2015
-
-
-def _config(scale, seed, kernel="batch"):
-    return default_campaign_config(YEAR, scale=scale, seed=seed, kernel=kernel)
-
-
-@pytest.fixture(scope="module")
-def cells():
-    """Both kernels' datasets for every (scale, seed) cell, run once."""
-    out = {}
-    for scale in SCALES:
-        for seed in SEEDS:
-            batch = run_campaign(_config(scale, seed)).dataset
-            legacy = run_campaign(_config(scale, seed, "legacy")).dataset
-            out[(scale, seed)] = (batch, legacy)
-    return out
-
-
-def _aggregates(ds):
-    cell = ds.daily_matrix("cell").sum()
-    wifi = ds.daily_matrix("wifi").sum()
-    return {
-        "cell_per_dev": cell / ds.n_devices,
-        "wifi_per_dev": wifi / ds.n_devices,
-        "wifi_share": wifi / (wifi + cell),
-        "traffic_rows": len(ds.traffic) / ds.n_devices,
-        "sighting_rows": len(ds.sightings) / ds.n_devices,
-        "assoc_share": float((ds.wifi.state == 2).mean()),
-        "battery_mean": float(ds.battery.level.mean()),
-    }
-
-
-class TestBatchVsLegacy:
-    """The documented-equivalence gate at two scales x two seeds."""
-
-    @pytest.mark.parametrize("scale", SCALES)
-    @pytest.mark.parametrize("seed", SEEDS)
-    def test_structure_is_exact(self, cells, scale, seed):
-        batch, legacy = cells[(scale, seed)]
-        n_slots = _config(scale, seed).axis.n_slots
-        assert batch.devices == legacy.devices
-        assert batch.year == legacy.year == YEAR
-        for name in TABLES:
-            left = getattr(batch, name)
-            right = getattr(legacy, name)
-            assert set(left.columns) == set(right.columns), name
-            for colname, col in left.columns.items():
-                assert col.dtype == right.columns[colname].dtype, (
-                    name, colname,
-                )
-        # Deterministic cadences: geo logs every slot, battery every third
-        # slot, under either kernel.
-        for ds in (batch, legacy):
-            assert len(ds.geo) == ds.n_devices * n_slots
-            assert len(ds.battery) == ds.n_devices * (n_slots // 3)
-        np.testing.assert_array_equal(
-            np.sort(batch.geo.t), np.sort(legacy.geo.t)
-        )
-        np.testing.assert_array_equal(
-            np.sort(batch.battery.t), np.sort(legacy.battery.t)
-        )
-
-    @pytest.mark.parametrize("scale", SCALES)
-    @pytest.mark.parametrize("seed", SEEDS)
-    def test_value_domains(self, cells, scale, seed):
-        n_slots = _config(scale, seed).axis.n_slots
-        for ds in cells[(scale, seed)]:
-            for name in TABLES:
-                table = getattr(ds, name)
-                if "t" in table.columns and len(table):
-                    assert table.t.min() >= 0
-                    assert table.t.max() < n_slots
-            assert ds.traffic.rx.min() >= 0.0
-            assert ds.traffic.tx.min() >= 0.0
-            assert 0.0 <= ds.battery.level.min()
-            assert ds.battery.level.max() <= 100.0
-
-    @pytest.mark.parametrize("scale", SCALES)
-    @pytest.mark.parametrize("seed", SEEDS)
-    def test_aggregates_agree(self, cells, scale, seed):
-        batch, legacy = cells[(scale, seed)]
-        b = _aggregates(batch)
-        l = _aggregates(legacy)
-        # Ratio tolerances are ~2x the worst batch/legacy spread observed
-        # across these cells (volumes drift up to ~5%, sightings ~10%).
-        assert b["cell_per_dev"] == pytest.approx(l["cell_per_dev"], rel=0.15)
-        assert b["wifi_per_dev"] == pytest.approx(l["wifi_per_dev"], rel=0.15)
-        assert b["traffic_rows"] == pytest.approx(l["traffic_rows"], rel=0.10)
-        assert b["sighting_rows"] == pytest.approx(
-            l["sighting_rows"], rel=0.25
-        )
-        # Shares and levels compare absolutely (observed drift: wifi_share
-        # <= 0.02, association share <= 0.05, battery mean <= 0.1).
-        assert abs(b["wifi_share"] - l["wifi_share"]) < 0.05
-        assert abs(b["assoc_share"] - l["assoc_share"]) < 0.10
-        assert abs(b["battery_mean"] - l["battery_mean"]) < 1.0
+from tests.test_engine import assert_datasets_identical
 
 
 class TestBatchDeterminism:

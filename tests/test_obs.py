@@ -365,6 +365,39 @@ def test_check_regression_engine_per_device_cost():
     assert check_regression(_suite_report(), baseline)
 
 
+def test_check_regression_engine_speedup_floor():
+    """The committed floor arms on current cpu_count alone.
+
+    A single-core baseline records ``speedup: null`` (the relative
+    criterion stays dormant) but still carries ``speedup_floor``; any
+    multi-core host must clear it outright.
+    """
+    from repro.obs.bench import check_regression
+
+    baseline = {
+        "benchmark": "engine_serial_vs_parallel",
+        "cpu_count": 1,
+        "scales": [
+            {"scale": 0.08, "speedup": None, "speedup_floor": 1.5,
+             "serial": {"wall_s": 4.0, "devices": 400}},
+        ],
+    }
+    fast = dict(_suite_report(
+        campaign_serial={"wall_s": 3.0, "devices": 400},
+        campaign_sharded={"wall_s": 1.5, "devices": 400, "n_jobs": 2},
+    ), scale=0.08, cpu_count=4)
+    assert check_regression(fast, baseline) == []
+    slow = dict(_suite_report(
+        campaign_serial={"wall_s": 3.0, "devices": 400},
+        campaign_sharded={"wall_s": 2.5, "devices": 400, "n_jobs": 2},
+    ), scale=0.08, cpu_count=4)
+    failures = check_regression(slow, baseline)
+    assert failures and "floor" in failures[0]
+    # On a single-core host the same ratio is pool overhead, not a
+    # regression: the floor stays dormant.
+    assert check_regression(dict(slow, cpu_count=1), baseline) == []
+
+
 def test_check_regression_all_name_by_name():
     from repro.obs.bench import check_regression
 
