@@ -1,0 +1,86 @@
+"""Out-of-core store benchmark: peak RSS and merge throughput.
+
+Measures one campaign simulated + analyzed through the in-memory path and
+through the disk-backed :class:`~repro.traces.store.CampaignStore`, each
+in a fresh subprocess (see :func:`repro.obs.bench.measure_store_paths`)
+so ``ru_maxrss`` is an honest per-path high-water mark. The results land
+in ``BENCH_store.json`` at the repository root — the baseline the
+``store`` kind of ``repro bench --check`` gates against: the disk/memory
+peak-RSS *ratio* (machine-portable), an absolute ``rss_ceiling_ratio``
+the out-of-core path must clear outright on any host, and the disk
+path's per-row streaming-merge cost.
+
+Run standalone (pytest collects this file but it defines no tests)::
+
+    PYTHONPATH=src python benchmarks/bench_store.py [--scale S] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.obs.bench import (
+    ENGINE_BENCH_SEED,
+    ENGINE_BENCH_YEAR,
+    measure_store_paths,
+)
+
+#: Default measurement scale: large enough (~250 devices, year 2015) that
+#: table bytes dominate interpreter baseline RSS and the out-of-core
+#: saving is visible above noise, small enough for a CI smoke job.
+DEFAULT_SCALE = 0.3
+
+#: Absolute ceiling committed into the baseline: the disk-store path's
+#: peak RSS may never exceed this fraction of the in-memory path's. The
+#: margin over the measured ratio absorbs allocator and interpreter noise
+#: across hosts while still failing if the store ever starts buffering
+#: whole tables again.
+RSS_CEILING_RATIO = 0.95
+
+DEFAULT_OUT = Path(__file__).resolve().parents[1] / "BENCH_store.json"
+
+
+def run_benchmark(scale: float) -> dict:
+    measured = measure_store_paths(
+        scale, seed=ENGINE_BENCH_SEED, year=ENGINE_BENCH_YEAR
+    )
+    return {
+        "benchmark": "store",
+        "cpu_count": os.cpu_count() or 1,
+        "scale": scale,
+        "year": ENGINE_BENCH_YEAR,
+        "seed": ENGINE_BENCH_SEED,
+        "memory": measured["memory"],
+        "disk": measured["disk"],
+        "rss_ratio": measured["rss_ratio"],
+        "rss_ceiling_ratio": RSS_CEILING_RATIO,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                        help=f"campaign scale (default {DEFAULT_SCALE})")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(args.scale)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    memory, disk = report["memory"], report["disk"]
+    print(f"scale {args.scale}: "
+          f"memory {memory['peak_rss_kb']}kB / {memory['wall_s']}s, "
+          f"disk {disk['peak_rss_kb']}kB / {disk['wall_s']}s "
+          f"({disk['rows_per_s']:.0f} rows/s)")
+    print(f"peak-RSS ratio disk/memory: {report['rss_ratio']} "
+          f"(committed ceiling {report['rss_ceiling_ratio']})")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -103,6 +103,25 @@ def build_parser() -> argparse.ArgumentParser:
                           help="simulation kernel (batch). The removed "
                                "scalar 'legacy' value is rejected with a "
                                "migration message")
+    simulate.add_argument("--store", choices=["memory", "disk"],
+                          default="memory",
+                          help="campaign storage: 'memory' merges in RAM "
+                               "and saves npz datasets (default); 'disk' "
+                               "spills shards to out-of-core columnar "
+                               "stores and streams the merge, so a "
+                               "campaign never has to fit in RAM. Results "
+                               "are bit-identical either way")
+    simulate.add_argument("--store-dir", type=Path, default=None,
+                          metavar="DIR",
+                          help="root directory for --store disk campaign "
+                               "stores (default: --out)")
+    simulate.add_argument("--store-format", choices=["npy", "parquet", "auto"],
+                          default="npy",
+                          help="column-file backend for --store disk: "
+                               "'npy' is dependency-free (default), "
+                               "'parquet' needs the optional pyarrow "
+                               "extra, 'auto' picks parquet when pyarrow "
+                               "is importable")
     faults = simulate.add_argument_group(
         "fault injection", "route campaigns through a lossy collection "
         "pipeline and report completeness")
@@ -486,18 +505,29 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     faults = _fault_plan_from_args(args)
     resilience = _resilience_from_args(args)
     n_jobs = resolve_jobs(args.jobs, default=0)  # default: auto (CPU count)
+    store_dir = None
+    if args.store == "disk":
+        store_dir = args.store_dir if args.store_dir is not None else args.out
+    elif args.store_dir is not None:
+        raise ConfigurationError("--store-dir requires --store disk")
     tracer = _start_telemetry(args)
     try:
         study = run_study(scale=args.scale, seed=args.seed, faults=faults,
                           n_jobs=n_jobs, resilience=resilience,
-                          kernel=args.kernel)
+                          kernel=args.kernel, store_dir=store_dir,
+                          store_format=args.store_format)
         args.out.mkdir(parents=True, exist_ok=True)
         if study.execution is not None:
             print(f"executor: {study.execution.describe()}")
         for year in study.years:
-            path = args.out / f"campaign{year}"
-            with get_tracer().span("save_dataset", year=year):
-                save_dataset(study.dataset(year), path)
+            if store_dir is not None:
+                # The finalized store directory IS the saved campaign —
+                # load_dataset() reads it memory-mapped; nothing to copy.
+                path = Path(store_dir) / f"campaign{year}"
+            else:
+                path = args.out / f"campaign{year}"
+                with get_tracer().span("save_dataset", year=year):
+                    save_dataset(study.dataset(year), path)
             info = study.campaigns[year].execution
             shards = f", {info.n_shards} shards" if info is not None else ""
             print(f"saved {path} "

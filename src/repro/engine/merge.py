@@ -23,7 +23,7 @@ still validated hard: no duplicates, no coverage mismatches.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,6 +33,9 @@ from repro.engine.transport import ShardPayload
 from repro.errors import EngineError
 from repro.traces.dataset import DatasetBuilder
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.traces.store import CampaignStore, PartitionRef
+
 #: table -> list of column chunks, as exported by DatasetBuilder.
 ChunkMap = Dict[str, List[Dict[str, np.ndarray]]]
 
@@ -41,11 +44,13 @@ ChunkMap = Dict[str, List[Dict[str, np.ndarray]]]
 class ShardOutput:
     """Everything one shard's worker sends back to the merge layer.
 
-    The columnar tables travel one of two ways: ``chunks`` carries them
-    inline (serial execution, checkpoint reloads), while ``payload``
-    references a shared-memory segment packed by a pool worker (see
-    :mod:`repro.engine.transport`). :meth:`chunk_map` hides the
-    difference from the merge layer; exactly one of the two is set.
+    The columnar tables travel one of three ways: ``chunks`` carries them
+    inline (serial execution, checkpoint reloads), ``payload`` references
+    a shared-memory segment packed by a pool worker (see
+    :mod:`repro.engine.transport`), and ``partition`` points at a store
+    spill partition on disk (``--store disk``; see
+    :meth:`spill` and :mod:`repro.traces.store`). :meth:`chunk_map` hides
+    the difference from the merge layer; exactly one of the three is set.
     """
 
     shard_index: int
@@ -62,22 +67,48 @@ class ShardOutput:
     spans: Optional[dict] = None
     #: Shared-memory transport handle (parallel execution only).
     payload: Optional[ShardPayload] = None
+    #: On-disk store partition holding this shard's columns
+    #: (``--store disk`` only; set by :meth:`spill`).
+    partition: Optional["PartitionRef"] = None
+    #: Shared-memory bytes this shard moved before it was spilled to disk
+    #: (keeps :attr:`transport_bytes` accounting once ``payload`` is gone).
+    spilled_transport_bytes: int = 0
 
     def chunk_map(self) -> ChunkMap:
         """This shard's column chunks, wherever they live."""
         if self.payload is not None:
             return self.payload.chunk_map()
+        if self.partition is not None:
+            return self.partition.chunk_map()
         if self.chunks is None:
             raise EngineError(
-                f"shard {self.shard_index} carries neither inline chunks "
-                f"nor a transport payload"
+                f"shard {self.shard_index} carries neither inline chunks, "
+                f"a transport payload, nor a store partition"
             )
         return self.chunks
 
     @property
     def transport_bytes(self) -> int:
         """Bytes this shard moved through shared memory (0 if inline)."""
-        return self.payload.n_bytes if self.payload is not None else 0
+        if self.payload is not None:
+            return self.payload.n_bytes
+        return self.spilled_transport_bytes
+
+    def spill(self, store: "CampaignStore", name: str) -> "ShardOutput":
+        """Land this shard's columns in a store partition, release RAM.
+
+        Returns a slim partition-backed copy: the chunk data now lives in
+        ``store/parts/<name>/`` and the shared-memory segment (if any) is
+        unmapped, so accepting a shard costs O(manifest) parent memory
+        instead of O(rows). Collection stats and spans stay inline —
+        they are small and the merge layer consumes them directly.
+        """
+        ref = store.write_partition(name, self.chunk_map())
+        moved = self.transport_bytes
+        if self.payload is not None:
+            self.payload.release()
+        return replace(self, chunks=None, payload=None, partition=ref,
+                       spilled_transport_bytes=moved)
 
     def for_checkpoint(self) -> "ShardOutput":
         """A self-contained copy that pickles safely to a spill file.
@@ -87,6 +118,10 @@ class ShardOutput:
         pickled view would drag the whole mapped buffer along. Span
         trees are grafted into the parent tracer at accept time and
         never replayed from a checkpoint, so they are dropped too.
+        Partition-backed outputs checkpoint as just the
+        :class:`~repro.traces.store.PartitionRef` — the checkpoint
+        references the store partition instead of re-pickling the rows,
+        and resume validates the partition's digest before trusting it.
         """
         if self.payload is None:
             return replace(self, spans=None) if self.spans else self

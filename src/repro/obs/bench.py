@@ -41,6 +41,7 @@ __all__ = [
     "Timing",
     "best_of",
     "discover_cases",
+    "measure_store_paths",
     "run_suite",
     "check_regression",
     "load_report",
@@ -273,11 +274,48 @@ def _collection_case() -> BenchCase:
     )
 
 
+def _store_case() -> BenchCase:
+    def runner(env: BenchEnv, repeat: int, warmup: int) -> Dict[str, object]:
+        import tempfile
+
+        from repro.simulation.campaign import clear_world_cache, run_campaign
+        from repro.simulation.study import default_campaign_config
+        from repro.traces.store import CampaignStore
+
+        config = default_campaign_config(
+            ENGINE_BENCH_YEAR, scale=env.scale, seed=ENGINE_BENCH_SEED
+        )
+
+        def timed():
+            with tempfile.TemporaryDirectory() as tmp:
+                store = CampaignStore(
+                    Path(tmp) / f"campaign{ENGINE_BENCH_YEAR}",
+                    ENGINE_BENCH_YEAR, config.axis,
+                )
+                return run_campaign(config, store=store).dataset.n_rows_total
+
+        timing = best_of(timed, repeat=repeat, warmup=warmup,
+                         setup=clear_world_cache)
+        rows = timing.best_result
+        return {
+            "wall_s": round(timing.best_s, 6),
+            "mean_s": round(timing.mean_s, 6),
+            "rows": rows,
+            "rows_per_s": round(rows / timing.best_s, 1),
+        }
+
+    return BenchCase(
+        "store_roundtrip", "store",
+        "campaign through the out-of-core store (spill, streaming merge, "
+        "mmap load)", runner,
+    )
+
+
 def discover_cases() -> List[BenchCase]:
     """Every registered benchmark, in stable report order.
 
     Covers the full figure/table experiment registry plus the engine,
-    context-memo and collection-pipeline suites.
+    context-memo, collection-pipeline and out-of-core-store suites.
     """
     from repro.reporting.experiments import list_experiments
 
@@ -290,7 +328,117 @@ def discover_cases() -> List[BenchCase]:
     cases.append(_sweep_case("context_cold_sweep", shared=False))
     cases.append(_sweep_case("context_warm_sweep", shared=True))
     cases.append(_collection_case())
+    cases.append(_store_case())
     return cases
+
+
+# ----------------------------------------------------------------------
+# Out-of-core store measurement (subprocess, for honest peak-RSS)
+# ----------------------------------------------------------------------
+
+#: Child program for :func:`measure_store_paths`. Runs one campaign
+#: simulate+analyze through either path and reports its own peak RSS —
+#: a fresh interpreter per measurement, so neither path's allocations
+#: pollute the other's high-water mark.
+_STORE_CHILD = r"""
+import json, resource, sys, time
+from pathlib import Path
+
+from repro.analysis.context import AnalysisContext
+from repro.simulation.campaign import run_campaign
+from repro.simulation.study import default_campaign_config
+
+mode, scale, seed, year, out = (
+    sys.argv[1], float(sys.argv[2]), int(sys.argv[3]), int(sys.argv[4]),
+    sys.argv[5],
+)
+config = default_campaign_config(year, scale=scale, seed=seed)
+start = time.perf_counter()
+if mode == "disk":
+    from repro.traces.store import CampaignStore
+
+    store = CampaignStore(Path(out) / f"campaign{year}", year, config.axis)
+    result = run_campaign(config, store=store)
+else:
+    result = run_campaign(config)
+dataset = result.dataset
+context = AnalysisContext.of(dataset)
+context.daily_matrix("all", "rx")
+context.daily_matrix("cell", "rx")
+context.hourly_series("all", "rx")
+wall = time.perf_counter() - start
+rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss  # kB on Linux
+peak_vm = None  # peak *address space* (what ulimit -v constrains)
+try:
+    for line in Path("/proc/self/status").read_text().splitlines():
+        if line.startswith("VmPeak:"):
+            peak_vm = int(line.split(":")[1].split()[0])
+except OSError:
+    pass  # no procfs outside Linux
+print(json.dumps({
+    "mode": mode,
+    "rows": dataset.n_rows_total,
+    "devices": dataset.n_devices,
+    "wall_s": round(wall, 4),
+    "peak_rss_kb": int(rss),
+    "peak_vm_kb": peak_vm,
+}))
+"""
+
+
+def measure_store_paths(
+    scale: float,
+    seed: int = ENGINE_BENCH_SEED,
+    year: int = ENGINE_BENCH_YEAR,
+) -> dict:
+    """Peak-RSS and throughput of the in-memory vs disk-store paths.
+
+    Runs one campaign (simulate + representative analysis artifacts)
+    twice, each in its own subprocess: once fully in memory, once through
+    an out-of-core :class:`~repro.traces.store.CampaignStore`. The
+    children report ``ru_maxrss``, so the numbers are true per-path
+    high-water marks. Returns ``{"memory": {...}, "disk": {...},
+    "rss_ratio": disk/memory}`` — the ratio is the machine-portable
+    quantity the ``store`` baseline kind gates on.
+    """
+    import subprocess
+    import sys as _sys
+    import tempfile
+
+    import repro
+
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.pop("REPRO_JOBS", None)  # both paths serial: RSS, not speedup
+    measured: Dict[str, dict] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for mode in ("memory", "disk"):
+            proc = subprocess.run(
+                [_sys.executable, "-c", _STORE_CHILD, mode, str(scale),
+                 str(seed), str(year), tmp],
+                capture_output=True, text=True, env=env,
+            )
+            if proc.returncode != 0:
+                raise ReproError(
+                    f"store measurement child ({mode}) failed: "
+                    f"{proc.stderr.strip()[-500:]}"
+                )
+            row = json.loads(proc.stdout.strip().splitlines()[-1])
+            row["rows_per_s"] = (
+                round(row["rows"] / row["wall_s"], 1) if row["wall_s"] else 0.0
+            )
+            measured[mode] = row
+    return {
+        "memory": measured["memory"],
+        "disk": measured["disk"],
+        "rss_ratio": round(
+            measured["disk"]["peak_rss_kb"] / measured["memory"]["peak_rss_kb"],
+            4,
+        ),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -413,6 +561,11 @@ def check_regression(
       ratio* (cold/warm), which is hardware-independent;
     - ``engine_serial_vs_parallel`` baselines gate the serial *per-device
       cost* (wall seconds per simulated device), which is scale-portable;
+    - ``store`` baselines (``BENCH_store.json``) gate the disk/memory
+      *peak-RSS ratio* — machine-portable, and the committed
+      ``rss_ceiling_ratio`` is an absolute ceiling the current host must
+      clear outright (the storage twin of ``speedup_floor``) — plus the
+      disk path's per-row merge cost;
     - ``all`` baselines (a previous ``BENCH_all.json``) gate per-benchmark
       wall seconds name-by-name, but only when scales match.
 
@@ -498,11 +651,58 @@ def check_regression(
         ):
             speedup = serial["wall_s"] / sharded["wall_s"]
             if speedup < float(floor):
+                # The floor was committed on whatever host wrote the
+                # baseline; surface both cpu_counts (and the sharded
+                # run's scheduling/transport counters) so a cross-host
+                # failure is diagnosable from the message alone.
                 failures.append(
                     f"{baseline_name}: parallel speedup {speedup:.2f}x at "
                     f"jobs={sharded.get('n_jobs')} is below the committed "
                     f"{float(floor):.2f}x floor "
-                    f"(cpu_count={current.get('cpu_count')})"
+                    f"(cpu_count: baseline={baseline.get('cpu_count')}, "
+                    f"current={current.get('cpu_count')}; "
+                    f"steals={sharded.get('steals')}, "
+                    f"transport_bytes={sharded.get('transport_bytes')})"
+                )
+    elif kind == "store":
+        cur_mem = current.get("memory") or {}
+        cur_disk = current.get("disk") or {}
+        if not cur_mem.get("peak_rss_kb") or not cur_disk.get("peak_rss_kb"):
+            return [f"{baseline_name}: current report lacks memory/disk "
+                    f"peak-RSS measurements (run benchmarks/bench_store.py)"]
+        ratio = cur_disk["peak_rss_kb"] / cur_mem["peak_rss_kb"]
+        base_mem = baseline.get("memory") or {}
+        base_disk = baseline.get("disk") or {}
+        if base_mem.get("peak_rss_kb") and base_disk.get("peak_rss_kb"):
+            base_ratio = base_disk["peak_rss_kb"] / base_mem["peak_rss_kb"]
+            if ratio > factor * base_ratio:
+                failures.append(
+                    f"{baseline_name}: disk/memory peak-RSS ratio regressed "
+                    f"{ratio / base_ratio:.2f}x "
+                    f"(baseline {base_ratio:.2f}, now {ratio:.2f})"
+                )
+        # Absolute ceiling (the storage twin of ``speedup_floor``): the
+        # out-of-core path must never peak above this fraction of the
+        # in-memory path's RSS, regardless of what the baseline host saw.
+        ceiling = baseline.get("rss_ceiling_ratio")
+        if ceiling and ratio > float(ceiling):
+            failures.append(
+                f"{baseline_name}: disk-store peak RSS is "
+                f"{ratio:.2f}x the in-memory path "
+                f"({cur_disk['peak_rss_kb']}kB vs "
+                f"{cur_mem['peak_rss_kb']}kB), above the committed "
+                f"{float(ceiling):.2f} ceiling"
+            )
+        if (base_disk.get("rows") and base_disk.get("wall_s")
+                and cur_disk.get("rows") and cur_disk.get("wall_s")):
+            cost = cur_disk["wall_s"] / cur_disk["rows"]
+            base_cost = base_disk["wall_s"] / base_disk["rows"]
+            if cost > factor * base_cost:
+                failures.append(
+                    f"{baseline_name}: disk-store per-row cost regressed "
+                    f"{cost / base_cost:.2f}x "
+                    f"({1e6 * base_cost:.2f}us -> {1e6 * cost:.2f}us "
+                    f"per row)"
                 )
     elif kind == "all":
         if baseline.get("scale") != current.get("scale"):
@@ -523,6 +723,6 @@ def check_regression(
         raise ConfigurationError(
             f"{baseline_name}: unrecognised baseline benchmark kind "
             f"{kind!r}; valid kinds: context_cold_vs_warm_sweep, "
-            f"engine_serial_vs_parallel, all"
+            f"engine_serial_vs_parallel, store, all"
         )
     return failures

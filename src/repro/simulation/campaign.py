@@ -50,6 +50,7 @@ from repro.engine.merge import (
     merge_chunks,
     merge_reports,
     missing_shards,
+    ordered_outputs,
 )
 from repro.engine.planner import ShardPlan, plan_units
 from repro.engine.resilience import (
@@ -70,6 +71,7 @@ from repro.simulation.params import SimParams
 from repro.timeutil import TimeAxis
 from repro.traces.dataset import CampaignDataset, DatasetBuilder, GroundTruth
 from repro.traces.records import ApDirectoryEntry, DeviceInfo
+from repro.traces.store import CampaignStore
 
 
 @dataclass
@@ -384,6 +386,7 @@ def execute_plans(
     plans: Sequence[CampaignPlan],
     executor: Executor,
     resilience: Optional[ResilienceConfig] = None,
+    stores: Optional[Sequence[Optional[CampaignStore]]] = None,
 ) -> "tuple[List[List[Optional[ShardOutput]]], Optional[ResilienceReport]]":
     """Run every plan's shards through ``executor``, self-healing as asked.
 
@@ -393,6 +396,13 @@ def execute_plans(
     spills each completed shard to the checkpoint store as it arrives, and
     aggregates the executor's attempt history into a
     :class:`~repro.engine.resilience.ResilienceReport`.
+
+    ``stores`` (aligned with ``plans``) turns on out-of-core execution: a
+    plan with a :class:`~repro.traces.store.CampaignStore` spills each
+    accepted shard's columns into a store partition immediately, so the
+    parent never accumulates more than one shard's rows in memory, and
+    checkpoints for those shards reference the partition instead of
+    re-pickling the rows.
 
     Returns one output list per plan, indexed by shard (``None`` marks a
     shard dropped in partial mode), plus the report (None when no
@@ -406,6 +416,9 @@ def execute_plans(
     keys = [config_key(plan.config) for plan in plans]
     tracer = get_tracer()
 
+    def _store_for(pi: int) -> Optional[CampaignStore]:
+        return stores[pi] if stores is not None else None
+
     if store is not None:
         store.initialize(identity_of(plans), resume=res.resume)
         if res.resume:
@@ -415,6 +428,13 @@ def execute_plans(
                         loaded = store.load(
                             keys[pi], plan.config.seed, shard.index
                         )
+                        if loaded is not None and loaded.partition is not None \
+                                and not loaded.partition.is_valid():
+                            # The checkpoint references a store partition
+                            # that vanished or changed since it was saved;
+                            # treat it as a miss and re-simulate.
+                            tracer.count("checkpoint_stale_partitions")
+                            loaded = None
                         if loaded is not None:
                             outputs[pi][shard.index] = loaded
             tracer.count("checkpoint_hits", store.hits)
@@ -451,6 +471,14 @@ def execute_plans(
             output.payload.attach()
             output.payload.unlink()
             tracer.count("transport_bytes", output.payload.n_bytes)
+        plan_store = _store_for(pi)
+        if plan_store is not None:
+            # Out-of-core: the shard's columns land in a store partition
+            # right away and the shared-memory segment is unmapped — the
+            # parent keeps only the slim PartitionRef per shard.
+            output = output.spill(
+                plan_store, f"shard-{work.shard_index:04d}"
+            )
         outputs[pi][work.shard_index] = output
         if store is not None:
             # Checkpoints must be self-contained: shared-memory views are
@@ -518,6 +546,8 @@ def merge_campaign(
     outputs: Sequence[Optional[ShardOutput]],
     execution: Optional[ExecutionInfo] = None,
     allow_partial: bool = False,
+    store: Optional[CampaignStore] = None,
+    keep_partitions: bool = False,
 ) -> CampaignResult:
     """Reassemble shard outputs into a finished campaign, canonically.
 
@@ -526,6 +556,13 @@ def merge_campaign(
     devices keep their roster entries with zero records, like recruited
     users whose data never arrived — and the loss is accounted explicitly
     in :attr:`CampaignResult.losses`. At least one shard must survive.
+
+    With a ``store``, the merge is out-of-core: shard partitions are
+    streaming-merged into the store's canonical column files (same stable
+    sort as ``DatasetBuilder.build``, bit-identical at any ``n_jobs``) and
+    the returned dataset reads them memory-mapped. Spill partitions are
+    reclaimed after a successful finalize unless ``keep_partitions``
+    (set when checkpoints reference them for resume).
     """
     config = plan.config
     world = plan.world
@@ -559,12 +596,14 @@ def merge_campaign(
                 ),
             )
     with tracer.span("merge_campaign", year=config.year,
-                     n_shards=plan.shard_plan.n_shards):
-        builder = DatasetBuilder(config.year, config.axis)
-        for info in world.infos:
-            builder.add_device(info)
-        merge_chunks(builder, outputs, plan.shard_plan,
-                     allow_missing=allow_partial)
+                     n_shards=plan.shard_plan.n_shards,
+                     store=store is not None):
+        if store is None:
+            builder = DatasetBuilder(config.year, config.axis)
+            for info in world.infos:
+                builder.add_device(info)
+            merge_chunks(builder, outputs, plan.shard_plan,
+                         allow_missing=allow_partial)
 
         report: Optional[CollectionReport] = None
         if not config.direct_build:
@@ -580,9 +619,18 @@ def merge_campaign(
             tracer.count("shards_dropped", len(losses.dropped_shards))
             tracer.count("devices_dropped", losses.dropped_devices)
 
-        _register_observed_aps(builder, world.deployment)
-        builder.ground_truth = _ground_truth(world.profiles, world.deployment)
-        dataset = builder.build()
+        if store is None:
+            _register_observed_aps(builder, world.deployment)
+            builder.ground_truth = _ground_truth(
+                world.profiles, world.deployment
+            )
+            dataset = builder.build()
+        else:
+            dataset = _merge_into_store(
+                plan, outputs, store,
+                allow_partial=allow_partial,
+                keep_partitions=keep_partitions,
+            )
     return CampaignResult(
         config=config, dataset=dataset, profiles=world.profiles,
         deployment=world.deployment, collection=report, execution=execution,
@@ -590,11 +638,58 @@ def merge_campaign(
     )
 
 
+def _merge_into_store(
+    plan: CampaignPlan,
+    outputs: Sequence[Optional[ShardOutput]],
+    store: CampaignStore,
+    allow_partial: bool = False,
+    keep_partitions: bool = False,
+) -> CampaignDataset:
+    """Streaming out-of-core twin of the builder merge.
+
+    Surviving shards' partitions (written on accept, or here for inline
+    outputs such as serial runs and non-store checkpoint reloads) are
+    handed to :meth:`CampaignStore.finalize` in canonical shard order —
+    the exact order ``merge_chunks`` appends, followed by the same stable
+    sort — so the finalized store is bit-identical to the in-memory
+    dataset. The AP directory is built from the partition manifests'
+    observed ids, mirroring :func:`_register_observed_aps`.
+    """
+    config = plan.config
+    world = plan.world
+    partitions = []
+    for out in ordered_outputs(outputs, plan.shard_plan,
+                               allow_missing=allow_partial):
+        if out.partition is None:
+            out = out.spill(store, f"shard-{out.shard_index:04d}")
+        partitions.append(out.partition)
+    observed: set = set()
+    for ref in partitions:
+        observed.update(ref.observed_ap_ids)
+    ap_directory = {}
+    for ap_id in sorted(observed):
+        ap: AccessPoint = world.deployment.ap(ap_id)
+        ap_directory[ap_id] = ApDirectoryEntry(
+            ap_id=ap.ap_id, bssid=ap.bssid, essid=ap.essid,
+            band=ap.band, channel=ap.channel,
+        )
+    store.finalize(
+        world.infos, ap_directory,
+        _ground_truth(world.profiles, world.deployment),
+        partitions,
+    )
+    store.sweep_partitions(
+        keep=[ref.name for ref in partitions] if keep_partitions else ()
+    )
+    return store.load_dataset()
+
+
 def run_campaign(
     config: CampaignConfig,
     n_jobs: Optional[int] = None,
     executor: Optional[Executor] = None,
     resilience: Optional[ResilienceConfig] = None,
+    store: Optional[CampaignStore] = None,
 ) -> CampaignResult:
     """Simulate one campaign and return its dataset and context.
 
@@ -603,7 +698,9 @@ def run_campaign(
     caller-supplied ``executor`` is reused as-is (and not closed here).
     ``resilience`` enables checkpoint/resume, retry, partial results, and
     chaos injection; when an executor is built here, the resilience
-    policy/partial settings are threaded into it.
+    policy/partial settings are threaded into it. A ``store`` makes the
+    run out-of-core: shards spill to store partitions on accept and the
+    result's dataset reads the finalized store memory-mapped.
     """
     tracer = get_tracer()
     with tracer.span("run_campaign", year=config.year):
@@ -618,35 +715,48 @@ def run_campaign(
             )
         fallbacks_before = executor.fallbacks
         steals_before = getattr(executor, "steals", 0)
+        checkpointed = resilience is not None and resilience.store is not None
+        merged = False
         try:
-            with tracer.span("execute_shards", executor=executor.name,
-                             n_jobs=executor.n_jobs):
-                outputs, report = execute_plans(
-                    [plan], executor, resilience=resilience
-                )
-                tracer.count("shard_fallbacks",
-                             executor.fallbacks - fallbacks_before)
+            try:
+                with tracer.span("execute_shards", executor=executor.name,
+                                 n_jobs=executor.n_jobs):
+                    outputs, report = execute_plans(
+                        [plan], executor, resilience=resilience,
+                        stores=[store] if store is not None else None,
+                    )
+                    tracer.count("shard_fallbacks",
+                                 executor.fallbacks - fallbacks_before)
+            finally:
+                if own_executor:
+                    executor.close()
+                # The executor has drained (close waits for healthy
+                # futures), so any segment still named under this run's
+                # token is an orphan — a chaos-killed loop or a timed-out
+                # straggler on a discarded pool — and is reclaimed here.
+                sweep_orphans(run_token())
+            execution = ExecutionInfo(
+                executor=executor.name,
+                n_jobs=executor.n_jobs,
+                n_shards=plan.shard_plan.n_shards,
+                steals=getattr(executor, "steals", 0) - steals_before,
+                transport_bytes=sum(
+                    out.transport_bytes for out in outputs[0]
+                    if out is not None
+                ),
+            )
+            result = merge_campaign(
+                plan, outputs[0], execution=execution,
+                allow_partial=resilience.partial if resilience else False,
+                store=store, keep_partitions=checkpointed,
+            )
+            merged = True
         finally:
-            if own_executor:
-                executor.close()
-            # The executor has drained (close waits for healthy futures),
-            # so any segment still named under this run's token is an
-            # orphan — a chaos-killed loop or a timed-out straggler on a
-            # discarded pool — and is reclaimed here.
-            sweep_orphans(run_token())
-        execution = ExecutionInfo(
-            executor=executor.name,
-            n_jobs=executor.n_jobs,
-            n_shards=plan.shard_plan.n_shards,
-            steals=getattr(executor, "steals", 0) - steals_before,
-            transport_bytes=sum(
-                out.transport_bytes for out in outputs[0] if out is not None
-            ),
-        )
-        result = merge_campaign(
-            plan, outputs[0], execution=execution,
-            allow_partial=resilience.partial if resilience else False,
-        )
+            # Partition janitor, mirroring the shared-memory sweep: a run
+            # that died before finalize leaves spill partitions behind;
+            # reclaim them unless checkpoints reference them for resume.
+            if store is not None and not merged and not checkpointed:
+                store.sweep_partitions()
         result.resilience = report
         return result
 

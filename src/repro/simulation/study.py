@@ -14,7 +14,8 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 from datetime import date
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -43,6 +44,7 @@ from repro.simulation.campaign import (
 )
 from repro.simulation.kernel import DEFAULT_KERNEL, KERNEL_NAMES
 from repro.simulation.params import default_params
+from repro.traces.store import CampaignStore
 
 YEARS = (2013, 2014, 2015)
 
@@ -175,6 +177,8 @@ class Study:
         n_jobs: Optional[int] = None,
         executor: Optional[Executor] = None,
         resilience: Optional[ResilienceConfig] = None,
+        store_dir: Optional[Union[str, Path]] = None,
+        store_format: str = "npy",
     ) -> "Study":
         """Simulate every configured campaign year.
 
@@ -189,6 +193,13 @@ class Study:
         partial results, and chaos injection (see
         :class:`~repro.engine.resilience.ResilienceConfig`); the retry
         policy and partial flag are threaded into executors built here.
+
+        ``store_dir`` makes the run out-of-core: each year's shards spill
+        to partitions under ``store_dir/campaign<year>/`` as they are
+        accepted, the merge streams them into finalized column files, and
+        every result dataset reads its store memory-mapped — the parent
+        process never holds a whole campaign's rows. Bit-identical to the
+        in-memory path at any ``n_jobs``.
         """
         tracer = get_tracer()
         with tracer.span("study.run", scale=self.config.scale,
@@ -205,6 +216,16 @@ class Study:
                 )
                 for year in self.config.years
             ]
+            stores = None
+            if store_dir is not None:
+                stores = [
+                    CampaignStore(
+                        Path(store_dir) / f"campaign{plan.config.year}",
+                        plan.config.year, plan.config.axis,
+                        format=store_format,
+                    )
+                    for plan in plans
+                ]
             n_units = sum(len(plan.work) for plan in plans)
             own_executor = executor is None
             if executor is None:
@@ -215,48 +236,65 @@ class Study:
                 )
             fallbacks_before = executor.fallbacks
             steals_before = getattr(executor, "steals", 0)
+            checkpointed = resilience is not None and \
+                resilience.store is not None
+            merged = False
             try:
-                with tracer.span("execute_shards", executor=executor.name,
-                                 n_jobs=executor.n_jobs):
-                    outputs, report = execute_plans(
-                        plans, executor, resilience=resilience
-                    )
-                    tracer.count("shard_fallbacks",
-                                 executor.fallbacks - fallbacks_before)
-            finally:
-                if own_executor:
-                    executor.close()
-                # Post-drain janitor: anything still named under this
-                # run's token was never accepted (chaos kill, timed-out
-                # straggler) and must not outlive the run.
-                sweep_orphans(run_token())
-            self.resilience = report
-            allow_partial = resilience.partial if resilience else False
-            for year, plan, plan_outputs in zip(
-                self.config.years, plans, outputs
-            ):
-                result = merge_campaign(
-                    plan,
-                    plan_outputs,
-                    execution=ExecutionInfo(
-                        executor=executor.name,
-                        n_jobs=executor.n_jobs,
-                        n_shards=plan.shard_plan.n_shards,
-                        transport_bytes=sum(
-                            out.transport_bytes for out in plan_outputs
-                            if out is not None
+                try:
+                    with tracer.span("execute_shards",
+                                     executor=executor.name,
+                                     n_jobs=executor.n_jobs):
+                        outputs, report = execute_plans(
+                            plans, executor, resilience=resilience,
+                            stores=stores,
+                        )
+                        tracer.count("shard_fallbacks",
+                                     executor.fallbacks - fallbacks_before)
+                finally:
+                    if own_executor:
+                        executor.close()
+                    # Post-drain janitor: anything still named under this
+                    # run's token was never accepted (chaos kill, timed-out
+                    # straggler) and must not outlive the run.
+                    sweep_orphans(run_token())
+                self.resilience = report
+                allow_partial = resilience.partial if resilience else False
+                for yi, (year, plan, plan_outputs) in enumerate(zip(
+                    self.config.years, plans, outputs
+                )):
+                    result = merge_campaign(
+                        plan,
+                        plan_outputs,
+                        execution=ExecutionInfo(
+                            executor=executor.name,
+                            n_jobs=executor.n_jobs,
+                            n_shards=plan.shard_plan.n_shards,
+                            transport_bytes=sum(
+                                out.transport_bytes for out in plan_outputs
+                                if out is not None
+                            ),
                         ),
-                    ),
-                    allow_partial=allow_partial,
-                )
-                self.campaigns[year] = result
-                with tracer.span("survey", year=year):
-                    survey_rng = np.random.default_rng(
-                        (self.config.seed, year, 99)
+                        allow_partial=allow_partial,
+                        store=stores[yi] if stores is not None else None,
+                        keep_partitions=checkpointed,
                     )
-                    self.surveys[year] = run_survey(
-                        result.profiles, year, survey_rng
-                    )
+                    self.campaigns[year] = result
+                    with tracer.span("survey", year=year):
+                        survey_rng = np.random.default_rng(
+                            (self.config.seed, year, 99)
+                        )
+                        self.surveys[year] = run_survey(
+                            result.profiles, year, survey_rng
+                        )
+                merged = True
+            finally:
+                # Partition janitor (disk twin of the shared-memory
+                # sweep): a run that died before every year finalized
+                # leaves spill partitions behind; reclaim them unless
+                # checkpoints reference them for resume.
+                if stores is not None and not merged and not checkpointed:
+                    for st in stores:
+                        st.sweep_partitions()
             self.execution = ExecutionInfo(
                 executor=executor.name,
                 n_jobs=executor.n_jobs,
@@ -293,6 +331,8 @@ def run_study(
     executor: Optional[Executor] = None,
     resilience: Optional[ResilienceConfig] = None,
     kernel: str = DEFAULT_KERNEL,
+    store_dir: Optional[Union[str, Path]] = None,
+    store_format: str = "npy",
 ) -> Study:
     """Convenience: run the full study at ``scale`` and return it."""
     config = StudyConfig(
@@ -300,5 +340,6 @@ def run_study(
         kernel=kernel,
     )
     return Study(config).run(
-        n_jobs=n_jobs, executor=executor, resilience=resilience
+        n_jobs=n_jobs, executor=executor, resilience=resilience,
+        store_dir=store_dir, store_format=store_format,
     )

@@ -125,6 +125,16 @@ class CampaignDataset:
     def n_slots(self) -> int:
         return self.axis.n_slots
 
+    @property
+    def table_names(self) -> Tuple[str, ...]:
+        """The eight table attribute names, in canonical order."""
+        return tuple(_EMPTY_DTYPES)
+
+    @property
+    def n_rows_total(self) -> int:
+        """Total rows across every table (throughput denominators)."""
+        return sum(len(getattr(self, name)) for name in _EMPTY_DTYPES)
+
     def device(self, device_id: int) -> DeviceInfo:
         """Look up a device record by id (ids are dense 0..n-1)."""
         if not 0 <= device_id < len(self.devices):

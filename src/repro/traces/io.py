@@ -53,8 +53,18 @@ def save_dataset(dataset: CampaignDataset, path: "str | Path") -> Path:
 
 
 def load_dataset(path: "str | Path") -> CampaignDataset:
-    """Read a dataset previously written by :func:`save_dataset`."""
+    """Read a dataset previously written by :func:`save_dataset`.
+
+    Campaign-store directories (``--store disk``; see
+    :mod:`repro.traces.store`) are detected by their manifest and loaded
+    memory-mapped, so every dataset consumer reads either format through
+    this one entry point.
+    """
     root = Path(path)
+    if (root / "store_manifest.json").exists():
+        from repro.traces.store import CampaignStore
+
+        return CampaignStore.open(root).load_dataset()
     meta_path = root / "meta.json"
     if not meta_path.exists():
         raise DatasetError(f"no dataset at {root}")

@@ -1,0 +1,658 @@
+"""Out-of-core columnar campaign storage.
+
+A :class:`CampaignStore` is the disk twin of the in-memory
+:class:`~repro.traces.dataset.CampaignDataset`: one directory per campaign
+holding every table as canonical-order column files that analyses read
+**memory-mapped**, so a campaign never has to fit in RAM. It is the seam
+between the engine (which spills each completed shard's columnar chunks
+into a *partition* as it arrives, instead of accumulating them in the
+parent) and the analysis layer (which maps the finalized columns and pays
+only for the pages it touches).
+
+Layout::
+
+    campaign2015/
+        store_manifest.json       # format, fingerprint, per-column schema
+        meta.json                 # devices, AP directory, ground truth
+        tables/traffic__rx.npy    # canonical (device, t)-sorted columns
+        tables/...
+        parts/shard-0007/         # spill partitions (removed on finalize
+            part_manifest.json    # unless checkpoints reference them)
+            traffic__rx.npy
+            ...
+
+Two backends share the layout above the table files:
+
+- ``npy`` (default, **no dependency beyond numpy**): one ``.npy`` file per
+  (table, column), loaded with ``np.load(..., mmap_mode="r")``. Column
+  projection pushdown is structural — a reader opens only the column files
+  it asks for — and predicate pushdown reads just the predicate columns
+  before gathering the projection.
+- ``parquet`` (optional, needs pyarrow): one Parquet file per table,
+  written in row-group chunks and read back memory-mapped. The *data* is
+  bit-identical to the npy backend — the fingerprint hashes column bytes,
+  not files — so backends interoperate freely.
+
+Determinism: the streaming merge (:meth:`CampaignStore.finalize`)
+reproduces ``DatasetBuilder.build`` exactly — partitions are concatenated
+in canonical shard order and each table is permuted by the same stable
+``np.lexsort((t, device))`` — so a store-backed dataset is bit-for-bit
+identical to the in-memory path at any ``n_jobs`` (pinned by
+``tests/test_store.py``). Peak memory of the merge is bounded by the sort
+keys plus the permutation (~16 bytes/row) and one copy block, never by
+the full table.
+
+The **fingerprint** is a SHA-256 over the schema and the content digest of
+every finalized column; :meth:`AnalysisContext.for_store
+<repro.analysis.context.AnalysisContext.for_store>` keys its memo on it,
+so rewriting a store invalidates cached artifacts while reopening an
+unchanged one reuses them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import shutil
+from dataclasses import dataclass, field
+from datetime import date
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DatasetError
+from repro.obs.span import get_tracer
+from repro.timeutil import TimeAxis
+from repro.traces.dataset import CampaignDataset, GroundTruth, _EMPTY_DTYPES, _Table
+from repro.traces.io import (
+    _ap_from_json,
+    _ap_to_json,
+    _device_from_json,
+    _device_to_json,
+    _truth_from_json,
+    _truth_to_json,
+)
+from repro.traces.records import ApDirectoryEntry, DeviceInfo
+
+__all__ = [
+    "CampaignStore",
+    "PartitionRef",
+    "STORE_FORMATS",
+    "STORE_MANIFEST",
+    "is_store_dir",
+    "open_store",
+    "store_fingerprint",
+    "sweep_orphan_partitions",
+]
+
+STORE_MANIFEST = "store_manifest.json"
+_PART_MANIFEST = "part_manifest.json"
+_STORE_VERSION = 1
+
+#: Rows copied (and hashed) per block during the streaming merge; bounds
+#: the merge's transient working set to one block per column.
+MERGE_BLOCK_ROWS = 1 << 18
+
+STORE_FORMATS = ("npy", "parquet")
+
+_TABLE_NAMES = tuple(_EMPTY_DTYPES)
+
+
+def _have_pyarrow() -> bool:
+    try:  # pragma: no cover - depends on the host environment
+        import pyarrow  # noqa: F401
+        import pyarrow.parquet  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def _resolve_format(fmt: str) -> str:
+    if fmt == "auto":
+        return "parquet" if _have_pyarrow() else "npy"
+    if fmt not in STORE_FORMATS:
+        raise ConfigurationError(
+            f"unknown store format {fmt!r}; expected one of "
+            f"{STORE_FORMATS} (or 'auto')"
+        )
+    if fmt == "parquet" and not _have_pyarrow():
+        raise ConfigurationError(
+            "store format 'parquet' needs pyarrow, which is not "
+            "installed; use the dependency-free 'npy' format or install "
+            "the [arrow] extra"
+        )
+    return fmt
+
+
+@dataclass(frozen=True)
+class PartitionRef:
+    """Small picklable handle to one spilled shard partition.
+
+    Carries everything the merge and checkpoint layers need without
+    touching the data again: per-table row counts, the AP ids the shard
+    observed, and a digest of the partition manifest so a checkpoint that
+    references a partition can detect a stale or vanished spill and fall
+    back to re-simulation.
+    """
+
+    root: str
+    name: str
+    n_rows: Mapping[str, int]
+    n_bytes: int
+    observed_ap_ids: Tuple[int, ...]
+    digest: str
+
+    @property
+    def path(self) -> Path:
+        return Path(self.root) / "parts" / self.name
+
+    def is_valid(self) -> bool:
+        """True when the on-disk partition still matches this handle."""
+        manifest_path = self.path / _PART_MANIFEST
+        try:
+            blob = manifest_path.read_bytes()
+        except OSError:
+            return False
+        return hashlib.sha256(blob).hexdigest() == self.digest
+
+    def chunk_map(self) -> Dict[str, List[Dict[str, np.ndarray]]]:
+        """The partition's tables as one builder-compatible chunk each.
+
+        Within a shard the builder concatenates chunks in append order
+        before sorting, so the concatenated per-column arrays stored here
+        are interchangeable with the original chunk list — merging them
+        produces a bit-identical dataset. Used when a checkpointed,
+        partition-backed shard is resumed into a run without a store.
+        """
+        if not self.is_valid():
+            raise DatasetError(
+                f"store partition {self.path} is missing or stale; "
+                f"re-run without --resume to re-simulate the shard"
+            )
+        chunks: Dict[str, List[Dict[str, np.ndarray]]] = {}
+        for table, rows in self.n_rows.items():
+            if rows == 0:
+                chunks[table] = []
+                continue
+            columns = {
+                column: np.load(
+                    self.path / f"{table}__{column}.npy", mmap_mode="r"
+                )
+                for column, _ in _EMPTY_DTYPES[table]
+            }
+            chunks[table] = [columns]
+        return chunks
+
+
+class CampaignStore:
+    """One campaign's out-of-core columnar storage directory."""
+
+    def __init__(self, root: Union[str, Path], year: int, axis: TimeAxis,
+                 format: str = "npy") -> None:
+        self.root = Path(root)
+        self.year = year
+        self.axis = axis
+        self.format = _resolve_format(format)
+        #: Set by :meth:`finalize` / :meth:`_read_manifest`.
+        self._manifest: Optional[dict] = None
+
+    # -- opening an existing store ----------------------------------------
+
+    @classmethod
+    def open(cls, root: Union[str, Path]) -> "CampaignStore":
+        """Open a finalized store for reading."""
+        root = Path(root)
+        manifest_path = root / STORE_MANIFEST
+        if not manifest_path.exists():
+            raise DatasetError(f"no campaign store at {root}")
+        manifest = json.loads(manifest_path.read_text())
+        if manifest.get("store_version") != _STORE_VERSION:
+            raise DatasetError(
+                f"unsupported store version: {manifest.get('store_version')}"
+            )
+        axis = TimeAxis(date.fromisoformat(manifest["start"]),
+                        manifest["n_days"])
+        store = cls(root, manifest["year"], axis, manifest["format"])
+        store._manifest = manifest
+        return store
+
+    @property
+    def parts_dir(self) -> Path:
+        return self.root / "parts"
+
+    @property
+    def tables_dir(self) -> Path:
+        return self.root / "tables"
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the finalized store (schema + data)."""
+        if self._manifest is None:
+            self._manifest = self._read_manifest()
+        return self._manifest["fingerprint"]
+
+    def _read_manifest(self) -> dict:
+        manifest_path = self.root / STORE_MANIFEST
+        if not manifest_path.exists():
+            raise DatasetError(
+                f"campaign store {self.root} has not been finalized"
+            )
+        return json.loads(manifest_path.read_text())
+
+    # -- shard spill (engine write path) -----------------------------------
+
+    def write_partition(
+        self,
+        name: str,
+        chunks: Mapping[str, Sequence[Mapping[str, np.ndarray]]],
+    ) -> PartitionRef:
+        """Land one shard's columnar chunks as a spill partition.
+
+        Chunks are concatenated per column in append order (exactly the
+        order ``DatasetBuilder.build`` would see), written atomically
+        (temp dir + rename), and summarized in a ``part_manifest.json``
+        whose digest rides on the returned :class:`PartitionRef`.
+        """
+        self.parts_dir.mkdir(parents=True, exist_ok=True)
+        final_dir = self.parts_dir / name
+        tmp_dir = self.parts_dir / f".{name}.tmp"
+        if tmp_dir.exists():
+            shutil.rmtree(tmp_dir)
+        tmp_dir.mkdir(parents=True)
+        n_rows: Dict[str, int] = {}
+        n_bytes = 0
+        observed: Set[int] = set()
+        for table in _TABLE_NAMES:
+            chunk_list = list(chunks.get(table, ()))
+            if not chunk_list:
+                n_rows[table] = 0
+                continue
+            names = [column for column, _ in _EMPTY_DTYPES[table]]
+            rows = 0
+            for column in names:
+                arr = (chunk_list[0][column] if len(chunk_list) == 1
+                       else np.concatenate(
+                           [chunk[column] for chunk in chunk_list]))
+                arr = np.ascontiguousarray(arr)
+                np.save(tmp_dir / f"{table}__{column}.npy", arr)
+                rows = len(arr)
+                n_bytes += arr.nbytes
+                if column == "ap_id":
+                    unique = np.unique(arr)
+                    observed.update(int(a) for a in unique if a >= 0)
+            n_rows[table] = rows
+        manifest = {
+            "name": name,
+            "year": self.year,
+            "n_rows": n_rows,
+            "n_bytes": n_bytes,
+            "observed_ap_ids": sorted(observed),
+        }
+        blob = (json.dumps(manifest, sort_keys=True) + "\n").encode()
+        (tmp_dir / _PART_MANIFEST).write_bytes(blob)
+        if final_dir.exists():
+            shutil.rmtree(final_dir)
+        tmp_dir.rename(final_dir)
+        tracer = get_tracer()
+        tracer.count("store_partitions")
+        tracer.count("store_spill_bytes", n_bytes)
+        return PartitionRef(
+            root=str(self.root), name=name, n_rows=dict(n_rows),
+            n_bytes=n_bytes, observed_ap_ids=tuple(sorted(observed)),
+            digest=hashlib.sha256(blob).hexdigest(),
+        )
+
+    def partition_names(self) -> List[str]:
+        """Names of every on-disk spill partition (orphans included)."""
+        if not self.parts_dir.is_dir():
+            return []
+        return sorted(
+            entry.name for entry in self.parts_dir.iterdir()
+            if entry.is_dir() and not entry.name.startswith(".")
+        )
+
+    def sweep_partitions(self, keep: Iterable[str] = ()) -> List[str]:
+        """Remove spill partitions not in ``keep``; returns removed names.
+
+        The janitor twin of the engine's shared-memory ``sweep_orphans``:
+        a chaos-killed run leaves partitions behind, and the campaign
+        runner reclaims them in its ``finally`` unless a checkpoint store
+        still references them for resume.
+        """
+        keep_set = set(keep)
+        removed = []
+        for name in self.partition_names():
+            if name not in keep_set:
+                shutil.rmtree(self.parts_dir / name, ignore_errors=True)
+                removed.append(name)
+        if not keep_set and self.parts_dir.is_dir():
+            shutil.rmtree(self.parts_dir, ignore_errors=True)
+        return removed
+
+    # -- streaming merge (finalize) ----------------------------------------
+
+    def finalize(
+        self,
+        devices: Sequence[DeviceInfo],
+        ap_directory: Mapping[int, ApDirectoryEntry],
+        ground_truth: Optional[GroundTruth],
+        partitions: Sequence[PartitionRef],
+    ) -> dict:
+        """Streaming-merge ``partitions`` (in canonical shard order) into
+        the finalized canonical column files, then write the manifests.
+
+        Stage 1 copies each partition's columns into append-order staging
+        files (mmap to mmap, never a whole table in RAM). Stage 2 computes
+        the stable ``lexsort((t, device))`` permutation from the two key
+        columns and applies it block-wise to every column, hashing the
+        sorted bytes into the content fingerprint as they are written.
+        """
+        with get_tracer().span("store_finalize", year=self.year,
+                               n_partitions=len(partitions)):
+            return self._finalize(devices, ap_directory, ground_truth,
+                                  partitions)
+
+    def _finalize(self, devices, ap_directory, ground_truth, partitions):
+        self.tables_dir.mkdir(parents=True, exist_ok=True)
+        tables_meta: Dict[str, dict] = {}
+        for table in _TABLE_NAMES:
+            tables_meta[table] = self._merge_table(table, partitions,
+                                                   len(devices))
+        fingerprint = hashlib.sha256()
+        for table in _TABLE_NAMES:
+            for column, _ in _EMPTY_DTYPES[table]:
+                meta = tables_meta[table]["columns"][column]
+                fingerprint.update(
+                    f"{table}.{column}:{meta['dtype']}:{meta['sha256']}"
+                    .encode()
+                )
+        manifest = {
+            "store_version": _STORE_VERSION,
+            "format": self.format,
+            "year": self.year,
+            "start": self.axis.start.isoformat(),
+            "n_days": self.axis.n_days,
+            "n_partitions": len(partitions),
+            "tables": tables_meta,
+            "fingerprint": fingerprint.hexdigest(),
+        }
+        meta = {
+            "format_version": 1,
+            "year": self.year,
+            "start": self.axis.start.isoformat(),
+            "n_days": self.axis.n_days,
+            "devices": [_device_to_json(d) for d in devices],
+            "ap_directory": [_ap_to_json(e) for e in ap_directory.values()],
+            "ground_truth": _truth_to_json(ground_truth),
+        }
+        (self.root / "meta.json").write_text(json.dumps(meta))
+        (self.root / STORE_MANIFEST).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+        self._manifest = manifest
+        return manifest
+
+    def _merge_table(self, table: str, partitions: Sequence[PartitionRef],
+                     n_devices: int) -> dict:
+        column_specs = _EMPTY_DTYPES[table]
+        total = sum(ref.n_rows.get(table, 0) for ref in partitions)
+        if total == 0:
+            columns_meta = {}
+            for column, dtype in column_specs:
+                arr = np.array([], dtype=dtype)
+                self._write_column(table, column, arr, staged=None)
+                columns_meta[column] = {
+                    "dtype": np.dtype(dtype).str,
+                    "sha256": hashlib.sha256(b"").hexdigest(),
+                }
+            return {"n_rows": 0, "columns": columns_meta}
+
+        # Stage 1: append-order staging memmaps, one per column.
+        staged: Dict[str, np.memmap] = {}
+        stage_paths: Dict[str, Path] = {}
+        for column, dtype in column_specs:
+            path = self.tables_dir / f".stage-{table}__{column}.npy"
+            stage_paths[column] = path
+            staged[column] = np.lib.format.open_memmap(
+                path, mode="w+", dtype=np.dtype(dtype), shape=(total,)
+            )
+        offset = 0
+        for ref in partitions:
+            rows = ref.n_rows.get(table, 0)
+            if rows == 0:
+                continue
+            for column, _ in column_specs:
+                src = np.load(ref.path / f"{table}__{column}.npy",
+                              mmap_mode="r")
+                if len(src) != rows:
+                    raise DatasetError(
+                        f"partition {ref.name} table {table!r}: column "
+                        f"{column!r} has {len(src)} rows, manifest says "
+                        f"{rows}"
+                    )
+                staged[column][offset:offset + rows] = src
+                del src
+            offset += rows
+
+        # Range validation, mirroring DatasetBuilder._validate_ranges.
+        device_col = staged["device"]
+        sort_key = "t" if "t" in staged else "day"
+        key_col = staged[sort_key]
+        limit = self.axis.n_slots if sort_key == "t" else self.axis.n_days
+        if int(device_col.min()) < 0 or int(device_col.max()) >= n_devices:
+            raise DatasetError(f"table {table!r} references unknown device")
+        if int(key_col.min()) < 0 or int(key_col.max()) >= limit:
+            raise DatasetError(f"table {table!r} has out-of-range {sort_key}")
+
+        # Stage 2: the builder's exact stable sort, applied block-wise.
+        order = np.lexsort((np.asarray(key_col), np.asarray(device_col)))
+        columns_meta = {}
+        for column, dtype in column_specs:
+            digest = self._write_column(table, column, staged[column],
+                                        staged=order)
+            columns_meta[column] = {
+                "dtype": np.dtype(dtype).str, "sha256": digest,
+            }
+        for column, _ in column_specs:
+            # Release the staging mmap before unlinking its file.
+            staged.pop(column)
+            stage_paths[column].unlink()
+        return {"n_rows": int(total), "columns": columns_meta}
+
+    def _write_column(self, table: str, column: str, source,
+                      staged: Optional[np.ndarray]) -> str:
+        """Write one finalized column (npy or parquet row append) and
+        return the content digest of its sorted bytes."""
+        if self.format == "parquet":
+            return self._write_column_parquet(table, column, source, staged)
+        path = self.tables_dir / f"{table}__{column}.npy"
+        if staged is None:  # empty table
+            np.save(path, np.asarray(source))
+            return hashlib.sha256(b"").hexdigest()
+        total = len(source)
+        out = np.lib.format.open_memmap(
+            path, mode="w+", dtype=source.dtype, shape=(total,)
+        )
+        hasher = hashlib.sha256()
+        for lo in range(0, total, MERGE_BLOCK_ROWS):
+            hi = min(lo + MERGE_BLOCK_ROWS, total)
+            block = source[staged[lo:hi]]
+            out[lo:hi] = block
+            hasher.update(np.ascontiguousarray(block).tobytes())
+        out.flush()
+        del out
+        return hasher.hexdigest()
+
+    # -- parquet backend ---------------------------------------------------
+
+    def _write_column_parquet(self, table: str, column: str, source,
+                              staged: Optional[np.ndarray]) -> str:
+        """Buffer sorted column blocks; the last column flushes the file.
+
+        Parquet is row-grouped per table, so columns are accumulated and
+        the table file is written once the final column of the table
+        arrives (column specs are iterated in schema order).
+        """
+        import pyarrow as pa
+        import pyarrow.parquet as pq
+
+        buffered = getattr(self, "_parquet_buffer", None)
+        if buffered is None or buffered[0] != table:
+            buffered = (table, {})
+            self._parquet_buffer = buffered
+        hasher = hashlib.sha256()
+        if staged is None:
+            sorted_column = np.asarray(source)
+        else:
+            total = len(source)
+            sorted_column = np.empty(total, dtype=source.dtype)
+            for lo in range(0, total, MERGE_BLOCK_ROWS):
+                hi = min(lo + MERGE_BLOCK_ROWS, total)
+                sorted_column[lo:hi] = source[staged[lo:hi]]
+        hasher.update(np.ascontiguousarray(sorted_column).tobytes())
+        buffered[1][column] = sorted_column
+        specs = _EMPTY_DTYPES[table]
+        if column == specs[-1][0]:  # last column: flush the table file
+            arrays = {name: buffered[1][name] for name, _ in specs}
+            pa_table = pa.table(
+                {name: pa.array(arr) for name, arr in arrays.items()}
+            )
+            pq.write_table(
+                pa_table, self.tables_dir / f"{table}.parquet",
+                row_group_size=MERGE_BLOCK_ROWS, compression="zstd",
+            )
+            self._parquet_buffer = None
+        return hasher.hexdigest()
+
+    def _load_column_parquet(self, table: str, column: str,
+                             dtype: np.dtype) -> np.ndarray:
+        import pyarrow.parquet as pq
+
+        pa_table = pq.read_table(
+            self.tables_dir / f"{table}.parquet", columns=[column],
+            memory_map=True,
+        )
+        arr = pa_table.column(column).to_numpy(zero_copy_only=False)
+        return np.ascontiguousarray(arr, dtype=dtype)
+
+    # -- read path ---------------------------------------------------------
+
+    def column(self, table: str, column: str) -> np.ndarray:
+        """One finalized column, memory-mapped read-only where possible."""
+        manifest = self._manifest or self._read_manifest()
+        self._manifest = manifest
+        try:
+            table_meta = manifest["tables"][table]
+            dtype = np.dtype(table_meta["columns"][column]["dtype"])
+        except KeyError:
+            raise DatasetError(
+                f"store {self.root} has no column {table}.{column}"
+            ) from None
+        if self.format == "parquet":
+            return self._load_column_parquet(table, column, dtype)
+        path = self.tables_dir / f"{table}__{column}.npy"
+        if table_meta["n_rows"] == 0:
+            return np.load(path)
+        return np.load(path, mmap_mode="r")
+
+    def table(self, name: str,
+              columns: Optional[Sequence[str]] = None) -> _Table:
+        """A table with only ``columns`` mapped (projection pushdown)."""
+        wanted = ([c for c, _ in _EMPTY_DTYPES[name]]
+                  if columns is None else list(columns))
+        return _Table({column: self.column(name, column)
+                       for column in wanted})
+
+    def select(
+        self,
+        table: str,
+        columns: Optional[Sequence[str]] = None,
+        where: Optional[Mapping[str, object]] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Projected, filtered rows with predicate pushdown.
+
+        ``where`` maps column names to either a scalar (equality) or a
+        ``(lo, hi)`` half-open range. Only predicate columns are read to
+        build the row mask; projected columns are then gathered through
+        it — the rest of the table's bytes never leave disk.
+        """
+        mask: Optional[np.ndarray] = None
+        for column, predicate in (where or {}).items():
+            values = self.column(table, column)
+            if isinstance(predicate, tuple):
+                lo, hi = predicate
+                hit = (values >= lo) & (values < hi)
+            else:
+                hit = values == predicate
+            mask = hit if mask is None else (mask & hit)
+        wanted = ([c for c, _ in _EMPTY_DTYPES[table]]
+                  if columns is None else list(columns))
+        out = {}
+        for column in wanted:
+            values = self.column(table, column)
+            out[column] = np.asarray(values if mask is None
+                                     else values[mask])
+        return out
+
+    def load_dataset(self) -> CampaignDataset:
+        """The finalized campaign as a dataset over memory-mapped columns.
+
+        Bit-identical to the in-memory build; column arrays are lazily
+        paged from disk, so analyses touch only the bytes they use.
+        """
+        meta_path = self.root / "meta.json"
+        if not meta_path.exists():
+            raise DatasetError(
+                f"campaign store {self.root} has not been finalized"
+            )
+        meta = json.loads(meta_path.read_text())
+        tables = {name: self.table(name) for name in _TABLE_NAMES}
+        return CampaignDataset(
+            year=meta["year"],
+            axis=TimeAxis(date.fromisoformat(meta["start"]), meta["n_days"]),
+            devices=[_device_from_json(d) for d in meta["devices"]],
+            ap_directory={
+                e["ap_id"]: _ap_from_json(e) for e in meta["ap_directory"]
+            },
+            ground_truth=_truth_from_json(meta.get("ground_truth")),
+            **tables,
+        )
+
+
+def is_store_dir(path: Union[str, Path]) -> bool:
+    """True when ``path`` holds a finalized campaign store."""
+    return (Path(path) / STORE_MANIFEST).exists()
+
+
+def open_store(path: Union[str, Path]) -> CampaignStore:
+    """Open a finalized store for reading (alias of ``CampaignStore.open``)."""
+    return CampaignStore.open(path)
+
+
+def store_fingerprint(path: Union[str, Path]) -> str:
+    """The content fingerprint of a finalized store directory."""
+    return CampaignStore.open(path).fingerprint
+
+
+def sweep_orphan_partitions(root: Union[str, Path]) -> List[str]:
+    """Reclaim spill partitions under a store (or store-parent) directory.
+
+    The disk analogue of ``repro.engine.transport.sweep_orphans``: a run
+    killed between spill and finalize leaves ``parts/`` behind; this
+    removes every partition under ``root`` (a single campaign store or a
+    ``--store-dir`` holding several) and returns the removed names.
+    """
+    root = Path(root)
+    removed: List[str] = []
+    candidates = [root] + sorted(
+        p for p in root.glob("campaign*") if p.is_dir()
+    )
+    for candidate in candidates:
+        parts = candidate / "parts"
+        if not parts.is_dir():
+            continue
+        for entry in sorted(parts.iterdir()):
+            removed.append(entry.name)
+        shutil.rmtree(parts, ignore_errors=True)
+    return removed

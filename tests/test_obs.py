@@ -389,13 +389,63 @@ def test_check_regression_engine_speedup_floor():
     assert check_regression(fast, baseline) == []
     slow = dict(_suite_report(
         campaign_serial={"wall_s": 3.0, "devices": 400},
-        campaign_sharded={"wall_s": 2.5, "devices": 400, "n_jobs": 2},
+        campaign_sharded={"wall_s": 2.5, "devices": 400, "n_jobs": 2,
+                          "steals": 3, "transport_bytes": 123456},
     ), scale=0.08, cpu_count=4)
     failures = check_regression(slow, baseline)
     assert failures and "floor" in failures[0]
+    # A cross-host floor failure must be diagnosable from the message
+    # alone: both hosts' core counts and the sharded run's scheduling
+    # and transport counters.
+    assert "baseline=1" in failures[0] and "current=4" in failures[0]
+    assert "steals=3" in failures[0]
+    assert "transport_bytes=123456" in failures[0]
     # On a single-core host the same ratio is pool overhead, not a
     # regression: the floor stays dormant.
     assert check_regression(dict(slow, cpu_count=1), baseline) == []
+
+
+def test_check_regression_store_rss_and_cost():
+    """The ``store`` kind gates the disk/memory peak-RSS ratio (relative
+    to baseline and against the committed absolute ceiling) plus the disk
+    path's per-row merge cost."""
+    from repro.obs.bench import check_regression
+
+    baseline = {
+        "benchmark": "store",
+        "memory": {"peak_rss_kb": 800_000},
+        "disk": {"peak_rss_kb": 600_000, "rows": 8_000_000, "wall_s": 6.0},
+        "rss_ceiling_ratio": 0.95,
+    }
+    healthy = {
+        "memory": {"peak_rss_kb": 780_000},
+        "disk": {"peak_rss_kb": 610_000, "rows": 8_000_000, "wall_s": 7.0},
+    }
+    assert check_regression(healthy, baseline) == []
+    # Above the absolute ceiling: fails even though the relative ratio
+    # only doubled (within the default 2x factor).
+    bloated = {
+        "memory": {"peak_rss_kb": 800_000},
+        "disk": {"peak_rss_kb": 790_000, "rows": 8_000_000, "wall_s": 6.0},
+    }
+    failures = check_regression(bloated, baseline)
+    assert failures and "ceiling" in failures[0]
+    # Relative ratio regression beyond the factor.
+    relative = {
+        "memory": {"peak_rss_kb": 3_000_000},
+        "disk": {"peak_rss_kb": 2_800_000, "rows": 8_000_000, "wall_s": 6.0},
+    }
+    assert any("ratio regressed" in f
+               for f in check_regression(relative, baseline, factor=1.2))
+    # Per-row merge cost regression.
+    slow = {
+        "memory": {"peak_rss_kb": 800_000},
+        "disk": {"peak_rss_kb": 600_000, "rows": 8_000_000, "wall_s": 20.0},
+    }
+    failures = check_regression(slow, baseline)
+    assert failures and "per-row cost" in failures[0]
+    # A report without the subprocess measurements fails loudly.
+    assert check_regression(_suite_report(), baseline)
 
 
 def test_check_regression_all_name_by_name():
@@ -437,8 +487,12 @@ def test_committed_baselines_are_loadable():
     root = Path(__file__).resolve().parents[1]
     context = load_report(root / "BENCH_context.json")
     engine = load_report(root / "BENCH_engine.json")
+    store = load_report(root / "BENCH_store.json")
     assert context["benchmark"] == "context_cold_vs_warm_sweep"
     assert engine["benchmark"] == "engine_serial_vs_parallel"
+    assert store["benchmark"] == "store"
+    assert store["rss_ratio"] < store["rss_ceiling_ratio"]
     # An empty current report fails (loudly) rather than erroring.
     assert check_regression({"benchmark": "all", "results": []}, context)
     assert check_regression({"benchmark": "all", "results": []}, engine)
+    assert check_regression({"benchmark": "all", "results": []}, store)

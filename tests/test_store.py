@@ -1,0 +1,355 @@
+"""Out-of-core store tests: round-trip identity, pushdown, cache, janitor.
+
+The acceptance bar for the storage layer: a campaign run through the
+disk-backed :class:`CampaignStore` — spilled shard by shard, streaming-
+merged, read back memory-mapped — is bit-for-bit identical to the
+in-memory build at any worker count, survives chaos kills without
+leaking partitions, and invalidates analysis caches exactly when the
+store's content fingerprint changes.
+"""
+
+import dataclasses
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.context import AnalysisContext
+from repro.engine import (
+    ChaosKill,
+    ChaosPlan,
+    CheckpointStore,
+    ResilienceConfig,
+    RetryPolicy,
+)
+from repro.errors import ConfigurationError, DatasetError
+from repro.simulation.campaign import run_campaign
+from repro.simulation.study import default_campaign_config
+from repro.traces.dataset import DatasetBuilder
+from repro.traces.io import load_dataset
+from repro.traces.store import (
+    STORE_MANIFEST,
+    CampaignStore,
+    _have_pyarrow,
+    is_store_dir,
+    open_store,
+    store_fingerprint,
+    sweep_orphan_partitions,
+)
+from tests.test_columnar_ingest_property import (
+    YEAR,
+    _axis,
+    _columns,
+    _info,
+    device_batch,
+)
+from tests.test_engine import assert_datasets_identical
+
+
+def _small_config(year=2013, **kwargs):
+    config = default_campaign_config(year, scale=0.004, seed=11, **kwargs)
+    return dataclasses.replace(config, n_days=4)
+
+
+def _store_for(config, root):
+    return CampaignStore(Path(root) / f"campaign{config.year}",
+                         config.year, config.axis)
+
+
+# ---------------------------------------------------------------------------
+# Round-trip property: builder -> partitions -> finalize -> load, bit-for-bit
+# ---------------------------------------------------------------------------
+
+class TestRoundTripProperty:
+    @given(st.lists(device_batch(), min_size=1, max_size=3))
+    @settings(max_examples=15, deadline=None)
+    def test_store_round_trip_is_bit_identical(self, batches):
+        """Any panel written through partitions reloads exactly."""
+        builder = DatasetBuilder(YEAR, _axis())
+        for device_id in range(len(batches)):
+            builder.add_device(_info(device_id))
+        for device_id, batch in enumerate(batches):
+            for name, columns in _columns(device_id, batch).items():
+                getattr(builder, f"extend_{name}")(**columns)
+        chunks = builder.export_chunks()
+        expected = builder.build()
+
+        with tempfile.TemporaryDirectory() as tmp:
+            store = CampaignStore(Path(tmp) / "campaign", YEAR, _axis())
+            # Split every table's chunk list at its midpoint: partitions
+            # concatenated in order must reproduce builder append order.
+            first = {t: lst[:(len(lst) + 1) // 2]
+                     for t, lst in chunks.items()}
+            second = {t: lst[(len(lst) + 1) // 2:]
+                      for t, lst in chunks.items()}
+            refs = [store.write_partition("shard-0000", first),
+                    store.write_partition("shard-0001", second)]
+            store.finalize(builder.devices, builder.ap_directory,
+                           builder.ground_truth, refs)
+            assert_datasets_identical(expected, store.load_dataset())
+            # Reopening from the manifest alone sees the same bits.
+            reopened = CampaignStore.open(store.root)
+            assert_datasets_identical(expected, reopened.load_dataset())
+            assert reopened.fingerprint == store.fingerprint
+
+
+# ---------------------------------------------------------------------------
+# Engine integration: spill + streaming merge == in-memory build
+# ---------------------------------------------------------------------------
+
+class TestEngineStoreIdentity:
+    @pytest.mark.parametrize("n_jobs", [1, 2])
+    def test_store_run_matches_memory_run(self, tmp_path, n_jobs):
+        config = _small_config(2014)
+        baseline = run_campaign(config, n_jobs=n_jobs)
+        store = _store_for(config, tmp_path)
+        stored = run_campaign(config, n_jobs=n_jobs, store=store)
+        assert_datasets_identical(baseline.dataset, stored.dataset)
+        truth = stored.dataset.ground_truth
+        assert truth.ap_types == baseline.dataset.ground_truth.ap_types
+        # Spill partitions are reclaimed by a successful finalize.
+        assert not store.parts_dir.exists()
+
+    def test_store_dir_is_a_loadable_campaign(self, tmp_path):
+        """``io.load_dataset`` auto-detects a store root."""
+        config = _small_config(2013)
+        store = _store_for(config, tmp_path)
+        result = run_campaign(config, store=store)
+        assert is_store_dir(store.root)
+        assert_datasets_identical(result.dataset, load_dataset(store.root))
+        assert open_store(store.root).fingerprint == \
+            store_fingerprint(store.root)
+
+    def test_fingerprint_tracks_content(self, tmp_path):
+        config = _small_config(2013)
+        run_campaign(config, store=_store_for(config, tmp_path / "a"))
+        run_campaign(config, store=_store_for(config, tmp_path / "b"))
+        reseeded = dataclasses.replace(config, seed=config.seed + 1)
+        run_campaign(reseeded, store=_store_for(reseeded, tmp_path / "c"))
+        a = store_fingerprint(tmp_path / "a" / "campaign2013")
+        b = store_fingerprint(tmp_path / "b" / "campaign2013")
+        c = store_fingerprint(tmp_path / "c" / "campaign2013")
+        assert a == b  # determinism: same config, same bytes
+        assert a != c  # sensitivity: different data, different print
+
+    def test_partial_run_spills_only_surviving_shards(self, tmp_path):
+        """``--partial-results`` composes with the disk store."""
+        config = _small_config(2014)
+        baseline = run_campaign(config, n_jobs=2)
+        res = ResilienceConfig(
+            policy=RetryPolicy(max_attempts=2, backoff_base_s=0.0),
+            partial=True,
+            chaos=ChaosPlan(crash_units=(f"{config.year}:0",),
+                            crash_attempts=99, state_dir=tmp_path / "chaos"),
+        )
+        store = _store_for(config, tmp_path)
+        result = run_campaign(config, n_jobs=2, resilience=res, store=store)
+        assert result.losses is not None
+        assert result.losses.dropped_shards == (0,)
+        # The dropped shard's rows are missing, the roster is intact, and
+        # the surviving rows came back out of the store's column files.
+        assert result.dataset.devices == baseline.dataset.devices
+        assert len(result.dataset.traffic) < len(baseline.dataset.traffic)
+        assert not store.parts_dir.exists()
+
+
+# ---------------------------------------------------------------------------
+# Read path: projection + predicate pushdown over memory-mapped columns
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def finalized(tmp_path_factory):
+    config = _small_config(2015)
+    store = _store_for(config, tmp_path_factory.mktemp("store"))
+    result = run_campaign(config, store=store)
+    return store, result.dataset
+
+
+class TestReadPushdown:
+    def test_columns_are_memory_mapped(self, finalized):
+        store, _ = finalized
+        assert isinstance(store.column("traffic", "rx"), np.memmap)
+
+    def test_projection_reads_only_requested_columns(self, finalized):
+        store, dataset = finalized
+        table = store.table("traffic", columns=["device", "rx"])
+        assert set(table.columns) == {"device", "rx"}
+        np.testing.assert_array_equal(table.device, dataset.traffic.device)
+        np.testing.assert_array_equal(table.rx, dataset.traffic.rx)
+
+    def test_equality_predicate(self, finalized):
+        store, dataset = finalized
+        rows = store.select("traffic", columns=["rx"], where={"device": 0})
+        mask = dataset.traffic.device == 0
+        np.testing.assert_array_equal(rows["rx"], dataset.traffic.rx[mask])
+
+    def test_range_predicate_composes(self, finalized):
+        store, dataset = finalized
+        rows = store.select("traffic", columns=["device", "t"],
+                            where={"t": (0, 144), "iface": 0})
+        mask = ((dataset.traffic.t >= 0) & (dataset.traffic.t < 144)
+                & (dataset.traffic.iface == 0))
+        np.testing.assert_array_equal(rows["device"],
+                                      dataset.traffic.device[mask])
+        np.testing.assert_array_equal(rows["t"], dataset.traffic.t[mask])
+
+    def test_unknown_column_is_a_dataset_error(self, finalized):
+        store, _ = finalized
+        with pytest.raises(DatasetError, match="no column"):
+            store.column("traffic", "nope")
+
+    def test_open_rejects_non_store_dir(self, tmp_path):
+        with pytest.raises(DatasetError, match="no campaign store"):
+            CampaignStore.open(tmp_path)
+
+
+class TestFormats:
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="unknown store format"):
+            CampaignStore(tmp_path, 2015, _axis(), format="feather")
+
+    @pytest.mark.skipif(_have_pyarrow(), reason="pyarrow is installed")
+    def test_parquet_without_pyarrow_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="needs pyarrow"):
+            CampaignStore(tmp_path, 2015, _axis(), format="parquet")
+
+    @pytest.mark.skipif(_have_pyarrow(), reason="pyarrow is installed")
+    def test_auto_falls_back_to_npy(self, tmp_path):
+        store = CampaignStore(tmp_path, 2015, _axis(), format="auto")
+        assert store.format == "npy"
+
+    @pytest.mark.skipif(not _have_pyarrow(), reason="needs pyarrow")
+    def test_parquet_round_trip_matches_npy(self, tmp_path):
+        config = _small_config(2013)
+        npy = CampaignStore(tmp_path / "npy", config.year, config.axis)
+        parquet = CampaignStore(tmp_path / "parquet", config.year,
+                                config.axis, format="parquet")
+        a = run_campaign(config, store=npy)
+        b = run_campaign(config, store=parquet)
+        assert_datasets_identical(a.dataset, b.dataset)
+        # The fingerprint hashes column bytes, not files: backends agree.
+        assert npy.fingerprint == parquet.fingerprint
+
+
+# ---------------------------------------------------------------------------
+# AnalysisContext.for_store: memo keyed on the content fingerprint
+# ---------------------------------------------------------------------------
+
+class TestStoreContextCache:
+    def test_memo_hits_until_fingerprint_changes(self, tmp_path):
+        config = _small_config(2013)
+        store = _store_for(config, tmp_path)
+        run_campaign(config, store=store)
+        first = AnalysisContext.for_store(store.root)
+        assert AnalysisContext.for_store(store.root) is first
+        # Rewrite the same directory with different data: the fingerprint
+        # moves, so the memoized context must be dropped.
+        reseeded = dataclasses.replace(config, seed=config.seed + 1)
+        run_campaign(reseeded, store=_store_for(reseeded, tmp_path))
+        fresh = AnalysisContext.for_store(store.root)
+        assert fresh is not first
+        assert AnalysisContext.for_store(store.root) is fresh
+
+
+# ---------------------------------------------------------------------------
+# Janitor: chaos kills must not leak partitions; checkpoints keep theirs
+# ---------------------------------------------------------------------------
+
+class TestPartitionJanitor:
+    def test_chaos_kill_sweeps_unreferenced_partitions(self, tmp_path):
+        """The disk twin of the /dev/shm leak check."""
+        config = _small_config(2014)
+        store = _store_for(config, tmp_path)
+        res = ResilienceConfig(chaos=ChaosPlan(kill_after_shards=1))
+        with pytest.raises(ChaosKill):
+            run_campaign(config, n_jobs=2, resilience=res, store=store)
+        assert not store.parts_dir.exists()
+        assert not (store.root / STORE_MANIFEST).exists()
+
+    def test_checkpointed_kill_keeps_partitions_for_resume(self, tmp_path):
+        config = _small_config(2014)
+        baseline = run_campaign(config, n_jobs=2)
+        res = ResilienceConfig(
+            store=CheckpointStore(tmp_path / "ckpt"),
+            chaos=ChaosPlan(kill_after_shards=1),
+        )
+        store = _store_for(config, tmp_path / "data")
+        with pytest.raises(ChaosKill):
+            run_campaign(config, n_jobs=2, resilience=res, store=store)
+        assert store.partition_names()  # referenced by checkpoints: kept
+
+        resumed = run_campaign(
+            config, n_jobs=2,
+            resilience=ResilienceConfig(store=CheckpointStore(tmp_path / "ckpt"),
+                                        resume=True),
+            store=_store_for(config, tmp_path / "data"),
+        )
+        assert_datasets_identical(baseline.dataset, resumed.dataset)
+        assert resumed.resilience.checkpoint_hits >= 1
+
+    def test_stale_partition_falls_back_to_resimulation(self, tmp_path):
+        """A checkpoint whose partition was tampered with re-simulates."""
+        config = _small_config(2014)
+        baseline = run_campaign(config, n_jobs=2)
+        res = ResilienceConfig(
+            store=CheckpointStore(tmp_path / "ckpt"),
+            chaos=ChaosPlan(kill_after_shards=1),
+        )
+        store = _store_for(config, tmp_path / "data")
+        with pytest.raises(ChaosKill):
+            run_campaign(config, n_jobs=2, resilience=res, store=store)
+        for name in store.partition_names():
+            manifest = store.parts_dir / name / "part_manifest.json"
+            manifest.write_bytes(manifest.read_bytes() + b" ")
+        resumed = run_campaign(
+            config, n_jobs=2,
+            resilience=ResilienceConfig(store=CheckpointStore(tmp_path / "ckpt"),
+                                        resume=True),
+            store=_store_for(config, tmp_path / "data"),
+        )
+        assert_datasets_identical(baseline.dataset, resumed.dataset)
+
+    def test_partition_ref_detects_tamper(self, tmp_path):
+        store = CampaignStore(tmp_path / "campaign", YEAR, _axis())
+        ref = store.write_partition("shard-0000", {
+            "traffic": [dict(
+                device=np.zeros(3, np.int32), t=np.arange(3, dtype=np.int32),
+                iface=np.zeros(3, np.int8),
+                rx=np.ones(3, np.float64), tx=np.ones(3, np.float64),
+                rx_pkts=np.ones(3, np.int64), tx_pkts=np.ones(3, np.int64),
+            )],
+        })
+        assert ref.is_valid()
+        manifest = ref.path / "part_manifest.json"
+        manifest.write_bytes(manifest.read_bytes() + b" ")
+        assert not ref.is_valid()
+        with pytest.raises(DatasetError, match="missing or stale"):
+            ref.chunk_map()
+
+    def test_sweep_orphan_partitions_helper(self, tmp_path):
+        for campaign in ("campaign2013", "campaign2015"):
+            part = tmp_path / campaign / "parts" / "shard-0000"
+            part.mkdir(parents=True)
+            (part / "part_manifest.json").write_text("{}")
+        removed = sweep_orphan_partitions(tmp_path)
+        assert removed == ["shard-0000", "shard-0000"]
+        assert not (tmp_path / "campaign2013" / "parts").exists()
+        assert not (tmp_path / "campaign2015" / "parts").exists()
+        assert sweep_orphan_partitions(tmp_path) == []
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+class TestStoreCli:
+    def test_store_dir_without_disk_is_a_config_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["simulate", "--scale", "0.004", "--out", str(tmp_path),
+                     "--store-dir", str(tmp_path / "s")])
+        assert code == 2
+        assert "--store disk" in capsys.readouterr().err
