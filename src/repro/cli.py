@@ -8,6 +8,8 @@ Subcommands::
     python -m repro bench    --scale 0.02                   # benchmark suite
     python -m repro fidelity --check FIDELITY_baseline.json # paper drift gate
     python -m repro fidelity --report run_report.html       # HTML run report
+    python -m repro events run/events.jsonl --postmortem    # read black box
+    python -m repro clean data/ --dry-run                   # reclaim leftovers
     python -m repro list                                    # experiments
     python -m repro validate data/campaign2015              # check a dataset
 
@@ -30,12 +32,24 @@ layout, per-stage wall/CPU seconds, cache hit rates and fault-loss
 accounting — and ``--trace-out`` additionally exports the span tree as
 Chrome-trace JSON. Telemetry never changes results: outputs are
 bit-identical with it on or off.
+
+The same four commands also take the live-observability flags:
+``--events PATH`` flight-records the run (append-only, crash-durable
+``events.jsonl``; ``repro events PATH`` tails/summarizes/postmortems it),
+``--progress`` prints live shard/device progress with an ETA to stderr,
+and ``--prom PATH`` mirrors periodic resource samples (RSS, CPU, /dev/shm
+and store disk usage, steal/retry counters) to a Prometheus textfile.
+``repro clean`` reclaims what killed runs leave behind: /dev/shm
+transport segments, orphan store partitions, and stale telemetry files.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
@@ -45,6 +59,13 @@ from repro.engine.chaos import ChaosKill
 from repro.engine.executor import resolve_jobs
 from repro.errors import ConfigurationError, ReproError
 from repro.obs.manifest import build_manifest, config_hash_of
+from repro.obs.recorder import (
+    EVENTS_ENV_VAR,
+    FlightRecorder,
+    get_recorder,
+    set_recorder,
+)
+from repro.obs.resources import ResourceSampler
 from repro.obs.span import Tracer, get_tracer, set_tracer, telemetry_enabled
 from repro.reporting.collection import (
     execution_losses_table,
@@ -86,6 +107,25 @@ def build_parser() -> argparse.ArgumentParser:
             help="also export the span tree as Chrome-trace JSON "
                  "(open in chrome://tracing or Perfetto); implies "
                  "--telemetry")
+        command_parser.add_argument(
+            "--events", type=Path, default=None, metavar="PATH",
+            help="flight-record the run: append one JSON event per line "
+                 "(crash-durable; a kill -9 leaves a parseable log that "
+                 "`repro events PATH --postmortem` reconstructs). Pool "
+                 "workers append to the same file")
+        command_parser.add_argument(
+            "--progress", action="store_true",
+            help="print live shard/device progress with rate and ETA to "
+                 "stderr (works with or without --events)")
+        command_parser.add_argument(
+            "--prom", type=Path, default=None, metavar="PATH",
+            help="mirror the latest resource sample (RSS, CPU, /dev/shm, "
+                 "store disk, steal/retry counters) to a Prometheus "
+                 "textfile at PATH (atomic rewrite per sample)")
+        command_parser.add_argument(
+            "--sample-interval", type=float, default=1.0, metavar="SECONDS",
+            help="resource-sampler period for --events/--prom "
+                 "(default 1.0)")
 
     simulate = sub.add_parser("simulate", help="run the study and save datasets")
     simulate.add_argument("--scale", type=float, default=0.1,
@@ -193,6 +233,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="kill the campaign (exit 3) after N completed "
                             "shards — pair with --checkpoint-dir and a "
                             "--resume rerun")
+    chaos.add_argument("--chaos-kill-hard", action="store_true",
+                       help="upgrade --chaos-kill-after from a clean "
+                            "in-process kill (exit 3) to SIGKILL — the "
+                            "process dies instantly, exercising the "
+                            "flight recorder's crash durability")
     chaos.add_argument("--chaos-seed", type=int, default=None,
                        help="seed for chaos shard selection (default 0)")
     chaos.add_argument("--chaos-state-dir", type=Path, default=None,
@@ -253,6 +298,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--factor", type=float, default=2.0,
                        help="regression threshold factor for --check "
                             "(default 2.0 = fail on >2x regressions)")
+    bench.add_argument("--history", type=Path, default=None, metavar="PATH",
+                       help="run-history JSONL that --check appends a "
+                            "keyed record to, enabling trend sparklines "
+                            "and rolling-window drift warnings (default: "
+                            "BENCH_history.jsonl next to --out)")
     add_telemetry_flags(bench)
 
     fidelity = sub.add_parser(
@@ -308,7 +358,56 @@ def build_parser() -> argparse.ArgumentParser:
                           help="regenerate the paper-vs-measured tables "
                                "between the FIDELITY markers of DOC "
                                "(default EXPERIMENTS.md)")
+    fidelity.add_argument("--history", type=Path, default=None,
+                          metavar="PATH",
+                          help="run-history JSONL that --check appends a "
+                               "keyed record to; --report folds its trend "
+                               "sparklines into the HTML (default: "
+                               "FIDELITY_history.jsonl next to --out)")
     add_telemetry_flags(fidelity)
+
+    events = sub.add_parser(
+        "events",
+        help="inspect a flight-recorder events.jsonl",
+        description="Read an events.jsonl written by --events (tolerant of "
+                    "the truncation a kill -9 leaves) and tail it, "
+                    "summarize per-kind counts, or reconstruct a "
+                    "postmortem: which phase the run died in, completed vs "
+                    "in-flight shards, retries/steals/drops, checkpoint "
+                    "and spill activity, and the last resource sample.",
+    )
+    events.add_argument("path", type=Path,
+                        help="events.jsonl written by --events")
+    events_mode = events.add_mutually_exclusive_group()
+    events_mode.add_argument("--tail", type=int, default=None, metavar="N",
+                             help="print the last N events, one line each")
+    events_mode.add_argument("--summary", action="store_true",
+                             help="per-kind event counts (the default)")
+    events_mode.add_argument("--postmortem", action="store_true",
+                             help="reconstruct what happened to the run "
+                                  "from the (possibly truncated) log")
+    events.add_argument("--json", action="store_true",
+                        help="machine-readable JSON output")
+
+    clean = sub.add_parser(
+        "clean",
+        help="reclaim leftovers from killed runs",
+        description="Sweep what a killed or crashed run leaves behind: "
+                    "/dev/shm shard-transport segments, orphan store "
+                    "spill partitions under the given directories, and "
+                    "stale telemetry files (events*.jsonl, *.prom) older "
+                    "than --max-age-h. Run-history JSONL files are never "
+                    "touched.",
+    )
+    clean.add_argument("paths", nargs="*", type=Path,
+                       help="store/checkpoint directories to sweep "
+                            "(default: the current directory)")
+    clean.add_argument("--dry-run", action="store_true",
+                       help="report what would be removed without removing")
+    clean.add_argument("--max-age-h", type=float, default=24.0,
+                       metavar="HOURS",
+                       help="age threshold for stale telemetry files "
+                            "(default 24)")
 
     sub.add_parser("list", help="list available experiments")
 
@@ -390,6 +489,116 @@ def _write_manifest(manifest, args: argparse.Namespace,
     print(f"wrote run manifest {path}")
 
 
+def _write_failure_manifest(command: str, tracer: Optional[Tracer],
+                            args: argparse.Namespace, default_dir: Path,
+                            exc: BaseException) -> None:
+    """Account for a failed run: manifest with status/partial timings.
+
+    A run that dies with telemetry on still leaves a ``run_manifest.json``
+    — ``status: "failed"``, the exception on one line, and whatever stage
+    timings the tracer collected before the failure. Best-effort: the
+    original exception is never masked by manifest trouble.
+    """
+    if tracer is None:
+        return
+    try:
+        manifest = build_manifest(
+            command, tracer,
+            seed=getattr(args, "seed", 0),
+            scale=getattr(args, "scale", 0.0),
+            status="failed",
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        _write_manifest(manifest, args, default_dir)
+    except Exception:
+        pass
+
+
+def _progress_listener(event: dict) -> None:
+    """Render ``progress`` events to stderr for ``--progress``."""
+    if event.get("kind") != "progress":
+        return
+    eta = event.get("eta_s")
+    eta_text = f", eta {float(eta):.0f}s" if eta is not None else ""
+    print(
+        f"progress: {event.get('done')}/{event.get('total')} shards, "
+        f"{event.get('devices_done')}/{event.get('devices_total')} devices "
+        f"({event.get('rate', 0.0)} dev/s{eta_text})",
+        file=sys.stderr, flush=True,
+    )
+
+
+class _Recording:
+    """One command's live-observability plumbing (recorder + sampler)."""
+
+    def __init__(self, recorder: FlightRecorder,
+                 sampler: Optional[ResourceSampler],
+                 env_was_set: bool, env_before: Optional[str]) -> None:
+        self.recorder = recorder
+        self.sampler = sampler
+        self._env_was_set = env_was_set
+        self._env_before = env_before
+
+    def finish(self, status: str, exit_code: int) -> None:
+        """Final sample, ``run_end``, close, and global/env reset."""
+        if self.sampler is not None:
+            self.sampler.stop()
+        self.recorder.emit("run_end", status=status, exit_code=exit_code)
+        self.recorder.close()
+        set_recorder(None)
+        if self._env_was_set:
+            if self._env_before is None:
+                os.environ.pop(EVENTS_ENV_VAR, None)
+            else:
+                os.environ[EVENTS_ENV_VAR] = self._env_before
+
+
+def _start_recording(args: argparse.Namespace) -> Optional[_Recording]:
+    """Install the flight recorder when ``--events``/``--progress``/
+    ``--prom`` ask; returns None (and costs nothing) otherwise.
+
+    Exporting ``$REPRO_EVENTS`` lets spawned pool workers resolve the same
+    event file through :func:`repro.obs.recorder.get_recorder` — every
+    event is one O_APPEND write, so sharing the file is safe.
+    """
+    events = getattr(args, "events", None)
+    progress = getattr(args, "progress", False)
+    prom = getattr(args, "prom", None)
+    if events is None and not progress and prom is None:
+        return None
+    recorder = FlightRecorder(
+        events, listener=_progress_listener if progress else None,
+    )
+    set_recorder(recorder)
+    env_before = os.environ.get(EVENTS_ENV_VAR)
+    env_was_set = events is not None
+    if env_was_set:
+        os.environ[EVENTS_ENV_VAR] = str(events)
+    recorder.emit(
+        "run_start", command=args.command, argv=list(sys.argv[1:]),
+        config_hash=config_hash_of(
+            (args.command, getattr(args, "scale", None),
+             getattr(args, "seed", None), getattr(args, "jobs", None))
+        ),
+        seed=getattr(args, "seed", None),
+        scale=getattr(args, "scale", None),
+    )
+    sampler = None
+    if events is not None or prom is not None:
+        disk_paths = [
+            p for p in (getattr(args, "out", None),
+                        getattr(args, "store_dir", None),
+                        getattr(args, "checkpoint_dir", None))
+            if isinstance(p, Path)
+        ]
+        sampler = ResourceSampler(
+            recorder, interval_s=getattr(args, "sample_interval", 1.0),
+            disk_paths=disk_paths, prom_path=prom,
+        )
+        sampler.start()
+    return _Recording(recorder, sampler, env_was_set, env_before)
+
+
 def _study_shards(study: Study) -> List[dict]:
     """Per-year shard layout for the manifest."""
     shards = []
@@ -448,13 +657,15 @@ def _resilience_from_args(
                    args.chaos_kill_after, args.chaos_seed,
                    args.chaos_state_dir)
     chaos = None
-    if any(value is not None for value in chaos_flags):
+    if (any(value is not None for value in chaos_flags)
+            or args.chaos_kill_hard):
         chaos = ChaosPlan(
             crash_rate=args.chaos_crash_rate or 0.0,
             crash_attempts=args.chaos_crash_attempts or 1,
             hang_rate=args.chaos_hang_rate or 0.0,
             hang_s=args.chaos_hang_s if args.chaos_hang_s is not None else 1.0,
             kill_after_shards=args.chaos_kill_after,
+            kill_hard=args.chaos_kill_hard,
             seed=args.chaos_seed or 0,
             state_dir=args.chaos_state_dir,
         )
@@ -562,6 +773,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             _write_manifest(manifest, args, args.out)
         _write_trace(tracer, args)
         return 0
+    except Exception as exc:
+        _write_failure_manifest("simulate", tracer, args, args.out, exc)
+        raise
     finally:
         if tracer is not None:
             set_tracer(None)
@@ -609,6 +823,12 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                             args.out if args.out is not None else Path("."))
         _write_trace(tracer, args)
         return 0
+    except Exception as exc:
+        _write_failure_manifest(
+            "analyze", tracer, args,
+            args.out if args.out is not None else Path("."), exc,
+        )
+        raise
     finally:
         if tracer is not None:
             set_tracer(None)
@@ -664,6 +884,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 )
                 _write_manifest(manifest, args, args.out.parent)
             _write_trace(tracer, args)
+        except Exception as exc:
+            _write_failure_manifest("bench", tracer, args,
+                                    args.out.parent, exc)
+            raise
         finally:
             if tracer is not None:
                 set_tracer(None)
@@ -677,6 +901,33 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 baseline_name=baseline_path.name,
             )
         )
+    if args.check:
+        gate = "fail" if failures else "pass"
+        baseline_names = [p.name for p in args.check]
+        get_recorder().emit("verdict", source="bench", gate=gate,
+                            n_failures=len(failures),
+                            baselines=baseline_names)
+        # History records one row per fresh benchmark run; re-gating a
+        # saved report with --check-only must not append (or silently
+        # drop a BENCH_history.jsonl into the cwd via the --out default).
+        if args.check_only is None:
+            from repro.obs.history import (
+                append_history,
+                bench_record,
+                drift_warnings,
+                load_history,
+            )
+
+            history_path = (args.history
+                            or args.out.parent / "BENCH_history.jsonl")
+            append_history(history_path,
+                           bench_record(report, gate=gate,
+                                        baselines=baseline_names))
+            # Drift against the rolling history is advisory (stderr
+            # only); the absolute --check gate alone decides the exit
+            # code.
+            for warning in drift_warnings(load_history(history_path)):
+                print(f"warning: {warning}", file=sys.stderr)
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
@@ -738,36 +989,158 @@ def cmd_fidelity(args: argparse.Namespace) -> int:
             )
             _write_manifest(manifest, args, args.out.parent)
 
-        if args.report is not None:
-            from repro.obs.bench import load_report as load_bench_report
-            from repro.obs.report import write_run_report
-
-            bench = (load_bench_report(args.bench)
-                     if args.bench is not None else None)
-            write_run_report(
-                args.report, manifest, fidelity=report, bench=bench,
-                title=f"repro fidelity (scale {args.scale:g}, "
-                      f"seed {args.seed})",
-            )
-            print(f"wrote run report {args.report}")
-        _write_trace(tracer, args)
-
+        history_path = (args.history
+                        or args.out.parent / "FIDELITY_history.jsonl")
+        failures = []
         if args.check is not None:
+            from repro.obs.history import (
+                append_history,
+                drift_warnings,
+                fidelity_record,
+                load_history,
+            )
+
             baseline = fidelity_mod.load_fidelity_report(args.check)
             failures = fidelity_mod.fidelity_regressions(
                 report, baseline, baseline_name=args.check.name,
             )
-            if failures:
-                for failure in failures:
-                    print(f"REGRESSION: {failure}", file=sys.stderr)
-                return 1
+            gate = "fail" if failures else "pass"
+            get_recorder().emit("verdict", source="fidelity", gate=gate,
+                                n_failures=len(failures),
+                                baselines=[args.check.name])
+            append_history(history_path,
+                           fidelity_record(report.to_dict(), gate=gate))
+            # Advisory only — the absolute baseline gate decides the code.
+            for warning in drift_warnings(load_history(history_path)):
+                print(f"warning: {warning}", file=sys.stderr)
+
+        if args.report is not None:
+            from repro.obs.bench import load_report as load_bench_report
+            from repro.obs.history import load_history as load_history_file
+            from repro.obs.report import write_run_report
+
+            bench = (load_bench_report(args.bench)
+                     if args.bench is not None else None)
+            history = {"fidelity": load_history_file(history_path)}
+            if args.bench is not None:
+                history["bench"] = load_history_file(
+                    args.bench.parent / "BENCH_history.jsonl"
+                )
+            write_run_report(
+                args.report, manifest, fidelity=report, bench=bench,
+                title=f"repro fidelity (scale {args.scale:g}, "
+                      f"seed {args.seed})",
+                history=history,
+            )
+            print(f"wrote run report {args.report}")
+        _write_trace(tracer, args)
+
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        if args.check is not None:
             print(f"fidelity check passed against {args.check.name} "
                   f"({report.n_pass} pass, {report.n_warn} warn, "
                   f"{report.n_fail} fail, {report.n_skip} skip)")
         return 0
+    except Exception as exc:
+        _write_failure_manifest("fidelity", tracer, args,
+                                args.out.parent, exc)
+        raise
     finally:
         if tracer is not None:
             set_tracer(None)
+
+
+def cmd_events(args: argparse.Namespace) -> int:
+    from repro.obs.recorder import (
+        format_event,
+        load_events,
+        reconstruct,
+        summarize_events,
+    )
+
+    if not args.path.exists():
+        raise ReproError(f"no event log at {args.path}")
+    events = load_events(args.path)
+    if args.tail is not None:
+        selected = events[-args.tail:] if args.tail > 0 else []
+        for event in selected:
+            if args.json:
+                print(json.dumps(event, separators=(",", ":"),
+                                 default=str))
+            else:
+                print(format_event(event))
+        return 0
+    if args.postmortem:
+        post = reconstruct(events)
+        if args.json:
+            print(json.dumps(post.to_dict(), indent=2, sort_keys=True,
+                             default=str))
+        else:
+            print(post.render())
+        return 0
+    if args.json:
+        counts: dict = {}
+        for event in events:
+            kind = str(event.get("kind", "?"))
+            counts[kind] = counts.get(kind, 0) + 1
+        post = reconstruct(events)
+        print(json.dumps(
+            {"n_events": len(events), "status": post.status,
+             "duration_s": round(post.duration_s, 3), "counts": counts},
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    print(summarize_events(events))
+    return 0
+
+
+def cmd_clean(args: argparse.Namespace) -> int:
+    from repro.engine import transport
+    from repro.traces.store import (
+        list_orphan_partitions,
+        sweep_orphan_partitions,
+    )
+
+    verb = "would remove" if args.dry_run else "removed"
+    reclaimed = 0
+    segments = transport.segment_names()
+    if segments and not args.dry_run:
+        transport.sweep_orphans()
+    for name in segments:
+        print(f"{verb} shm segment {name}")
+    reclaimed += len(segments)
+    cutoff = time.time() - args.max_age_h * 3600.0
+    for root in (args.paths or [Path(".")]):
+        if not root.exists():
+            continue
+        partitions = (list_orphan_partitions(root) if args.dry_run
+                      else sweep_orphan_partitions(root))
+        for name in partitions:
+            print(f"{verb} orphan partition {name} under {root}")
+        reclaimed += len(partitions)
+        # Only canonical telemetry spellings: history JSONL never matches.
+        stale = [
+            found
+            for pattern in ("events*.jsonl", "*.prom")
+            for found in root.rglob(pattern)
+            if found.is_file()
+        ]
+        for found in sorted(stale):
+            try:
+                if found.stat().st_mtime >= cutoff:
+                    continue
+                if not args.dry_run:
+                    found.unlink()
+            except OSError:
+                continue
+            print(f"{verb} stale telemetry file {found}")
+            reclaimed += 1
+    done_verb = "would reclaim" if args.dry_run else "reclaimed"
+    print(f"{done_verb} {reclaimed} item(s)")
+    return 0
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -799,21 +1172,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": cmd_analyze,
         "bench": cmd_bench,
         "fidelity": cmd_fidelity,
+        "events": cmd_events,
+        "clean": cmd_clean,
         "list": cmd_list,
         "report": cmd_report,
         "validate": cmd_validate,
     }
+    recording = _start_recording(args)
+    status, code = "failed", 1
     try:
-        return handlers[args.command](args)
+        code = handlers[args.command](args)
+        status = "ok" if code == 0 else "failed"
+        return code
     except ChaosKill as exc:
         # The chaos harness killed the run mid-campaign on purpose;
         # a distinct exit code lets the CI smoke job (and the resume
         # tests) tell "interrupted as planned" from a real error.
+        status, code = "interrupted", 3
         print(f"interrupted: {exc}", file=sys.stderr)
         return 3
     except ReproError as exc:
+        status, code = "failed", 2
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        # A SIGKILL (--chaos-kill-hard) never reaches here — by design:
+        # the postmortem then reads "interrupted" from the missing
+        # run_end, exactly what the black box is for.
+        if recording is not None:
+            recording.finish(status, code)
 
 
 if __name__ == "__main__":  # pragma: no cover

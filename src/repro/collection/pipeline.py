@@ -25,6 +25,7 @@ from repro.collection.faults import (
 )
 from repro.collection.server import CollectionServer
 from repro.collection.uploader import Uploader
+from repro.obs.recorder import get_recorder
 from repro.obs.span import get_tracer
 from repro.traces.records import DeviceInfo
 
@@ -108,6 +109,14 @@ class CollectionPump:
             tracer.count("pump.batches_churned", stats.churned)
             tracer.count("pump.duplicates_sent", stats.duplicates)
             tracer.count("pump.upload_failures", transport.failures)
+        if stats.dropped or stats.churned:
+            # Flight-record only actual losses (never the happy path — a
+            # per-device event on clean runs would swamp the log).
+            get_recorder().emit(
+                "fault_loss", device=info.device_id,
+                dropped=stats.dropped, churned=stats.churned,
+                churn_slot=stats.churn_slot,
+            )
         return stats
 
     def transmit_bulk(

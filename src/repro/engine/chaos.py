@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import signal
 import time
 from dataclasses import dataclass
 from itertools import count
@@ -30,6 +31,7 @@ from pathlib import Path
 from typing import List, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError, ReproError
+from repro.obs.recorder import get_recorder
 
 __all__ = [
     "ChaosCrash",
@@ -97,6 +99,11 @@ class ChaosPlan:
     #: Parent-side: raise :class:`ChaosKill` once this many shards have
     #: completed (checkpoints included) — models a mid-campaign kill.
     kill_after_shards: Optional[int] = None
+    #: Upgrade the parent-side kill from a raised :class:`ChaosKill`
+    #: (orderly, exit 3) to ``SIGKILL`` on the parent process itself —
+    #: the real ``kill -9`` the flight recorder must survive. No cleanup
+    #: runs; only the recorder's already-flushed events remain.
+    kill_hard: bool = False
     seed: int = 0
     #: Cross-process attempt-marker directory; required whenever worker
     #: faults (crash/hang) are injected.
@@ -114,6 +121,10 @@ class ChaosPlan:
         if self.kill_after_shards is not None and self.kill_after_shards < 1:
             raise ConfigurationError(
                 f"kill_after_shards must be >= 1: {self.kill_after_shards}"
+            )
+        if self.kill_hard and self.kill_after_shards is None:
+            raise ConfigurationError(
+                "kill_hard needs kill_after_shards to know when to strike"
             )
         if self.injects_worker_faults and self.state_dir is None:
             raise ConfigurationError(
@@ -155,6 +166,8 @@ class ChaosInjector:
         key = unit_key_of(work)
         attempt = self._next_attempt(key)
         if plan.selects("crash", key) and attempt <= plan.crash_attempts:
+            get_recorder().emit("chaos", fault="crash", shard=key,
+                                attempt=attempt, hard=plan.hard)
             if plan.hard:
                 os._exit(3)
             raise ChaosCrash(
@@ -163,6 +176,8 @@ class ChaosInjector:
         if plan.selects("hang", key) and attempt <= plan.hang_attempts:
             # Sleep, then finish normally: the parent's deadline fires and
             # retries while this straggler's late result is ignored.
+            get_recorder().emit("chaos", fault="hang", shard=key,
+                                attempt=attempt, hang_s=plan.hang_s)
             time.sleep(plan.hang_s)
         return self.fn(work)
 
@@ -193,6 +208,18 @@ class ChaosMonkey:
         self.completed += 1
         kill_after = self.plan.kill_after_shards
         if kill_after is not None and self.completed >= kill_after:
+            # Emit before striking: the recorder's O_APPEND write is
+            # already durable when the signal lands, so even the hard
+            # kill leaves the chaos event in the black box.
+            get_recorder().emit(
+                "chaos", fault="kill", shard=self.completed,
+                hard=self.plan.kill_hard,
+            )
+            if self.plan.kill_hard:
+                # The genuine article: SIGKILL to the parent, no Python
+                # cleanup, no atexit sweeps — exactly what the flight
+                # recorder's crash-durability contract is tested against.
+                os.kill(os.getpid(), signal.SIGKILL)
             raise ChaosKill(
                 f"chaos kill: campaign interrupted after "
                 f"{self.completed} completed shards "

@@ -79,6 +79,7 @@ from repro.engine.resilience import (
     describe_exception,
 )
 from repro.errors import ConfigurationError
+from repro.obs.recorder import get_recorder
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -191,6 +192,20 @@ def warm_pool_stats() -> Dict[str, int]:
     return stats
 
 
+#: Process-lifetime scheduling counters, across every executor instance —
+#: the resource sampler reads these (an ExecutionInfo only exists once a
+#: run finishes, too late for live telemetry).
+_LIFETIME = {"steals": 0, "retries": 0, "fallbacks": 0, "dropped": 0}
+
+
+def lifetime_stats() -> Dict[str, int]:
+    """Lifetime steal/retry/drop counters plus warm-pool churn."""
+    stats = dict(_LIFETIME)
+    for key, value in warm_pool_stats().items():
+        stats[f"pool_{key}"] = value
+    return stats
+
+
 def shutdown_warm_pools(wait_for_workers: bool = True) -> int:
     """Tear down every parked pool; returns how many were shut down."""
     n = 0
@@ -253,7 +268,20 @@ class _ResilienceMixin:
         )
         log.failures.append(failure)
         self.failures.append(failure)
+        _LIFETIME["retries"] += 1
+        get_recorder().emit(
+            "shard_retry", unit=log.unit_index, attempt=log.attempts,
+            failure=kind, error=failure.error,
+            elapsed_s=round(elapsed_s, 3),
+        )
         return failure
+
+    def _record_dropped(self, log: ShardAttemptLog) -> None:
+        log.outcome = OUTCOME_DROPPED
+        self.dropped += 1
+        _LIFETIME["dropped"] += 1
+        get_recorder().emit("shard_dropped", unit=log.unit_index,
+                            attempts=log.attempts)
 
 
 class SerialExecutor(_ResilienceMixin):
@@ -302,8 +330,7 @@ class SerialExecutor(_ResilienceMixin):
                     time.sleep(self.policy.backoff_s(index, log.attempts))
                     continue
                 if self.allow_partial:
-                    log.outcome = OUTCOME_DROPPED
-                    self.dropped += 1
+                    self._record_dropped(log)
                     return None
                 log.outcome = OUTCOME_FAILED
                 raise
@@ -422,7 +449,11 @@ class ParallelExecutor(_ResilienceMixin):
             if not queues[victim]:
                 return None
             self.steals += 1
-            return queues[victim].pop()
+            _LIFETIME["steals"] += 1
+            stolen = queues[victim].pop()
+            get_recorder().emit("shard_stolen", unit=stolen, slot=slot,
+                                victim=victim)
+            return stolen
 
         def submit(slot: int, index: int) -> bool:
             try:
@@ -556,18 +587,17 @@ class ParallelExecutor(_ResilienceMixin):
         timed_out = bool(log.failures) and \
             log.failures[-1].kind == FAILURE_TIMEOUT
         if self.allow_partial and timed_out:
-            log.outcome = OUTCOME_DROPPED
-            self.dropped += 1
+            self._record_dropped(log)
             return
         self.fallbacks += 1
+        _LIFETIME["fallbacks"] += 1
         try:
             value = fn(units[index])
         except Exception as exc:
             self._record_failure(log, classify_exception(exc), exc, 0.0,
                                  charge_attempt=False)
             if self.allow_partial:
-                log.outcome = OUTCOME_DROPPED
-                self.dropped += 1
+                self._record_dropped(log)
                 return
             log.outcome = OUTCOME_FAILED
             raise

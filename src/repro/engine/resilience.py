@@ -42,6 +42,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError
+from repro.obs.recorder import get_recorder
 
 __all__ = [
     "FAILURE_CRASH",
@@ -342,6 +343,8 @@ class CheckpointStore:
             output = pickle.loads(payload)
         except Exception:
             self.corrupt += 1
+            get_recorder().emit("checkpoint_loaded", corrupt=True,
+                                shard=shard_index, seed=seed)
             try:
                 path.unlink()
             except OSError:  # pragma: no cover - racing cleanup only

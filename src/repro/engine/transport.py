@@ -59,6 +59,7 @@ __all__ = [
     "ShardPayload",
     "run_token",
     "segment_names",
+    "segment_bytes",
     "sweep_orphans",
 ]
 
@@ -309,6 +310,22 @@ def segment_names(token: Optional[str] = None) -> List[str]:
         entry.name for entry in SHM_DIR.iterdir()
         if entry.name.startswith(prefix)
     )
+
+
+def segment_bytes(token: Optional[str] = None) -> int:
+    """Total bytes of live repro segments (the resource sampler's view).
+
+    Sums ``st_size`` of the ``/dev/shm`` entries; a segment unlinked
+    between the scan and the stat simply stops counting. Zero on
+    platforms without a visible shm directory.
+    """
+    total = 0
+    for name in segment_names(token):
+        try:
+            total += (SHM_DIR / name).stat().st_size
+        except OSError:  # pragma: no cover - racing unlink
+            continue
+    return total
 
 
 def sweep_orphans(token: Optional[str] = None) -> List[str]:

@@ -16,6 +16,16 @@ Stdlib-light modules the rest of the system threads through:
 - :mod:`repro.obs.reference` — the paper-reference registry: one
   ``PaperRef`` per checkable claim, each with a tolerance/shape
   ``Predicate`` producing a normalized divergence and verdict.
+- :mod:`repro.obs.recorder` — the crash-durable flight recorder
+  (append-only ``events.jsonl``; O_APPEND write per event) plus the
+  truncation-tolerant parser and :func:`~repro.obs.recorder.reconstruct`
+  postmortem. Stdlib-only, so every layer can emit events.
+- :mod:`repro.obs.resources` — the daemon-thread resource sampler
+  (RSS/CPU//dev/shm/store-disk plus executor lifetime counters) with a
+  Prometheus-textfile exporter.
+- :mod:`repro.obs.history` — append-only run-history JSONL for
+  ``bench``/``fidelity`` gate results, with rolling-window drift
+  warnings and sparkline rendering.
 
 :mod:`repro.obs.bench` (the ``repro bench`` harness),
 :mod:`repro.obs.fidelity` (the scorer), :mod:`repro.obs.docgen` and
@@ -31,6 +41,19 @@ from repro.obs.manifest import (
     config_hash_of,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import (
+    EVENT_KINDS,
+    EVENTS_ENV_VAR,
+    FlightRecorder,
+    NoopRecorder,
+    Postmortem,
+    get_recorder,
+    load_events,
+    parse_events,
+    reconstruct,
+    set_recorder,
+    use_recorder,
+)
 from repro.obs.reference import (
     REFERENCES,
     VERDICT_FAIL,
@@ -82,4 +105,15 @@ __all__ = [
     "VERDICT_WARN",
     "VERDICT_FAIL",
     "VERDICT_SKIP",
+    "EVENT_KINDS",
+    "EVENTS_ENV_VAR",
+    "FlightRecorder",
+    "NoopRecorder",
+    "Postmortem",
+    "get_recorder",
+    "set_recorder",
+    "use_recorder",
+    "parse_events",
+    "load_events",
+    "reconstruct",
 ]

@@ -87,6 +87,11 @@ class RunManifest:
     shard_attempts: List[dict] = field(default_factory=list)
     #: Per-year partial-results loss accounting (empty = complete run).
     losses: List[dict] = field(default_factory=list)
+    #: ``"ok"`` on clean exit; ``"failed"`` when the CLI wrote the
+    #: manifest from a failure path (partial timings, see ``error``).
+    status: str = "ok"
+    #: Single-line description of the exception that ended a failed run.
+    error: str = ""
     environment: Dict[str, object] = field(default_factory=_environment)
     schema_version: int = MANIFEST_SCHEMA_VERSION
 
@@ -136,6 +141,8 @@ def build_manifest(
     resilience=None,
     losses: Optional[List[object]] = None,
     extra_counters: Optional[Dict[str, Union[int, float]]] = None,
+    status: str = "ok",
+    error: str = "",
 ) -> RunManifest:
     """Assemble a manifest from a run's telemetry and accounting objects.
 
@@ -181,4 +188,6 @@ def build_manifest(
         shard_attempts=list(resilience.shard_attempts)
         if resilience is not None else [],
         losses=[loss.to_dict() for loss in losses or [] if loss is not None],
+        status=status,
+        error=error,
     )

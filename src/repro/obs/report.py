@@ -178,11 +178,63 @@ def _fidelity_section(fidelity: Optional[Union[FidelityReport, dict]]) -> str:
     )
 
 
+def _history_section(history: Optional[dict]) -> str:
+    """Sparkline trend tables from BENCH/FIDELITY history records.
+
+    ``history`` maps a label (``"bench"``/``"fidelity"``) to the list of
+    records :func:`repro.obs.history.load_history` returns; each metric
+    gets an inline SVG sparkline plus first/last values, and the latest
+    rolling-window drift warnings are surfaced above the table.
+    """
+    if not history or not any(history.values()):
+        return ""
+    from repro.obs.history import (
+        drift_warnings,
+        record_metrics,
+        sparkline_svg,
+    )
+
+    parts = ["<h2>Run history</h2>"]
+    for label, records in history.items():
+        if not records:
+            continue
+        parts.append(
+            f"<h3>{_esc(label)} ({len(records)} runs)</h3>"
+        )
+        warnings = drift_warnings(records)
+        for warning in warnings:
+            parts.append(f"<p class='verdict-warn'>{_esc(warning)}</p>")
+        metric_names = sorted({
+            name
+            for record in records
+            for name, value in record.get("metrics", {}).items()
+            if isinstance(value, (int, float))
+        })
+        rows = []
+        for name in metric_names:
+            series = record_metrics(records, name)
+            if not series:
+                continue
+            spark = sparkline_svg(series) or "<span class='muted'>-</span>"
+            rows.append(
+                "<tr><td>{0}</td><td>{1}</td><td class='num'>{2:g}</td>"
+                "<td class='num'>{3:g}</td></tr>".format(
+                    _esc(name), spark, series[0], series[-1],
+                )
+            )
+        parts.append(
+            "<table><tr><th>metric</th><th>trend</th><th>first</th>"
+            f"<th>latest</th></tr>{''.join(rows)}</table>"
+        )
+    return "".join(parts)
+
+
 def render_run_report(
     manifest: RunManifest,
     fidelity: Optional[Union[FidelityReport, dict]] = None,
     bench: Optional[dict] = None,
     title: str = "repro run report",
+    history: Optional[dict] = None,
 ) -> str:
     """One self-contained HTML page for a run (no external assets)."""
     body = "".join([
@@ -192,6 +244,7 @@ def render_run_report(
         _timeline_section(manifest),
         _metrics_section(manifest),
         _bench_section(bench),
+        _history_section(history),
     ])
     return (
         "<!DOCTYPE html>\n<html lang=\"en\"><head>"
@@ -208,8 +261,10 @@ def write_run_report(
     fidelity: Optional[Union[FidelityReport, dict]] = None,
     bench: Optional[dict] = None,
     title: str = "repro run report",
+    history: Optional[dict] = None,
 ) -> Path:
     out = Path(path)
     out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(render_run_report(manifest, fidelity, bench, title=title))
+    out.write_text(render_run_report(manifest, fidelity, bench, title=title,
+                                     history=history))
     return out

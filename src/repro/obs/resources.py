@@ -1,0 +1,223 @@
+"""Periodic resource telemetry: RSS, CPU, shm, disk, pool counters.
+
+A :class:`ResourceSampler` is a daemon thread that emits one
+``resource_sample`` event per interval through the flight recorder
+(:mod:`repro.obs.recorder`): parent RSS (``/proc/self/statm``), the summed
+RSS of live child processes (pool workers), process CPU seconds
+(:func:`os.times`, children included), live ``/dev/shm`` segment bytes
+from :func:`repro.engine.transport.segment_bytes`, disk usage of watched
+store/checkpoint directories, and the engine's lifetime warm-pool and
+steal counters. An optional Prometheus textfile is rewritten atomically
+on every sample so a node-exporter textfile collector (or a plain
+``cat``) can scrape the latest values.
+
+Everything degrades gracefully off Linux: missing ``/proc`` entries read
+as zero, never as an error, and the sampling loop swallows all exceptions
+— a telemetry thread must not be able to kill a campaign. Sampling reads
+state; it never touches RNG streams, so sampled and unsampled runs are
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+__all__ = [
+    "ResourceSampler",
+    "rss_bytes",
+    "children_rss_bytes",
+    "disk_usage_bytes",
+    "render_prometheus",
+]
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def rss_bytes(pid: Optional[int] = None) -> int:
+    """Resident set size of one process (0 where /proc is unavailable)."""
+    proc = Path(f"/proc/{pid}" if pid is not None else "/proc/self")
+    try:
+        fields = (proc / "statm").read_text().split()
+        return int(fields[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        return 0
+
+
+def _child_pids(parent: int) -> List[int]:
+    """Direct children of ``parent``, from /proc/<pid>/stat field 4."""
+    children: List[int] = []
+    proc = Path("/proc")
+    try:
+        entries = list(proc.iterdir())
+    except OSError:
+        return children
+    for entry in entries:
+        if not entry.name.isdigit():
+            continue
+        try:
+            stat = (entry / "stat").read_text()
+        except OSError:
+            continue
+        # comm (field 2) may contain spaces; it ends at the last ')'.
+        after_comm = stat.rpartition(")")[2].split()
+        if len(after_comm) >= 2 and after_comm[1] == str(parent):
+            children.append(int(entry.name))
+    return children
+
+
+def children_rss_bytes(parent: Optional[int] = None) -> int:
+    """Summed RSS of the direct children (the worker pool) of a process."""
+    parent = parent if parent is not None else os.getpid()
+    return sum(rss_bytes(pid) for pid in _child_pids(parent))
+
+
+def disk_usage_bytes(paths: Iterable[Union[str, os.PathLike]]) -> int:
+    """Total size of all files under the given directories (or files)."""
+    total = 0
+    for root in paths:
+        root = Path(root)
+        try:
+            if root.is_file():
+                total += root.stat().st_size
+                continue
+            for dirpath, _dirnames, filenames in os.walk(root):
+                for name in filenames:
+                    try:
+                        total += os.stat(os.path.join(dirpath, name)).st_size
+                    except OSError:
+                        continue
+        except OSError:
+            continue
+    return total
+
+
+def _sample(shm_token: Optional[str],
+            disk_paths: Iterable[Union[str, os.PathLike]]) -> dict:
+    """One resource snapshot as flat event fields."""
+    from repro.engine.executor import lifetime_stats
+    from repro.engine.transport import segment_bytes
+
+    times = os.times()
+    sample = {
+        "rss_bytes": rss_bytes(),
+        "children_rss_bytes": children_rss_bytes(),
+        "cpu_s": round(times.user + times.system, 3),
+        "children_cpu_s": round(times.children_user
+                                + times.children_system, 3),
+        "shm_bytes": segment_bytes(shm_token),
+        "disk_bytes": disk_usage_bytes(disk_paths),
+    }
+    sample.update(lifetime_stats())
+    return sample
+
+
+#: Prometheus gauge names and the sample fields they read.
+_PROM_GAUGES = (
+    ("repro_rss_bytes", "rss_bytes",
+     "Parent process resident set size in bytes"),
+    ("repro_children_rss_bytes", "children_rss_bytes",
+     "Summed worker-process resident set size in bytes"),
+    ("repro_cpu_seconds_total", "cpu_s",
+     "Parent process CPU seconds (user+system)"),
+    ("repro_children_cpu_seconds_total", "children_cpu_s",
+     "Reaped children CPU seconds (user+system)"),
+    ("repro_shm_bytes", "shm_bytes",
+     "Live /dev/shm shard-transport segment bytes"),
+    ("repro_store_disk_bytes", "disk_bytes",
+     "Disk usage of watched store/checkpoint directories"),
+    ("repro_steals_total", "steals",
+     "Work units stolen by idle executor slots (process lifetime)"),
+    ("repro_retries_total", "retries",
+     "Failed shard attempts observed (process lifetime)"),
+    ("repro_pool_reused_total", "pool_reused",
+     "Warm process pools reused (process lifetime)"),
+    ("repro_pool_created_total", "pool_created",
+     "Process pools created (process lifetime)"),
+)
+
+
+def render_prometheus(sample: dict) -> str:
+    """A resource sample in Prometheus text exposition format."""
+    lines: List[str] = []
+    for metric, field, help_text in _PROM_GAUGES:
+        if field not in sample:
+            continue
+        kind = "counter" if metric.endswith("_total") else "gauge"
+        lines.append(f"# HELP {metric} {help_text}")
+        lines.append(f"# TYPE {metric} {kind}")
+        lines.append(f"{metric} {sample[field]}")
+    return "\n".join(lines) + "\n"
+
+
+class ResourceSampler:
+    """Daemon-thread sampler emitting ``resource_sample`` events.
+
+    One sample is taken immediately on :meth:`start` (so even sub-interval
+    runs record at least one) and then every ``interval_s`` until
+    :meth:`stop`, which takes a final sample so the log ends with the
+    run's peak state. ``prom_path`` additionally mirrors the latest sample
+    to a Prometheus textfile (atomic tmp+rename per write).
+    """
+
+    def __init__(self, recorder, interval_s: float = 1.0,
+                 shm_token: Optional[str] = None,
+                 disk_paths: Iterable[Union[str, os.PathLike]] = (),
+                 prom_path: Optional[Union[str, os.PathLike]] = None) -> None:
+        self.recorder = recorder
+        self.interval_s = max(0.05, float(interval_s))
+        self.shm_token = shm_token
+        self.disk_paths = [Path(p) for p in disk_paths]
+        self.prom_path = Path(prom_path) if prom_path is not None else None
+        self.n_samples = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def sample_once(self) -> Optional[dict]:
+        """Take, emit, and (optionally) export one sample."""
+        try:
+            sample = _sample(self.shm_token, self.disk_paths)
+            self.recorder.emit("resource_sample", **sample)
+            if self.prom_path is not None:
+                self._write_prom(sample)
+            self.n_samples += 1
+            return sample
+        except Exception:
+            # Telemetry must never take down the run it observes.
+            return None
+
+    def _write_prom(self, sample: dict) -> None:
+        tmp = self.prom_path.with_name(self.prom_path.name + ".tmp")
+        tmp.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(render_prometheus(sample))
+        os.replace(tmp, self.prom_path)
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.sample_once()
+
+    def start(self) -> "ResourceSampler":
+        if self._thread is not None:
+            return self
+        self.sample_once()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-resource-sampler", daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, final_sample: bool = True) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if final_sample:
+            self.sample_once()
+
+    def __enter__(self) -> "ResourceSampler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -27,6 +27,7 @@ and ``n_jobs=k`` are bit-for-bit identical.
 from __future__ import annotations
 
 import os
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from datetime import date
@@ -62,6 +63,7 @@ from repro.engine.resilience import (
 from repro.engine.transport import ShardPayload, run_token, sweep_orphans
 from repro.errors import ConfigurationError, EngineError
 from repro.net.accesspoint import AccessPoint
+from repro.obs.recorder import get_recorder
 from repro.obs.span import Tracer, get_tracer, use_tracer
 from repro.network_env.deployment import Deployment, DeploymentConfig, build_deployment
 from repro.population.profiles import UserProfile
@@ -248,7 +250,8 @@ def _world_for(config: CampaignConfig) -> _World:
 def plan_campaign(config: CampaignConfig, n_jobs: int = 1) -> CampaignPlan:
     """Build the world and partition the panel into shard work units."""
     tracer = get_tracer()
-    with tracer.span("plan_campaign", year=config.year):
+    with tracer.span("plan_campaign", year=config.year), \
+            get_recorder().phase("plan", year=config.year):
         world = _world_for(config)
         shard_plan = plan_units(
             [info.device_id for info in world.infos], max(1, n_jobs)
@@ -415,6 +418,7 @@ def execute_plans(
     ]
     keys = [config_key(plan.config) for plan in plans]
     tracer = get_tracer()
+    recorder = get_recorder()
 
     def _store_for(pi: int) -> Optional[CampaignStore]:
         return stores[pi] if stores is not None else None
@@ -437,6 +441,9 @@ def execute_plans(
                             loaded = None
                         if loaded is not None:
                             outputs[pi][shard.index] = loaded
+                            recorder.emit("checkpoint_loaded",
+                                          year=plan.config.year,
+                                          shard=shard.index)
             tracer.count("checkpoint_hits", store.hits)
             tracer.count("checkpoint_corrupt", store.corrupt)
 
@@ -460,6 +467,18 @@ def execute_plans(
             fn = ChaosInjector(simulate_shard, chaos)
         if chaos.kill_after_shards is not None:
             monkey = ChaosMonkey(chaos)
+
+    # Live progress accounting: per-shard completion feeds a devices/s
+    # rate and an ETA over the not-yet-checkpointed work. Guarded by
+    # ``recorder.enabled`` so the telemetry-off path stays zero-overhead.
+    devices_total = sum(len(work.device_ids) for _, work in pending)
+    progress = {"done": 0, "devices_done": 0}
+    t0 = time.monotonic()
+    if recorder.enabled:
+        for unit, (pi, work) in enumerate(pending):
+            recorder.emit("shard_queued", year=work.config.year,
+                          shard=work.shard_index, unit=unit,
+                          devices=len(work.device_ids))
 
     def _accept(local_index: int, output: ShardOutput) -> None:
         pi, work = pending[local_index]
@@ -486,6 +505,27 @@ def execute_plans(
             # THIS run must not be replayed into a resumed run's trace).
             store.save(keys[pi], plans[pi].config.seed,
                        work.shard_index, output.for_checkpoint())
+            recorder.emit("checkpoint_saved", year=work.config.year,
+                          shard=work.shard_index)
+        if recorder.enabled:
+            recorder.emit(
+                "shard_completed", year=work.config.year,
+                shard=work.shard_index, unit=local_index,
+                devices=len(work.device_ids),
+            )
+            progress["done"] += 1
+            progress["devices_done"] += len(work.device_ids)
+            elapsed = time.monotonic() - t0
+            rate = (progress["devices_done"] / elapsed
+                    if elapsed > 0 else 0.0)
+            remaining = devices_total - progress["devices_done"]
+            recorder.emit(
+                "progress", done=progress["done"], total=len(pending),
+                devices_done=progress["devices_done"],
+                devices_total=devices_total, rate=round(rate, 2),
+                eta_s=(round(remaining / rate, 1) if rate > 0 else None),
+                elapsed_s=round(elapsed, 2),
+            )
         if monkey is not None:
             monkey.on_shard_complete()
 
@@ -494,7 +534,9 @@ def execute_plans(
         name: getattr(executor, name, 0)
         for name in ("retries", "fallbacks", "dropped")
     }
-    executor.run(fn, [work for _, work in pending], on_result=_accept)
+    with recorder.phase("execute", shards=len(pending),
+                        executor=getattr(executor, "name", "?")):
+        executor.run(fn, [work for _, work in pending], on_result=_accept)
 
     report = _resilience_report(
         executor, history_before, counts_before, pending, store, res
@@ -597,7 +639,8 @@ def merge_campaign(
             )
     with tracer.span("merge_campaign", year=config.year,
                      n_shards=plan.shard_plan.n_shards,
-                     store=store is not None):
+                     store=store is not None), \
+            get_recorder().phase("merge", year=config.year):
         if store is None:
             builder = DatasetBuilder(config.year, config.axis)
             for info in world.infos:

@@ -29,6 +29,7 @@ from repro.engine.executor import (
 from repro.engine.transport import run_token, sweep_orphans
 from repro.errors import ConfigurationError
 from repro.network_env.deployment import DeploymentConfig
+from repro.obs.recorder import get_recorder
 from repro.obs.span import get_tracer
 from repro.network_env.home_wifi import HomeWifiConfig
 from repro.network_env.public_wifi import PublicWifiConfig
@@ -279,7 +280,8 @@ class Study:
                         keep_partitions=checkpointed,
                     )
                     self.campaigns[year] = result
-                    with tracer.span("survey", year=year):
+                    with tracer.span("survey", year=year), \
+                            get_recorder().phase("survey", year=year):
                         survey_rng = np.random.default_rng(
                             (self.config.seed, year, 99)
                         )

@@ -62,6 +62,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError, DatasetError
+from repro.obs.recorder import get_recorder
 from repro.obs.span import get_tracer
 from repro.timeutil import TimeAxis
 from repro.traces.dataset import CampaignDataset, GroundTruth, _EMPTY_DTYPES, _Table
@@ -297,6 +298,8 @@ class CampaignStore:
         tracer = get_tracer()
         tracer.count("store_partitions")
         tracer.count("store_spill_bytes", n_bytes)
+        get_recorder().emit("spill", year=self.year, partition=name,
+                            bytes=n_bytes)
         return PartitionRef(
             root=str(self.root), name=name, n_rows=dict(n_rows),
             n_bytes=n_bytes, observed_ap_ids=tuple(sorted(observed)),
@@ -350,8 +353,11 @@ class CampaignStore:
         """
         with get_tracer().span("store_finalize", year=self.year,
                                n_partitions=len(partitions)):
-            return self._finalize(devices, ap_directory, ground_truth,
-                                  partitions)
+            manifest = self._finalize(devices, ap_directory, ground_truth,
+                                      partitions)
+        get_recorder().emit("store_finalized", year=self.year,
+                            n_partitions=len(partitions))
+        return manifest
 
     def _finalize(self, devices, ap_directory, ground_truth, partitions):
         self.tables_dir.mkdir(parents=True, exist_ok=True)
@@ -645,14 +651,26 @@ def sweep_orphan_partitions(root: Union[str, Path]) -> List[str]:
     """
     root = Path(root)
     removed: List[str] = []
-    candidates = [root] + sorted(
-        p for p in root.glob("campaign*") if p.is_dir()
-    )
-    for candidate in candidates:
-        parts = candidate / "parts"
-        if not parts.is_dir():
-            continue
+    for parts in _orphan_parts_dirs(root):
         for entry in sorted(parts.iterdir()):
             removed.append(entry.name)
         shutil.rmtree(parts, ignore_errors=True)
     return removed
+
+
+def list_orphan_partitions(root: Union[str, Path]) -> List[str]:
+    """What :func:`sweep_orphan_partitions` would remove, without removing.
+
+    Backs ``repro clean --dry-run``.
+    """
+    names: List[str] = []
+    for parts in _orphan_parts_dirs(Path(root)):
+        names.extend(sorted(entry.name for entry in parts.iterdir()))
+    return names
+
+
+def _orphan_parts_dirs(root: Path) -> List[Path]:
+    candidates = [root] + sorted(
+        p for p in root.glob("campaign*") if p.is_dir()
+    )
+    return [c / "parts" for c in candidates if (c / "parts").is_dir()]

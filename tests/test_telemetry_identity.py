@@ -1,14 +1,16 @@
 """Telemetry must never change results.
 
-The observability layer's core contract: a run with tracing on is
-bit-for-bit identical to the same run with tracing off, for any worker
-count. Telemetry reads outcomes — it must not touch RNG streams, device
-ordering, or the collection path.
+The observability layer's core contract: a run with tracing, flight
+recording, or resource sampling on is bit-for-bit identical to the same
+run with them off, for any worker count. Telemetry reads outcomes — it
+must not touch RNG streams, device ordering, or the collection path.
 """
 
 import pytest
 
 from repro.collection.faults import FaultPlan
+from repro.obs.recorder import FlightRecorder, load_events, use_recorder
+from repro.obs.resources import ResourceSampler
 from repro.obs.span import Tracer, use_tracer
 from repro.simulation.campaign import run_campaign
 from repro.simulation.study import StudyConfig, Study
@@ -82,3 +84,41 @@ def _walk(span):
     yield span["name"], span
     for child in span.get("children", ()):
         yield from _walk(child)
+
+
+def test_campaign_identical_with_flight_recorder(tmp_path):
+    config = _small_config()
+    with use_recorder(FlightRecorder(tmp_path / "events.jsonl")):
+        recorded = run_campaign(config, n_jobs=2)
+    unrecorded = run_campaign(config, n_jobs=2)
+    assert_datasets_identical(unrecorded.dataset, recorded.dataset)
+    kinds = {e["kind"] for e in load_events(tmp_path / "events.jsonl")}
+    assert {"shard_queued", "shard_completed", "progress",
+            "phase_start", "phase_end"} <= kinds
+
+
+def test_campaign_identical_with_recorder_and_sampler_across_jobs(tmp_path):
+    config = _small_config()
+    recorder = FlightRecorder(tmp_path / "events.jsonl")
+    with use_recorder(recorder):
+        with ResourceSampler(recorder, interval_s=0.05):
+            recorded_serial = run_campaign(config, n_jobs=1)
+            recorded_parallel = run_campaign(config, n_jobs=2)
+    baseline = run_campaign(config, n_jobs=1)
+    assert_datasets_identical(baseline.dataset, recorded_serial.dataset)
+    assert_datasets_identical(baseline.dataset, recorded_parallel.dataset)
+    events = load_events(tmp_path / "events.jsonl")
+    assert any(e["kind"] == "resource_sample" for e in events)
+
+
+def test_faulty_campaign_identical_with_recorder(tmp_path):
+    # fault_loss events fire on this path; they must read accounting
+    # without perturbing it.
+    config = _small_config(faults=FaultPlan(
+        upload_failure_p=0.1, dropout_p=0.1, duplicate_p=0.05
+    ))
+    with use_recorder(FlightRecorder(tmp_path / "events.jsonl")):
+        recorded = run_campaign(config, n_jobs=2)
+    unrecorded = run_campaign(config, n_jobs=2)
+    assert_datasets_identical(unrecorded.dataset, recorded.dataset)
+    assert unrecorded.collection.totals() == recorded.collection.totals()
